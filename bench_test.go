@@ -1,0 +1,152 @@
+// Benchmark harness: one benchmark per reproduced table/figure (see
+// DESIGN.md section 4) plus the ablation studies of section 5.
+//
+// Each benchmark executes the corresponding experiment at smoke scale per
+// iteration and reports experiment-specific metrics (flit steps, classes,
+// speedups) through b.ReportMetric, so `go test -bench` output doubles as
+// a compact reproduction log. Full-scale numbers are produced by
+// `go run ./cmd/wormbench -all` and recorded in EXPERIMENTS.md.
+package wormhole_test
+
+import (
+	"testing"
+
+	"wormhole"
+	"wormhole/internal/butterfly"
+	"wormhole/internal/core"
+	"wormhole/internal/lowerbound"
+	"wormhole/internal/rng"
+	"wormhole/internal/schedule"
+	"wormhole/internal/topology"
+	"wormhole/internal/vcsim"
+)
+
+var benchCfg = core.Config{Seed: 42, Quick: true}
+
+// runExperiment is the generic per-table driver.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := core.Run(id, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkF1Butterfly(b *testing.B)        { runExperiment(b, "F1") }
+func BenchmarkF2TwoPass(b *testing.B)          { runExperiment(b, "F2") }
+func BenchmarkT1ScheduleLength(b *testing.B)   { runExperiment(b, "T1") }
+func BenchmarkT2LowerBound(b *testing.B)       { runExperiment(b, "T2") }
+func BenchmarkT3QRelation(b *testing.B)        { runExperiment(b, "T3") }
+func BenchmarkT4OnePass(b *testing.B)          { runExperiment(b, "T4") }
+func BenchmarkT5RouterComparison(b *testing.B) { runExperiment(b, "T5") }
+func BenchmarkT6NaiveVsLLL(b *testing.B)       { runExperiment(b, "T6") }
+func BenchmarkT7CircuitSwitch(b *testing.B)    { runExperiment(b, "T7") }
+func BenchmarkT8RestrictedModel(b *testing.B)  { runExperiment(b, "T8") }
+func BenchmarkT9Waksman(b *testing.B)          { runExperiment(b, "T9") }
+func BenchmarkT10Continuous(b *testing.B)      { runExperiment(b, "T10") }
+func BenchmarkT11DallySeitz(b *testing.B)      { runExperiment(b, "T11") }
+
+func BenchmarkAblationArbitration(b *testing.B) { runExperiment(b, "A1") }
+func BenchmarkAblationResample(b *testing.B)    { runExperiment(b, "A2") }
+func BenchmarkAblationDrop(b *testing.B)        { runExperiment(b, "A3") }
+func BenchmarkAblationPasses(b *testing.B)      { runExperiment(b, "A4") }
+func BenchmarkAblationPathSelect(b *testing.B)  { runExperiment(b, "A5") }
+
+// --- component micro-benchmarks ----------------------------------------------
+//
+// These isolate the hot paths so performance regressions in the simulator
+// or scheduler are visible independent of the experiment wrappers.
+
+// BenchmarkSimulatorGreedy measures raw flit-level simulation throughput
+// on a contended butterfly workload, reporting flit-hops per second.
+func BenchmarkSimulatorGreedy(b *testing.B) {
+	for _, bench := range []struct {
+		name string
+		vcs  int
+	}{
+		{"B=1", 1}, {"B=2", 2}, {"B=4", 4},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			prob := core.ButterflyQRelation(128, 8, 16, 7)
+			b.ResetTimer()
+			var hops int64
+			var steps int
+			for i := 0; i < b.N; i++ {
+				res := prob.RouteGreedy(core.GreedyOptions{B: bench.vcs, Policy: vcsim.ArbAge})
+				hops = res.FlitHops
+				steps = res.Steps
+			}
+			b.ReportMetric(float64(hops), "flit-hops/op")
+			b.ReportMetric(float64(steps), "flit-steps")
+		})
+	}
+}
+
+// BenchmarkScheduleBuild measures LLL schedule construction.
+func BenchmarkScheduleBuild(b *testing.B) {
+	prob := core.ButterflyQRelation(128, 8, 24, 9)
+	for _, vcs := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "B=1", 2: "B=2", 4: "B=4"}[vcs], func(b *testing.B) {
+			var classes int
+			for i := 0; i < b.N; i++ {
+				sched, err := schedule.Build(prob.Set, schedule.Options{
+					B:             vcs,
+					ConstantScale: core.DefaultConstantScale,
+				}, rng.New(uint64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				classes = sched.NumClasses
+			}
+			b.ReportMetric(float64(classes), "classes")
+		})
+	}
+}
+
+// BenchmarkLockstepSubround measures the fast-path subround engine used by
+// the Section 3.1 algorithm.
+func BenchmarkLockstepSubround(b *testing.B) {
+	const n = 1024
+	r := rng.New(3)
+	routes := make([]butterfly.TwoPassRoute, 4*n)
+	for i := range routes {
+		routes[i] = butterfly.TwoPassRoute{Src: r.Intn(n), Mid: r.Intn(n), Dst: r.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		butterfly.RunLockstepSubround(n, 2, routes, butterfly.ArbRandom, r)
+	}
+}
+
+// BenchmarkAdversaryBuild measures the Theorem 2.2.1 construction.
+func BenchmarkAdversaryBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lowerbound.Build(lowerbound.Params{B: 2, TargetD: 24, TargetC: 12, L: 72})
+	}
+}
+
+// BenchmarkButterflyRoute measures bit-fixing path construction.
+func BenchmarkButterflyRoute(b *testing.B) {
+	bf := topology.NewButterfly(1024)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bf.Route(r.Intn(1024), r.Intn(1024))
+	}
+}
+
+// BenchmarkPublicAPI exercises the facade end to end (quickstart shape).
+func BenchmarkPublicAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prob := wormhole.ButterflyQRelation(64, 4, 12, uint64(i))
+		res := prob.RouteGreedy(wormhole.GreedyOptions{B: 2})
+		if !res.AllDelivered() {
+			b.Fatal("undelivered")
+		}
+	}
+}

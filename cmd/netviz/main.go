@@ -1,0 +1,67 @@
+// Command netviz inspects the repository's network topologies: it prints
+// structural summaries and can emit Graphviz DOT (used to regenerate the
+// paper's Figure 1).
+//
+// Usage:
+//
+//	netviz -topo butterfly -n 8            # summary
+//	netviz -topo butterfly -n 8 -dot       # Figure 1 as DOT
+//	netviz -topo twopass -n 8 -dot         # the Figure 2 unrolled network
+//	netviz -topo mesh -n 4                 # 4x4 mesh
+//	netviz -topo hypercube -n 16
+//	netviz -topo adversary -b 2 -d 16 -c 6 # Theorem 2.2.1 network
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/lowerbound"
+	"wormhole/internal/topology"
+)
+
+func main() {
+	var (
+		topo = flag.String("topo", "butterfly", "butterfly|twopass|mesh|torus|hypercube|linear|adversary")
+		n    = flag.Int("n", 8, "size parameter (inputs, side, or nodes)")
+		b    = flag.Int("b", 2, "virtual channels (adversary topology)")
+		d    = flag.Int("d", 16, "target dilation (adversary topology)")
+		c    = flag.Int("c", 6, "target congestion (adversary topology)")
+		dot  = flag.Bool("dot", false, "emit Graphviz DOT instead of a summary")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	name := *topo
+	switch *topo {
+	case "butterfly":
+		g = topology.NewButterfly(*n).G
+	case "twopass":
+		g = topology.NewTwoPassButterfly(*n).G
+	case "mesh":
+		g = topology.NewMesh(*n, *n).G
+	case "torus":
+		g = topology.NewTorus(*n, *n).G
+	case "hypercube":
+		g = topology.NewHypercube(*n).G
+	case "linear":
+		g = topology.NewLinearArray(*n)
+	case "adversary":
+		con := lowerbound.Build(lowerbound.Params{B: *b, TargetD: *d, TargetC: *c, L: 2 * *d})
+		g = con.G
+		fmt.Printf("adversary: M'=%d replicas=%d C=%d D=%d primary-edges=%d\n",
+			con.MPrime, con.Replicas, con.C, con.D, len(con.Primary))
+	default:
+		fmt.Fprintf(os.Stderr, "netviz: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+
+	if *dot {
+		fmt.Print(g.DOT(name))
+		return
+	}
+	fmt.Printf("%s: %d nodes, %d edges, max degree %d, DAG=%v, diameter=%d\n",
+		name, g.NumNodes(), g.NumEdges(), g.MaxDegree(), graph.IsDAG(g), graph.Diameter(g))
+}

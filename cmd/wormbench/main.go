@@ -1,0 +1,76 @@
+// Command wormbench runs the paper-reproduction experiments and prints
+// their result tables.
+//
+// Usage:
+//
+//	wormbench -list
+//	wormbench -run T1 [-seed 42] [-quick] [-trials 5]
+//	wormbench -all
+//
+// Experiment IDs are defined in DESIGN.md (F1, F2 for the figures; T1–T8
+// for the theorem/remark reproductions; A1–A4 for the design ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wormhole/internal/core"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "", "experiment ID to run (e.g. T1)")
+		all    = flag.Bool("all", false, "run every experiment")
+		seed   = flag.Uint64("seed", 42, "experiment seed")
+		quick  = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
+		trials = flag.Int("trials", 0, "override trial count (0 = default)")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials}
+
+	switch {
+	case *list:
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range core.Experiments() {
+			runOne(e.ID, cfg, *csvOut)
+		}
+	case *run != "":
+		runOne(*run, cfg, *csvOut)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, cfg core.Config, csvOut bool) {
+	start := time.Now()
+	tables, err := core.Run(id, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormbench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if csvOut {
+			fmt.Printf("# %s\n", t.Title())
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "wormbench: csv:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		fmt.Println(t)
+	}
+	if !csvOut {
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

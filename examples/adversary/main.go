@@ -1,0 +1,66 @@
+// Adversary: a walkthrough of the Theorem 2.2.1 lower-bound instance.
+//
+// Builds the network in which every B+1 messages share a dedicated
+// "primary" edge, prints its anatomy, verifies the progress-argument
+// floor (L−D)·M/B against real routed makespans, and then demonstrates
+// the paper's headline: adding virtual channels to the B=1 instance buys
+// a superlinear speedup.
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+
+	"wormhole"
+)
+
+func main() {
+	const (
+		d = 24
+		c = 12
+	)
+	fmt.Println("== anatomy of the construction ==")
+	for _, b := range []int{1, 2, 3} {
+		adv := wormhole.BuildAdversary(wormhole.AdversaryParams{
+			B: b, TargetD: d, TargetC: c, L: 3 * d,
+		})
+		fmt.Printf("B=%d: M'=%d base messages ×%d replicas = %d worms, %d primary edges, C=%d D=%d\n",
+			b, adv.MPrime, adv.Replicas, adv.Set.Len(), len(adv.Primary), adv.C, adv.D)
+
+		res := wormhole.Simulate(adv.Set, nil, wormhole.SimConfig{
+			VirtualChannels: b, Arbitration: wormhole.ArbAge,
+		})
+		floor := adv.ProgressBound()
+		fmt.Printf("     greedy makespan %d ≥ floor (L-D)M/B = %.0f (ratio %.2f); Ω-form LCD^(1/B)/B = %.0f\n",
+			res.Steps, floor, float64(res.Steps)/floor, adv.TheoremBound())
+	}
+
+	fmt.Println("\n== the superlinear headline ==")
+	fmt.Println("fix the B=1 instance (every pair of worms shares an edge),")
+	fmt.Println("then give the router more virtual channels:")
+	adv := wormhole.BuildAdversary(wormhole.AdversaryParams{
+		B: 1, TargetD: d, TargetC: c, L: 3 * d,
+	})
+	prob := wormhole.NewProblem("adversary(B=1)", adv.Set)
+	base := 0
+	for _, b := range []int{1, 2, 3, 4, 6} {
+		greedy := prob.RouteGreedy(wormhole.GreedyOptions{B: b, Policy: wormhole.ArbAge})
+		_, sched, err := prob.RouteScheduled(wormhole.ScheduleOptions{B: b, Seed: 9})
+		if err != nil {
+			panic(err)
+		}
+		best := greedy.Steps
+		if sched.Steps < best {
+			best = sched.Steps
+		}
+		if b == 1 {
+			base = best
+		}
+		sp := float64(base) / float64(best)
+		fmt.Printf("  B=%d: best makespan %6d   speedup %5.2fx   per channel %.2fx\n",
+			b, best, sp, sp/float64(b))
+	}
+	fmt.Println("\nper-channel payoff above 1.0 = superlinear benefit, the")
+	fmt.Println("phenomenon Theorems 2.1.6 + 2.2.1 prove is real and maximal.")
+}

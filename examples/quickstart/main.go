@@ -1,0 +1,49 @@
+// Quickstart: route a random 8-relation across a 256-input butterfly and
+// watch what virtual channels buy you.
+//
+// The program routes the same workload greedily with B = 1, 2, 4, 8
+// virtual channels per physical channel, then builds and verifies the
+// Theorem 2.1.6 offline schedule for the same B values, printing makespans
+// side by side.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"wormhole"
+)
+
+func main() {
+	const (
+		n    = 256 // butterfly inputs
+		q    = 8   // messages per input (q-relation)
+		l    = 32  // flits per message
+		seed = 42
+	)
+	prob := wormhole.ButterflyQRelation(n, q, l, seed)
+	fmt.Printf("workload: %s\n", prob.Label)
+	fmt.Printf("congestion C=%d, dilation D=%d, length L=%d, %d messages\n\n",
+		prob.C, prob.D, prob.L, prob.Set.Len())
+
+	fmt.Println("B   greedy(steps)  stalls   scheduled(steps)  classes  bound")
+	for _, b := range []int{1, 2, 4, 8} {
+		greedy := prob.RouteGreedy(wormhole.GreedyOptions{B: b, Policy: wormhole.ArbAge})
+		if !greedy.AllDelivered() {
+			panic(fmt.Sprintf("greedy B=%d failed to deliver", b))
+		}
+		sched, ver, err := prob.RouteScheduled(wormhole.ScheduleOptions{B: b, Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-3d %-14d %-8d %-17d %-8d %.0f\n",
+			b, greedy.Steps, greedy.TotalStalls, ver.Steps, sched.NumClasses,
+			wormhole.UpperBound216(prob.L, prob.C, prob.D, b))
+	}
+
+	fmt.Println("\nThe greedy makespan and the verified schedule both fall")
+	fmt.Println("faster than 1/B — the paper's superlinear benefit. The")
+	fmt.Println("schedule is conflict-free: note the zero-stall guarantee")
+	fmt.Println("(greedy stalls vanish as B grows).")
+}

@@ -1,0 +1,49 @@
+package baseline
+
+import (
+	"math"
+
+	"wormhole/internal/butterfly"
+	"wormhole/internal/rng"
+)
+
+// CircuitResult reports a circuit-switching experiment (Koch's setting,
+// paper Section 1.3.3): each input of an n-input butterfly tries to lock
+// down a dedicated path to a random output; each edge can carry B circuits;
+// excess claimants are killed level by level.
+type CircuitResult struct {
+	Attempted int
+	Locked    int
+	Fraction  float64 // Locked / Attempted
+}
+
+// RunCircuitSwitch performs the experiment: pairs give the demands (one per
+// input for Koch's classic setting), b is the per-edge circuit capacity,
+// and survivors are chosen uniformly at each contended edge.
+//
+// Koch's theorem: with random destinations and one message per input, the
+// expected fraction locked is Θ(1/log^(1/B) n) — a superlinear benefit of
+// increasing B, the observation this paper extends to wormhole routing.
+func RunCircuitSwitch(n, b int, pairs []butterfly.ColPair, r *rng.Source) CircuitResult {
+	survivors := butterfly.RunLockstepOnePass(n, b, pairs, butterfly.ArbRandom, r)
+	res := CircuitResult{Attempted: len(pairs), Locked: len(survivors)}
+	if res.Attempted > 0 {
+		res.Fraction = float64(res.Locked) / float64(res.Attempted)
+	}
+	return res
+}
+
+// KochPredictedFraction evaluates Koch's Θ(1/log^(1/B) n) success-fraction
+// shape (without its hidden constant).
+func KochPredictedFraction(n, b int) float64 {
+	ln := log2f(n)
+	return 1 / math.Pow(ln, 1/float64(b))
+}
+
+func log2f(n int) float64 {
+	k := 0
+	for v := n; v > 1; v >>= 1 {
+		k++
+	}
+	return float64(k)
+}

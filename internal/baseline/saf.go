@@ -1,0 +1,163 @@
+// Package baseline implements the routing methods the paper compares
+// wormhole-with-virtual-channels against: store-and-forward routing
+// (Section 1's O(L(C+D))-flit-step contender), virtual cut-through routing
+// with B-flit buffers (Section 1.4's linear-speedup contender), and Koch's
+// circuit switching on the butterfly (the origin of the superlinear
+// observation).
+package baseline
+
+import (
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+)
+
+// SAFConfig parameterizes the store-and-forward simulator.
+type SAFConfig struct {
+	// RandomDelayBound, when positive, delays each message's injection by
+	// a uniform value in [0, bound) — the classic Leighton–Maggs–Rao
+	// randomization that smooths congestion. 0 injects everything at 0.
+	RandomDelayBound int
+	// Seed drives the random delays and tie-breaking.
+	Seed uint64
+	// MaxSteps bounds the run (0 = derive from workload).
+	MaxSteps int
+}
+
+// SAFResult reports a store-and-forward run. Time is counted in message
+// steps (one message crosses one edge per step); FlitSteps = L·Steps per
+// the paper's conversion.
+type SAFResult struct {
+	Steps     int
+	FlitSteps int
+	Delivered int
+	MaxQueue  int // peak number of messages buffered at any node
+}
+
+// RunStoreAndForward simulates greedy FIFO store-and-forward routing: each
+// message occupies a whole-node buffer, and in every message step each edge
+// transmits the longest-waiting message queued at its tail that wants it
+// (ties by message ID). Buffers are unbounded; the observed peak occupancy
+// is reported so experiments can compare buffer budgets against wormhole
+// routers (the paper's point: SAF needs Ω(L)-flit buffers).
+func RunStoreAndForward(s *message.Set, cfg SAFConfig) SAFResult {
+	n := s.Len()
+	r := rng.New(cfg.Seed)
+
+	type msgState struct {
+		hop     int // edges already crossed
+		ready   int // message step at which it may move next
+		done    bool
+		atNode  graph.NodeID
+		path    graph.Path
+		release int
+	}
+	ms := make([]msgState, n)
+	work := 0
+	for i := 0; i < n; i++ {
+		m := s.Get(message.ID(i))
+		rel := 0
+		if cfg.RandomDelayBound > 0 {
+			rel = r.Intn(cfg.RandomDelayBound)
+		}
+		ms[i] = msgState{atNode: m.Src, path: m.Path, release: rel, ready: rel}
+		work += len(m.Path) + 1
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = work + cfg.RandomDelayBound + n + 16
+	}
+
+	// Node occupancy for MaxQueue accounting.
+	queue := make([]int, s.G.NumNodes())
+	for i := range ms {
+		queue[ms[i].atNode]++
+	}
+	maxQueue := 0
+	for _, q := range queue {
+		if q > maxQueue {
+			maxQueue = q
+		}
+	}
+
+	remaining := 0
+	for i := range ms {
+		if len(ms[i].path) == 0 {
+			ms[i].done = true
+		} else {
+			remaining++
+		}
+	}
+
+	res := SAFResult{MaxQueue: maxQueue}
+	step := 0
+	type claim struct {
+		wait int // ready time (earlier = longer waiting)
+		id   int
+	}
+	for remaining > 0 {
+		if step >= maxSteps {
+			break
+		}
+		// Collect the best claimant per edge.
+		claims := make(map[graph.EdgeID]claim)
+		for i := range ms {
+			st := &ms[i]
+			if st.done || st.ready > step {
+				continue
+			}
+			e := st.path[st.hop]
+			c, ok := claims[e]
+			if !ok || st.ready < c.wait || (st.ready == c.wait && i < c.id) {
+				claims[e] = claim{wait: st.ready, id: i}
+			}
+		}
+		if len(claims) == 0 {
+			// Everything is waiting on random delays; skip ahead.
+			next := -1
+			for i := range ms {
+				if !ms[i].done && (next < 0 || ms[i].ready < next) {
+					next = ms[i].ready
+				}
+			}
+			if next <= step {
+				break // no claims yet nothing waiting: done or stuck
+			}
+			step = next
+			continue
+		}
+		// Move the winners.
+		for e, c := range claims {
+			st := &ms[c.id]
+			queue[st.atNode]--
+			st.atNode = s.G.Edge(e).Head
+			st.hop++
+			st.ready = step + 1
+			if st.hop == len(st.path) {
+				st.done = true
+				res.Delivered++
+				remaining--
+				if step+1 > res.Steps {
+					res.Steps = step + 1
+				}
+			} else {
+				queue[st.atNode]++
+				if queue[st.atNode] > res.MaxQueue {
+					res.MaxQueue = queue[st.atNode]
+				}
+			}
+		}
+		step++
+	}
+	for i := range ms {
+		if len(ms[i].path) == 0 {
+			res.Delivered++
+		}
+	}
+	res.FlitSteps = res.Steps * s.MaxLength()
+	return res
+}
+
+// SAFFlitBufferBudget returns the per-node flit-buffer requirement of the
+// store-and-forward router on this workload: peak queue × L flits.
+func SAFFlitBufferBudget(res SAFResult, l int) int { return res.MaxQueue * l }

@@ -1,0 +1,51 @@
+package butterfly
+
+import (
+	"sync"
+
+	"wormhole/internal/rng"
+	"wormhole/internal/topology"
+	"wormhole/internal/vcsim"
+)
+
+// twoPassCache memoizes unrolled two-pass butterfly graphs by size: the
+// flit-level engine builds one per n and reuses it across subrounds and
+// rounds (the graph is immutable once built).
+var twoPassCache sync.Map // int → *topology.TwoPassButterfly
+
+func cachedTwoPass(n int) *topology.TwoPassButterfly {
+	if v, ok := twoPassCache.Load(n); ok {
+		return v.(*topology.TwoPassButterfly)
+	}
+	tp := topology.NewTwoPassButterfly(n)
+	actual, _ := twoPassCache.LoadOrStore(n, tp)
+	return actual.(*topology.TwoPassButterfly)
+}
+
+// runFlitLevelSubround executes one subround on the full flit-level
+// simulator: all worms injected at time 0 into the unrolled two-pass
+// butterfly with drop-on-delay, B virtual channels, and the requested
+// arbitration. It returns surviving indices in ascending order,
+// matching RunLockstepSubround's contract.
+func runFlitLevelSubround(n, b, l int, routes []TwoPassRoute, arb Arb, r *rng.Source) []int {
+	tp := cachedTwoPass(n)
+	set := TwoPassPathEndpoints(tp, routes, l)
+	cfg := vcsim.Config{
+		VirtualChannels: b,
+		DropOnDelay:     true,
+	}
+	switch arb {
+	case ArbFirst:
+		cfg.Arbitration = vcsim.ArbByID
+	case ArbRandom:
+		cfg.Arbitration = vcsim.ArbRandom
+		cfg.Seed = r.Uint64()
+	}
+	res := vcsim.Run(set, nil, cfg)
+	ids := res.DeliveredIDs()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"wormhole/internal/butterfly"
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/routeopt"
+	"wormhole/internal/schedule"
+	"wormhole/internal/stats"
+	"wormhole/internal/topology"
+	"wormhole/internal/vcsim"
+)
+
+// A1Arbitration measures whether the one-pass lower-bound shape (T4)
+// depends on the router's arbitration policy.
+func A1Arbitration(cfg Config) []*stats.Table {
+	n, q := 256, 8
+	if cfg.Quick {
+		n, q = 64, 6
+	}
+	l := topology.Log2(n)
+	bf := topology.NewButterfly(n)
+	r := rng.New(cfg.Seed)
+	pairs := butterfly.RandomDestinations(n, q, r)
+
+	t := stats.NewTable(
+		"A1 — ablation: arbitration policy on greedy one-pass routing",
+		"policy", "B", "steps", "stalls")
+	for _, b := range []int{1, 2, 4} {
+		for _, pol := range []vcsim.Policy{vcsim.ArbByID, vcsim.ArbRandom, vcsim.ArbAge} {
+			res := butterfly.RunOnePass(bf, pairs, l, b, pol, cfg.Seed)
+			t.AddRow(pol.String(), b, res.Steps, res.TotalStalls)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// A2Resample compares whole-refinement rejection sampling with
+// violated-class-only (Moser–Tardos style) resampling in the LLL
+// scheduler.
+func A2Resample(cfg Config) []*stats.Table {
+	p := ButterflyQRelation(64, 8, 24, cfg.Seed)
+	if !cfg.Quick {
+		p = ButterflyQRelation(256, 16, 48, cfg.Seed)
+	}
+	t := stats.NewTable(
+		"A2 — ablation: resampling granularity in the LLL scheduler",
+		"mode", "B", "classes", "attempts", "escalated")
+	for _, b := range []int{1, 2, 4} {
+		for _, whole := range []bool{false, true} {
+			sched, err := schedule.Build(p.Set, schedule.Options{
+				B:             b,
+				ConstantScale: DefaultConstantScale,
+				ResampleWhole: whole,
+			}, rng.New(cfg.Seed))
+			if err != nil {
+				panic(fmt.Sprintf("A2: %v", err))
+			}
+			attempts, escalated := 0, false
+			for _, st := range sched.Steps {
+				attempts += st.Attempts
+				escalated = escalated || st.Escalated
+			}
+			mode := "violated-only"
+			if whole {
+				mode = "whole"
+			}
+			t.AddRow(mode, b, sched.NumClasses, attempts, escalated)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// A3Drop compares drop-on-delay against blocking within a single subround
+// batch: dropping loses messages but finishes in exactly 2·log n + L − 1
+// steps; blocking delivers everything but stretches the makespan.
+func A3Drop(cfg Config) []*stats.Table {
+	n, q := 64, 8
+	if !cfg.Quick {
+		n, q = 256, 8
+	}
+	k := topology.Log2(n)
+	l := k
+	tp := topology.NewTwoPassButterfly(n)
+	r := rng.New(cfg.Seed)
+
+	routes := make([]butterfly.TwoPassRoute, 0, n*q)
+	for src := 0; src < n; src++ {
+		for j := 0; j < q; j++ {
+			routes = append(routes, butterfly.TwoPassRoute{
+				Src: src, Mid: r.Intn(n), Dst: r.Intn(n),
+			})
+		}
+	}
+	set := butterfly.TwoPassPathEndpoints(tp, routes, l)
+
+	t := stats.NewTable(
+		"A3 — ablation: drop-on-delay vs blocking for one subround batch",
+		"mode", "B", "delivered", "dropped", "steps")
+	for _, b := range []int{1, 2, 4} {
+		drop := vcsim.Run(set, nil, vcsim.Config{
+			VirtualChannels: b, DropOnDelay: true, Arbitration: vcsim.ArbRandom, Seed: cfg.Seed,
+		})
+		t.AddRow("drop-on-delay", b, drop.Delivered, drop.Dropped, drop.Steps)
+		block := vcsim.Run(set, nil, vcsim.Config{
+			VirtualChannels: b, Arbitration: vcsim.ArbRandom, Seed: cfg.Seed,
+		})
+		t.AddRow("blocking", b, block.Delivered, block.Dropped, block.Steps)
+	}
+	return []*stats.Table{t}
+}
+
+// A4Passes compares one-pass and two-pass routing at equal hardware on a
+// worst-case permutation: Valiant's random intermediate destinations
+// spread the bit-reversal hotspot.
+func A4Passes(cfg Config) []*stats.Table {
+	n := 64
+	if !cfg.Quick {
+		n = 256
+	}
+	r := rng.New(cfg.Seed)
+
+	// Bit-reversal: the classic adversarial permutation for bit-fixing.
+	pairs := make([]butterfly.ColPair, n)
+	k := topology.Log2(n)
+	for w := 0; w < n; w++ {
+		rev := 0
+		for b := 0; b < k; b++ {
+			if w&(1<<b) != 0 {
+				rev |= 1 << (k - 1 - b)
+			}
+		}
+		pairs[w] = butterfly.ColPair{Src: w, Dst: rev}
+	}
+
+	t := stats.NewTable(
+		"A4 — ablation: one-pass vs two-pass delivery on bit-reversal",
+		"mode", "B", "survivors", "fraction")
+	for _, b := range []int{1, 2, 4} {
+		one := butterfly.RunLockstepOnePass(n, b, pairs, butterfly.ArbRandom, r)
+		t.AddRow("one-pass", b, len(one), float64(len(one))/float64(n))
+		routes := make([]butterfly.TwoPassRoute, n)
+		for i, p := range pairs {
+			routes[i] = butterfly.TwoPassRoute{Src: p.Src, Mid: r.Intn(n), Dst: p.Dst}
+		}
+		two := butterfly.RunLockstepSubround(n, b, routes, butterfly.ArbRandom, r)
+		t.AddRow("two-pass", b, len(two), float64(len(two))/float64(n))
+	}
+	return []*stats.Table{t}
+}
+
+// A5PathSelection measures the end-to-end effect of congestion-aware
+// path selection (the Srinivasan–Teo theme the paper cites): lower C
+// feeds straight through the Theorem 2.1.6 scheduler into shorter
+// verified schedules.
+func A5PathSelection(cfg Config) []*stats.Table {
+	side := 8
+	msgs := 96
+	if !cfg.Quick {
+		side = 16
+		msgs = 512
+	}
+	m := topology.NewMesh(side, side)
+	r := rng.New(cfg.Seed)
+	// Skewed traffic: half the messages target one column, half uniform.
+	var pairs []message.Endpoints
+	for i := 0; i < msgs; i++ {
+		src := graph.NodeID(r.Intn(side * side))
+		var dst graph.NodeID
+		if i%2 == 0 {
+			dst = m.Node(side-1, r.Intn(side))
+		} else {
+			dst = graph.NodeID(r.Intn(side * side))
+		}
+		if src == dst {
+			continue
+		}
+		pairs = append(pairs, message.Endpoints{Src: src, Dst: dst})
+	}
+	l := 2 * side
+
+	t := stats.NewTable(
+		"A5 — ablation: path selection feeding the Theorem 2.1.6 scheduler",
+		"selector", "C", "D", "classes", "verified makespan")
+	addRow := func(name string, set *message.Set) {
+		p := NewProblem(name, set)
+		sched, res, err := p.RouteScheduled(ScheduleOptions{B: 2, Seed: cfg.Seed})
+		if err != nil {
+			panic(fmt.Sprintf("A5 %s: %v", name, err))
+		}
+		t.AddRow(name, p.C, p.D, sched.NumClasses, res.Steps)
+	}
+
+	addRow("BFS shortest paths", message.Build(m.G, pairs, l, message.ShortestPathRouter(m.G)))
+	addRow("greedy min-max", routeopt.GreedyMinMax(m.G, pairs, l, routeopt.Options{}))
+	rebalanced := message.Build(m.G, pairs, l, message.ShortestPathRouter(m.G))
+	routeopt.Rebalance(rebalanced, routeopt.Options{}, 0)
+	addRow("BFS + rebalance", rebalanced)
+	return []*stats.Table{t}
+}
+
+func init() {
+	register(Experiment{ID: "A1", Title: "Ablation — arbitration policy", Run: A1Arbitration})
+	register(Experiment{ID: "A2", Title: "Ablation — LLL resampling granularity", Run: A2Resample})
+	register(Experiment{ID: "A3", Title: "Ablation — drop-on-delay vs blocking", Run: A3Drop})
+	register(Experiment{ID: "A4", Title: "Ablation — one-pass vs two-pass", Run: A4Passes})
+	register(Experiment{ID: "A5", Title: "Ablation — congestion-aware path selection", Run: A5PathSelection})
+}

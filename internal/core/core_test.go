@@ -1,0 +1,312 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wormhole/internal/vcsim"
+)
+
+var quickCfg = Config{Seed: 11, Quick: true}
+
+func TestWorkloadBuilders(t *testing.T) {
+	p := ButterflyQRelation(32, 4, 16, 1)
+	if p.Set.Len() != 128 {
+		t.Errorf("q-relation messages = %d", p.Set.Len())
+	}
+	if p.D != 5 {
+		t.Errorf("butterfly(32) dilation = %d, want log n = 5", p.D)
+	}
+	if p.C < 4 {
+		t.Errorf("congestion %d below q", p.C)
+	}
+	if p.L != 16 {
+		t.Error("L")
+	}
+
+	p = ButterflyRandom(32, 3, 8, 2)
+	if p.Set.Len() != 96 || p.D != 5 {
+		t.Error("butterfly random workload")
+	}
+
+	p = MeshTranspose(4, 8)
+	if p.Set.Len() != 12 {
+		t.Errorf("transpose messages = %d, want 12", p.Set.Len())
+	}
+
+	p = RandomRegularWorkload(64, 3, 100, 8, 3)
+	if p.Set.Len() != 100 || p.D < 1 {
+		t.Error("random regular workload")
+	}
+
+	p = LinearHotspot(10, 5, 8)
+	if p.C != 10 || p.D != 5 {
+		t.Errorf("hotspot C=%d D=%d", p.C, p.D)
+	}
+}
+
+func TestRouteGreedyAndScheduled(t *testing.T) {
+	p := ButterflyQRelation(32, 4, 12, 5)
+	greedy := p.RouteGreedy(GreedyOptions{B: 2, Policy: vcsim.ArbAge})
+	if !greedy.AllDelivered() {
+		t.Fatal("greedy undelivered")
+	}
+	sched, ver, err := p.RouteScheduled(ScheduleOptions{B: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver.TotalStalls != 0 {
+		t.Error("scheduled run stalled")
+	}
+	if sched.NumClasses < 1 {
+		t.Error("no classes")
+	}
+	// Restricted + spacing variant also delivers.
+	_, rres, err := p.RouteScheduled(ScheduleOptions{B: 2, Seed: 5, Restricted: true, SpacingFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rres.AllDelivered() {
+		t.Error("restricted scheduled run undelivered")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"A1", "A2", "A3", "A4", "A5", "F1", "F2", "T1", "T10", "T11", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" {
+			t.Errorf("%s: empty title", e.ID)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("T99", quickCfg); err == nil {
+		t.Error("unknown ID must error")
+	}
+}
+
+// TestAllExperimentsRunQuick is the harness integration test: every
+// experiment must complete in Quick mode and produce non-empty tables.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := Run(e.ID, quickCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if tab.NumRows() == 0 {
+					t.Errorf("%s: empty table:\n%s", e.ID, tab)
+				}
+				if !strings.Contains(tab.String(), "—") {
+					t.Errorf("%s: table missing title", e.ID)
+				}
+			}
+		})
+	}
+}
+
+// --- per-experiment shape assertions -----------------------------------------
+
+func TestT1SuperlinearShape(t *testing.T) {
+	rows := T1ScheduleLength(quickCfg)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.B == 1 {
+			if r.Speedup != 1 {
+				t.Errorf("%s B=1 speedup = %v", r.Workload, r.Speedup)
+			}
+			continue
+		}
+		// The LLL schedule must improve superlinearly: speedup > B.
+		if r.Superlin <= 1 {
+			t.Errorf("%s B=%d: speedup/B = %v ≤ 1 (classes %d)", r.Workload, r.B, r.Superlin, r.Classes)
+		}
+	}
+}
+
+func TestT2FloorsHold(t *testing.T) {
+	for _, r := range T2LowerBound(quickCfg) {
+		if !r.GreedyOK || !r.SchedOK {
+			t.Errorf("B=%d: a measured run beat the impossible floor (greedy %v sched %v)",
+				r.B, r.GreedyOK, r.SchedOK)
+		}
+		if r.FloorRatio < 1 {
+			t.Errorf("B=%d: floor ratio %v < 1", r.B, r.FloorRatio)
+		}
+	}
+}
+
+func TestT2SuperlinearAtHighB(t *testing.T) {
+	rows := T2Superlinear(quickCfg)
+	last := rows[len(rows)-1]
+	if last.Speedup < float64(last.VCs) {
+		t.Errorf("B=%d on the fixed adversary: speedup %v below linear", last.VCs, last.Speedup)
+	}
+	// Makespan must be non-increasing in B.
+	prev := 1 << 30
+	for _, r := range rows {
+		if r.Best > prev {
+			t.Errorf("B=%d best %d worse than previous %d", r.VCs, r.Best, prev)
+		}
+		prev = r.Best
+	}
+}
+
+func TestT3AllDelivered(t *testing.T) {
+	for _, r := range T3QRelation(quickCfg) {
+		if r.Delivered < 1 {
+			t.Errorf("n=%d q=%d B=%d: delivered fraction %v", r.N, r.Q, r.B, r.Delivered)
+		}
+		if r.B > 1 && r.Speedup <= 1 {
+			t.Errorf("B=%d: no speedup (%v)", r.B, r.Speedup)
+		}
+	}
+}
+
+func TestT4StepsFallWithB(t *testing.T) {
+	rows := T4OnePass(quickCfg)
+	var prev float64 = 1 << 30
+	for _, r := range rows {
+		if r.Steps > prev {
+			t.Errorf("B=%d: one-pass steps %v rose from %v", r.B, r.Steps, prev)
+		}
+		prev = r.Steps
+	}
+}
+
+func TestT5Relationships(t *testing.T) {
+	rows := T5RouterComparison(quickCfg)
+	byMethod := map[string]T5Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if !r.Delivered {
+			t.Errorf("%s failed to deliver", r.Method)
+		}
+	}
+	saf := byMethod["store-and-forward greedy"]
+	wh1 := byMethod["wormhole LLL-scheduled B=1"]
+	// The paper's Section 1.4 point: SAF beats scheduled wormhole at
+	// B = 1, but needs a much larger buffer budget.
+	if saf.FlitSteps >= wh1.FlitSteps {
+		t.Errorf("SAF (%d) should beat scheduled wormhole B=1 (%d) per Section 1.4",
+			saf.FlitSteps, wh1.FlitSteps)
+	}
+	if saf.BufFlits <= wh1.BufFlits {
+		t.Errorf("SAF buffer budget (%d) should exceed wormhole's (%d)",
+			saf.BufFlits, wh1.BufFlits)
+	}
+}
+
+func TestT9WaksmanOptimal(t *testing.T) {
+	for _, r := range T9Waksman(quickCfg) {
+		if !r.WaksmanOpt {
+			t.Errorf("n=%d L=%d: Beneš routing not stall-free optimal (steps %d, stalls %d)",
+				r.N, r.L, r.Waksman, r.Stalls)
+		}
+		if r.SpeedupVsBF < 1 {
+			t.Errorf("n=%d: greedy butterfly should not beat edge-disjoint Waksman (%v)", r.N, r.SpeedupVsBF)
+		}
+	}
+}
+
+func TestT10LatencyRisesWithRate(t *testing.T) {
+	rows := T10Continuous(quickCfg)
+	byB := map[int][]T10Row{}
+	for _, r := range rows {
+		byB[r.B] = append(byB[r.B], r)
+	}
+	for b, rs := range byB {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].MeanLat < rs[i-1].MeanLat*0.8 {
+				t.Errorf("B=%d: latency fell sharply with rate (%v → %v)",
+					b, rs[i-1].MeanLat, rs[i].MeanLat)
+			}
+		}
+	}
+	// More channels must not hurt at equal rate.
+	if len(byB) >= 2 {
+		lo, hi := byB[1], byB[4]
+		if len(lo) == len(hi) {
+			for i := range lo {
+				if hi[i].MeanLat > lo[i].MeanLat*1.2+2 {
+					t.Errorf("rate %v: B=4 latency %v worse than B=1 %v",
+						lo[i].Rate, hi[i].MeanLat, lo[i].MeanLat)
+				}
+			}
+		}
+	}
+}
+
+func TestT11DisciplineSeparation(t *testing.T) {
+	for _, r := range T11DallySeitz(quickCfg) {
+		switch r.Discipline {
+		case "dateline 2 classes":
+			if !r.DepAcyclic {
+				t.Errorf("dateline dependency graph must be acyclic (waves %d)", r.Waves)
+			}
+			if r.Deadlocked || r.Delivered != r.Messages {
+				t.Errorf("dateline must deliver everything (waves %d): deadlock=%v %d/%d",
+					r.Waves, r.Deadlocked, r.Delivered, r.Messages)
+			}
+		case "plain B=1":
+			if !r.Deadlocked {
+				t.Errorf("plain ring should deadlock (waves %d)", r.Waves)
+			}
+		case "anonymous B=2":
+			if r.Waves == 0 && r.Deadlocked {
+				t.Error("anonymous B=2 should survive the sparse load")
+			}
+			if r.Waves >= 1 && !r.Deadlocked {
+				t.Errorf("anonymous B=2 should deadlock under full pressure (waves %d)", r.Waves)
+			}
+		}
+	}
+}
+
+func TestT7FractionMonotoneInB(t *testing.T) {
+	rows := T7CircuitSwitch(quickCfg)
+	byN := map[int][]T7Row{}
+	for _, r := range rows {
+		byN[r.N] = append(byN[r.N], r)
+	}
+	for n, rs := range byN {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Fraction < rs[i-1].Fraction {
+				t.Errorf("n=%d: fraction fell from B=%d to B=%d (%v → %v)",
+					n, rs[i-1].B, rs[i].B, rs[i-1].Fraction, rs[i].Fraction)
+			}
+		}
+	}
+}
+
+func TestT8EmulationFactor(t *testing.T) {
+	for _, r := range T8RestrictedModel(quickCfg) {
+		// Restricted runs can never beat the full VC model.
+		if r.RestrSteps < r.VCSteps {
+			t.Errorf("B=%d: restricted (%d) faster than VC model (%d)", r.B, r.RestrSteps, r.VCSteps)
+		}
+		// The emulation overhead is at most ≈ B (paper's remark).
+		if r.EmuFactor > float64(r.B)+1 {
+			t.Errorf("B=%d: emulation factor %v far above B", r.B, r.EmuFactor)
+		}
+		// Buffering alone still helps: gain grows with B.
+		if r.B > 1 && r.BufferGain <= 1 {
+			t.Errorf("B=%d: no buffering-only gain (%v)", r.B, r.BufferGain)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wormhole/internal/stats"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+	// Quick shrinks sweeps to test-suite scale; full scale reproduces the
+	// EXPERIMENTS.md numbers.
+	Quick bool
+	// Trials averages randomized measurements (0 = per-experiment
+	// default).
+	Trials int
+}
+
+func (c Config) trials(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return def
+}
+
+// Experiment is a runnable reproduction unit keyed by DESIGN.md IDs.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) []*stats.Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate experiment %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Experiments lists the registered experiments in ID order.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) ([]*stats.Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown experiment %q (have %v)", id, ids())
+	}
+	return e.Run(cfg), nil
+}
+
+func ids() []string {
+	var out []string
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"wormhole/internal/analysis"
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/stats"
+	"wormhole/internal/topology"
+)
+
+// F1Butterfly validates and describes the Figure 1 topology: the 8-input
+// butterfly (and larger sizes), checking the structural identities of
+// Section 1.2 — n(log n + 1) nodes, 2n·log n edges, out-degree 2 above the
+// outputs, and the uniqueness of bit-fixing paths.
+func F1Butterfly(cfg Config) []*stats.Table {
+	ns := []int{8, 64, 256}
+	if cfg.Quick {
+		ns = []int{8, 64}
+	}
+	t := stats.NewTable(
+		"F1 — Figure 1: butterfly structure (n inputs, log n + 1 levels)",
+		"n", "nodes", "edges", "levels", "diameter", "leveled DAG", "unique paths")
+	for _, n := range ns {
+		bf := topology.NewButterfly(n)
+		k := bf.Levels
+		unique := butterflyPathsUnique(bf, cfg.Seed)
+		t.AddRow(n, bf.G.NumNodes(), bf.G.NumEdges(), k+1,
+			graph.Diameter(bf.G), graph.IsDAG(bf.G), unique)
+	}
+	return []*stats.Table{t}
+}
+
+// butterflyPathsUnique spot-checks that Route returns the only input→output
+// path (the butterfly has exactly one).
+func butterflyPathsUnique(bf *topology.Butterfly, seed uint64) bool {
+	r := rng.New(seed)
+	for trial := 0; trial < 8; trial++ {
+		src := r.Intn(bf.Inputs)
+		dst := r.Intn(bf.Inputs)
+		p := bf.Route(src, dst)
+		if len(p) != bf.Levels {
+			return false
+		}
+		sp, ok := graph.ShortestPath(bf.G, bf.Input(src), bf.Output(dst))
+		if !ok || len(sp) != len(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// F2TwoPass traces the Figure 2 routing pattern: a message's two passes
+// through the butterfly via a random intermediate column, and summarizes
+// congestion/dilation of a two-pass workload.
+func F2TwoPass(cfg Config) []*stats.Table {
+	n := 8
+	tp := topology.NewTwoPassButterfly(n)
+	r := rng.New(cfg.Seed)
+
+	trace := stats.NewTable(
+		"F2 — Figure 2: a message's two passes (column at each level)",
+		"message", "src", "mid", "dst", "column trace (level 0..2log n)")
+	for i := 0; i < 4; i++ {
+		src, dst := r.Intn(n), r.Intn(n)
+		path, mid := tp.RandomRoute(src, dst, r)
+		cols := fmt.Sprint(columnsAlong(tp, path, src))
+		trace.AddRow(fmt.Sprintf("p%d", i), src, mid, dst, cols)
+	}
+
+	// Aggregate: a full two-pass permutation workload's C and D.
+	set := message.NewSet(tp.G)
+	l := topology.Log2(n)
+	for src, dst := range r.Perm(n) {
+		p, _ := tp.RandomRoute(src, dst, r)
+		set.Add(tp.Input(src), tp.Output(dst), l, p)
+	}
+	agg := stats.NewTable(
+		"F2 — two-pass workload parameters",
+		"n", "messages", "C", "D", "edge-simple", "dependency acyclic")
+	agg.AddRow(n, set.Len(), analysis.Congestion(set), analysis.Dilation(set),
+		set.EdgeSimple(), analysis.ChannelDependencyAcyclic(set))
+	return []*stats.Table{trace, agg}
+}
+
+// columnsAlong lists the column of each node visited by a two-pass path.
+func columnsAlong(tp *topology.TwoPassButterfly, p graph.Path, srcCol int) []int {
+	cols := []int{srcCol}
+	for _, e := range p {
+		cols = append(cols, tp.Column(tp.G.Edge(e).Head))
+	}
+	return cols
+}
+
+func init() {
+	register(Experiment{
+		ID:    "F1",
+		Title: "Figure 1 — butterfly topology",
+		Run:   F1Butterfly,
+	})
+	register(Experiment{
+		ID:    "F2",
+		Title: "Figure 2 — two-pass routing",
+		Run:   F2TwoPass,
+	})
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"wormhole/internal/schedule"
+	"wormhole/internal/stats"
+)
+
+// T1Row is one measurement of the Theorem 2.1.6 experiment: an LLL
+// schedule built and executed for one (workload, B) cell.
+type T1Row struct {
+	Workload   string
+	C, D, L, B int
+	Classes    int
+	Makespan   int     // verified simulated makespan, flit steps
+	Bound      float64 // Theorem 2.1.6 form
+	Speedup    float64 // makespan(B=1)/makespan(B)
+	Predicted  float64 // bound(B=1)/bound(B)
+	Superlin   float64 // Speedup / B  (> 1 ⇒ superlinear)
+}
+
+// T1ScheduleLength measures how the Theorem 2.1.6 schedule length falls as
+// B grows, on the sweep workloads, and compares the measured speedup with
+// the predicted superlinear C(D log D)^(1/B)/B shape.
+func T1ScheduleLength(cfg Config) []T1Row {
+	probs := t1Workloads(cfg)
+	bs := []int{1, 2, 3, 4, 6}
+	if cfg.Quick {
+		bs = []int{1, 2, 4}
+	}
+	var rows []T1Row
+	for _, p := range probs {
+		base := 0
+		for _, b := range bs {
+			sched, res, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
+			if err != nil {
+				panic(fmt.Sprintf("T1: %s B=%d: %v", p.Label, b, err))
+			}
+			if b == bs[0] {
+				base = res.Steps
+			}
+			row := T1Row{
+				Workload: p.Label,
+				C:        p.C, D: p.D, L: p.L, B: b,
+				Classes:  sched.NumClasses,
+				Makespan: res.Steps,
+				Bound:    schedule.UpperBound216(p.L, p.C, p.D, b),
+			}
+			row.Speedup = stats.Ratio(float64(base), float64(res.Steps))
+			row.Predicted = stats.Ratio(
+				schedule.UpperBound216(p.L, p.C, p.D, bs[0]),
+				row.Bound)
+			row.Superlin = row.Speedup / float64(b)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func t1Workloads(cfg Config) []*Problem {
+	if cfg.Quick {
+		return []*Problem{
+			ButterflyQRelation(64, 8, 24, cfg.Seed),
+			RandomRegularWorkload(96, 3, 384, 24, cfg.Seed+1),
+		}
+	}
+	return []*Problem{
+		ButterflyQRelation(256, 8, 32, cfg.Seed),
+		ButterflyQRelation(256, 16, 64, cfg.Seed+1),
+		RandomRegularWorkload(256, 3, 2048, 48, cfg.Seed+2),
+		LinearHotspot(48, 24, 48),
+	}
+}
+
+func t1Table(rows []T1Row) *stats.Table {
+	t := stats.NewTable(
+		"T1 — Theorem 2.1.6: LLL schedule length vs virtual channels B",
+		"workload", "C", "D", "L", "B", "classes", "makespan", "bound",
+		"speedup", "predicted", "speedup/B")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.C, r.D, r.L, r.B, r.Classes, r.Makespan,
+			r.Bound, r.Speedup, r.Predicted, r.Superlin)
+	}
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "T1",
+		Title: "Theorem 2.1.6 — schedule length vs B (superlinear speedup)",
+		Run: func(cfg Config) []*stats.Table {
+			return []*stats.Table{t1Table(T1ScheduleLength(cfg))}
+		},
+	})
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/stats"
+	"wormhole/internal/topology"
+	"wormhole/internal/vcsim"
+)
+
+// T10Row is one cell of the continuous-injection experiment.
+type T10Row struct {
+	N, B      int
+	Rate      float64 // messages per input per flit step
+	Messages  int
+	MeanLat   float64
+	P95Lat    float64
+	Overrun   int  // makespan − last arrival − (D+L−1): queueing backlog
+	Saturated bool // overrun exceeds the horizon (rate unsustainable)
+}
+
+// T10Continuous probes the continuous-routing regime the paper cites
+// (Scheideler–Vöcking, Section 1.3.1): messages arrive at each butterfly
+// input as a Poisson process and are routed greedily. As the injection
+// rate λ rises, latency stays flat until the router saturates; the
+// sustainable rate grows with B faster than linearly, mirroring the
+// D^(1/B) factor in the cited maximum-injection-rate bound. Batch
+// theorems do not cover this regime — the experiment is contextual, not
+// a theorem reproduction.
+func T10Continuous(cfg Config) []T10Row {
+	n := 64
+	horizon := 2048
+	// Offered load per input in flits/step is rate·L; with L = log n the
+	// top rate pushes the B = 1 router past its knee.
+	rates := []float64{0.02, 0.05, 0.1, 0.15, 0.25}
+	bs := []int{1, 2, 4}
+	if cfg.Quick {
+		n = 32
+		horizon = 512
+		rates = []float64{0.02, 0.1}
+		bs = []int{1, 4}
+	}
+	l := topology.Log2(n)
+	bf := topology.NewButterfly(n)
+
+	var rows []T10Row
+	for _, b := range bs {
+		for _, rate := range rates {
+			r := rng.New(cfg.Seed + uint64(b)*1009 + uint64(rate*1e6))
+			set := message.NewSet(bf.G)
+			var releases []int
+			lastArrival := 0
+			for src := 0; src < n; src++ {
+				t := 0.0
+				for {
+					// Exponential interarrival with mean 1/rate.
+					t += -math.Log(1-r.Float64()) / rate
+					it := int(t)
+					if it >= horizon {
+						break
+					}
+					dst := r.Intn(n)
+					set.Add(bf.Input(src), bf.Output(dst), l, bf.Route(src, dst))
+					releases = append(releases, it)
+					if it > lastArrival {
+						lastArrival = it
+					}
+				}
+			}
+			if set.Len() == 0 {
+				continue
+			}
+			res := vcsim.Run(set, releases, vcsim.Config{
+				VirtualChannels: b,
+				Arbitration:     vcsim.ArbAge,
+			})
+			if !res.AllDelivered() {
+				panic("T10: open-loop run failed to drain")
+			}
+			lats := make([]float64, 0, set.Len())
+			for i := range res.PerMessage {
+				lats = append(lats, float64(res.PerMessage[i].Latency()))
+			}
+			sum := stats.Summarize(lats)
+			overrun := res.Steps - lastArrival - (l + l - 1)
+			rows = append(rows, T10Row{
+				N: n, B: b,
+				Rate:      rate,
+				Messages:  set.Len(),
+				MeanLat:   sum.Mean,
+				P95Lat:    stats.Percentile(lats, 0.95),
+				Overrun:   overrun,
+				Saturated: overrun > horizon/4,
+			})
+		}
+	}
+	return rows
+}
+
+func t10Table(rows []T10Row) *stats.Table {
+	t := stats.NewTable(
+		"T10 — continuous Poisson injection: latency vs rate vs B",
+		"n", "B", "rate/input", "messages", "mean latency", "p95 latency",
+		"drain overrun", "saturated")
+	for _, r := range rows {
+		t.AddRow(r.N, r.B, r.Rate, r.Messages, r.MeanLat, r.P95Lat,
+			r.Overrun, r.Saturated)
+	}
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "T10",
+		Title: "Section 1.3.1 context — continuous injection throughput",
+		Run: func(cfg Config) []*stats.Table {
+			return []*stats.Table{t10Table(T10Continuous(cfg))}
+		},
+	})
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"wormhole/internal/lowerbound"
+	"wormhole/internal/schedule"
+	"wormhole/internal/stats"
+	"wormhole/internal/vcsim"
+)
+
+// T2Row is one measurement of the Theorem 2.2.1 lower-bound experiment.
+type T2Row struct {
+	B          int
+	MPrime     int
+	Messages   int
+	C, D, L    int
+	Greedy     int     // greedy routing makespan on the adversarial instance
+	Scheduled  int     // LLL-scheduled makespan
+	Progress   float64 // (L−D)·M/B floor — no schedule can beat this
+	Theorem    float64 // L·C·D^(1/B)/B form
+	GreedyOK   bool    // greedy ≥ progress floor (sanity of the argument)
+	SchedOK    bool    // scheduled ≥ progress floor
+	FloorRatio float64 // best measured / progress floor (≥ 1)
+}
+
+// T2LowerBound builds the Theorem 2.2.1 adversarial network for a sweep of
+// B and congestion values, routes it with both the greedy router and the
+// LLL scheduler, and checks every measured time against the
+// progress-argument floor (L−D)·M/B.
+func T2LowerBound(cfg Config) []T2Row {
+	type cell struct{ b, cMul, d int }
+	cells := []cell{
+		{1, 1, 24}, {1, 2, 24}, {1, 4, 24},
+		{2, 1, 24}, {2, 2, 24}, {2, 4, 24},
+		{3, 1, 24}, {3, 2, 24},
+	}
+	if cfg.Quick {
+		cells = []cell{{1, 2, 16}, {2, 2, 16}, {3, 2, 16}}
+	}
+	var rows []T2Row
+	for _, c := range cells {
+		targetC := c.cMul * (c.b + 1) * 2
+		con := lowerbound.Build(lowerbound.Params{
+			B:       c.b,
+			TargetD: c.d,
+			TargetC: targetC,
+			L:       3 * c.d,
+		})
+		p := NewProblem(fmt.Sprintf("adversary(B=%d)", c.b), con.Set)
+
+		greedy := p.RouteGreedy(GreedyOptions{B: c.b, Policy: vcsim.ArbAge})
+		if !greedy.AllDelivered() || greedy.Deadlocked {
+			panic(fmt.Sprintf("T2: greedy failed on adversarial instance B=%d (deadlock=%v)", c.b, greedy.Deadlocked))
+		}
+		_, sched, err := p.RouteScheduled(ScheduleOptions{B: c.b, Seed: cfg.Seed})
+		if err != nil {
+			panic(fmt.Sprintf("T2: schedule failed: %v", err))
+		}
+
+		floor := con.ProgressBound()
+		best := greedy.Steps
+		if sched.Steps < best {
+			best = sched.Steps
+		}
+		rows = append(rows, T2Row{
+			B:        c.b,
+			MPrime:   con.MPrime,
+			Messages: con.Set.Len(),
+			C:        con.C, D: con.D, L: con.L,
+			Greedy:     greedy.Steps,
+			Scheduled:  sched.Steps,
+			Progress:   floor,
+			Theorem:    con.TheoremBound(),
+			GreedyOK:   float64(greedy.Steps) >= floor,
+			SchedOK:    float64(sched.Steps) >= floor,
+			FloorRatio: stats.Ratio(float64(best), floor),
+		})
+	}
+	return rows
+}
+
+// T2SpeedupRow measures the paper's headline claim on a fixed instance:
+// the B = 1 adversarial network forces Θ(LCD) flit steps with one virtual
+// channel, but adding virtual channels speeds routing up by more than the
+// added factor.
+type T2SpeedupRow struct {
+	VCs       int
+	Greedy    int
+	Scheduled int
+	Best      int
+	Speedup   float64 // best(B'=1)/best(B')
+	PerVC     float64 // Speedup / B' (> 1 ⇒ superlinear)
+	Predicted float64 // B'·D^(1−1/B') (paper Section 1.4)
+}
+
+// T2Superlinear routes one fixed adversarial instance (built for B = 1,
+// where every pair of messages shares an edge) with increasing numbers of
+// virtual channels and reports the measured speedup per added channel.
+func T2Superlinear(cfg Config) []T2SpeedupRow {
+	d := 24
+	if cfg.Quick {
+		d = 16
+	}
+	con := lowerbound.Build(lowerbound.Params{B: 1, TargetD: d, TargetC: 12, L: 3 * d})
+	p := NewProblem("adversary(B=1)", con.Set)
+
+	vcs := []int{1, 2, 3, 4, 6}
+	if cfg.Quick {
+		vcs = []int{1, 2, 4}
+	}
+	var rows []T2SpeedupRow
+	base := 0
+	for _, b := range vcs {
+		greedy := p.RouteGreedy(GreedyOptions{B: b, Policy: vcsim.ArbAge})
+		if !greedy.AllDelivered() {
+			panic(fmt.Sprintf("T2: greedy with %d VCs failed on fixed adversary", b))
+		}
+		_, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
+		if err != nil {
+			panic(fmt.Sprintf("T2: schedule with %d VCs failed: %v", b, err))
+		}
+		best := greedy.Steps
+		if sres.Steps < best {
+			best = sres.Steps
+		}
+		if b == vcs[0] {
+			base = best
+		}
+		speedup := stats.Ratio(float64(base), float64(best))
+		rows = append(rows, T2SpeedupRow{
+			VCs:       b,
+			Greedy:    greedy.Steps,
+			Scheduled: sres.Steps,
+			Best:      best,
+			Speedup:   speedup,
+			PerVC:     speedup / float64(b),
+			Predicted: schedule.PredictedSpeedup(p.D, b),
+		})
+	}
+	return rows
+}
+
+func t2SpeedupTable(rows []T2SpeedupRow) *stats.Table {
+	t := stats.NewTable(
+		"T2b — superlinear speedup: fixed B=1 adversary, router B swept",
+		"router B", "greedy", "scheduled", "best", "speedup", "speedup/B",
+		"predicted B·D^(1-1/B)")
+	for _, r := range rows {
+		t.AddRow(r.VCs, r.Greedy, r.Scheduled, r.Best, r.Speedup, r.PerVC, r.Predicted)
+	}
+	return t
+}
+
+func t2Table(rows []T2Row) *stats.Table {
+	t := stats.NewTable(
+		"T2 — Theorem 2.2.1: adversarial instance, every B+1 messages share an edge",
+		"B", "M'", "msgs", "C", "D", "L", "greedy", "scheduled",
+		"floor(L-D)M/B", "LCD^(1/B)/B", "best/floor")
+	for _, r := range rows {
+		t.AddRow(r.B, r.MPrime, r.Messages, r.C, r.D, r.L, r.Greedy,
+			r.Scheduled, r.Progress, r.Theorem, r.FloorRatio)
+	}
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "T2",
+		Title: "Theorem 2.2.1 — lower-bound construction & superlinear speedup",
+		Run: func(cfg Config) []*stats.Table {
+			return []*stats.Table{
+				t2Table(T2LowerBound(cfg)),
+				t2SpeedupTable(T2Superlinear(cfg)),
+			}
+		},
+	})
+}

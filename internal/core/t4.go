@@ -1,0 +1,112 @@
+package core
+
+import (
+	"wormhole/internal/butterfly"
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/stats"
+	"wormhole/internal/topology"
+	"wormhole/internal/vcsim"
+)
+
+// T4Row is one measurement of the Section 3.2 one-pass lower-bound
+// experiment.
+type T4Row struct {
+	N, Q, L, B int
+	Steps      float64 // mean greedy one-pass makespan
+	Bound      float64 // L·q·l^(1/B)/B
+	Ratio      float64 // Steps / Bound (expect Θ(1) across the sweep)
+	Collide    int     // measured collision-threshold subset size (−1 if skipped)
+	CollidePre float64 // Theorem 3.2.5 predicted size
+	MaxPhase   int     // largest phase (Theorem 3.2.6 probe)
+}
+
+// T4OnePass routes the paper's random problem (q messages per input to
+// uniform outputs) down the butterfly one-pass with greedy blocking
+// wormhole routing, and compares the measured time with the Theorem 3.2.1
+// lower-bound form. It also probes the two pillars of the proof: the
+// collision-threshold subset size (Theorem 3.2.5) and the phase partition
+// (Theorem 3.2.6).
+func T4OnePass(cfg Config) []T4Row {
+	type cell struct{ n, q int }
+	cells := []cell{{256, 8}, {1024, 10}}
+	bs := []int{1, 2, 3, 4}
+	trials := cfg.trials(3)
+	if cfg.Quick {
+		cells = []cell{{64, 6}}
+		bs = []int{1, 2, 4}
+		trials = 2
+	}
+	var rows []T4Row
+	for _, c := range cells {
+		bf := topology.NewButterfly(c.n)
+		l := topology.Log2(c.n)
+		for _, b := range bs {
+			var steps float64
+			maxPhase := 0
+			collide := -1
+			var collidePre float64
+			for t := 0; t < trials; t++ {
+				r := rng.New(cfg.Seed + uint64(t)*104729)
+				pairs := butterfly.RandomDestinations(c.n, c.q, r)
+				res := butterfly.RunOnePass(bf, pairs, l, b, vcsim.ArbByID, cfg.Seed)
+				steps += float64(res.Steps)
+				if t == 0 {
+					// Collision threshold and phase stats on the first
+					// trial only (they are expensive).
+					if c.n <= 256 || cfg.Quick {
+						collide = butterfly.CollisionThreshold(bf, pairs, l, b, 24, 0.95, r)
+					}
+					collidePre = butterfly.TheoreticalCollisionSize(c.n, c.q, l, b)
+					set := butterflySet(bf, pairs, l)
+					sim := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: b})
+					mp, _ := butterfly.PhasePartition(sim, min(l, topology.Log2(c.n)), l)
+					maxPhase = mp
+				}
+			}
+			steps /= float64(trials)
+			bound := butterfly.OnePassBound(c.n, c.q, l, b)
+			rows = append(rows, T4Row{
+				N: c.n, Q: c.q, L: l, B: b,
+				Steps:      steps,
+				Bound:      bound,
+				Ratio:      stats.Ratio(steps, bound),
+				Collide:    collide,
+				CollidePre: collidePre,
+				MaxPhase:   maxPhase,
+			})
+		}
+	}
+	return rows
+}
+
+// butterflySet materializes bit-fixing one-pass paths as a message set.
+func butterflySet(bf *topology.Butterfly, pairs []butterfly.ColPair, l int) *message.Set {
+	set := message.NewSet(bf.G)
+	for _, p := range pairs {
+		set.Add(bf.Input(p.Src), bf.Output(p.Dst), l, bf.Route(p.Src, p.Dst))
+	}
+	return set
+}
+
+func t4Table(rows []T4Row) *stats.Table {
+	t := stats.NewTable(
+		"T4 — Theorem 3.2.1: greedy one-pass routing vs the lower-bound shape",
+		"n", "q", "L", "B", "steps", "bound Lql^(1/B)/B", "steps/bound",
+		"collide-s", "collide-pred", "max-phase")
+	for _, r := range rows {
+		t.AddRow(r.N, r.Q, r.L, r.B, r.Steps, r.Bound, r.Ratio,
+			r.Collide, r.CollidePre, r.MaxPhase)
+	}
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "T4",
+		Title: "Theorem 3.2.1 — one-pass butterfly lower bound",
+		Run: func(cfg Config) []*stats.Table {
+			return []*stats.Table{t4Table(T4OnePass(cfg))}
+		},
+	})
+}

@@ -1,0 +1,122 @@
+// Package deadlock implements the Dally–Seitz virtual-channel
+// deadlock-avoidance construction that motivates the whole paper (its
+// Section 1: "the solution … is to allow each physical channel to emulate
+// several virtual channels and to construct a virtual network in which
+// the worms cannot form cycles").
+//
+// On a unidirectional ring (the base case of every torus), wormhole worms
+// that wrap around can form a cyclic buffer-wait and deadlock. Adding
+// *anonymous* virtual channels (the B-slot buffers of the rest of this
+// repository) makes deadlock rarer but cannot eliminate it: with enough
+// worms every slot of every buffer in the cycle fills. The Dally–Seitz
+// fix is structural: split each physical channel into two virtual-channel
+// *classes* and make every worm switch from class 0 to class 1 exactly
+// when it crosses a fixed "dateline" node. Class indices then decrease
+// monotonically along every route, the channel dependency graph is
+// acyclic, and greedy routing can never deadlock — regardless of load.
+//
+// The package models VC classes as parallel edges of an expanded graph
+// (one copy of each physical edge per class), which lets the standard
+// simulator and the standard dependency-graph test apply unchanged.
+package deadlock
+
+import (
+	"fmt"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+)
+
+// Ring is a unidirectional wormhole ring with per-edge virtual-channel
+// classes. Physical edge i runs from node i to node (i+1) mod N; class c
+// of that channel is the parallel edge Class[c][i].
+type Ring struct {
+	G       *graph.Graph
+	N       int // nodes
+	Classes int // virtual-channel classes per physical channel
+	// Class[c][i] is the class-c copy of physical edge i.
+	Class [][]graph.EdgeID
+	// Dateline is the node at which routes switch classes (node 0).
+	Dateline graph.NodeID
+}
+
+// NewRing builds an N-node unidirectional ring with the given number of
+// VC classes per physical channel. classes = 1 models a plain wormhole
+// ring; classes = 2 enables the dateline discipline.
+func NewRing(n, classes int) *Ring {
+	if n < 2 {
+		panic(fmt.Sprintf("deadlock: ring needs ≥ 2 nodes, got %d", n))
+	}
+	if classes < 1 {
+		panic(fmt.Sprintf("deadlock: need ≥ 1 class, got %d", classes))
+	}
+	g := graph.New(n, n*classes)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("r%d", i))
+	}
+	r := &Ring{G: g, N: n, Classes: classes, Dateline: 0}
+	r.Class = make([][]graph.EdgeID, classes)
+	for c := 0; c < classes; c++ {
+		r.Class[c] = make([]graph.EdgeID, n)
+		for i := 0; i < n; i++ {
+			r.Class[c][i] = g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+		}
+	}
+	return r
+}
+
+// Route returns the clockwise path from src to dst.
+//
+// With one class the path simply follows the ring. With two or more
+// classes it applies the Dally–Seitz dateline discipline: start on the
+// highest class and drop to the next lower class upon crossing the
+// dateline node, so no route ever re-enters a class it left — the
+// acyclicity invariant.
+func (r *Ring) Route(src, dst int) graph.Path {
+	if src < 0 || src >= r.N || dst < 0 || dst >= r.N {
+		panic("deadlock: node out of range")
+	}
+	var p graph.Path
+	class := r.Classes - 1
+	for cur := src; cur != dst; cur = (cur + 1) % r.N {
+		p = append(p, r.Class[class][cur])
+		// Crossing into the dateline node drops the class (saturating).
+		if (cur+1)%r.N == int(r.Dateline) && class > 0 {
+			class--
+		}
+	}
+	return p
+}
+
+// Workload builds the message set for k worms starting at every node,
+// each travelling `hops` edges clockwise with length l flits. This is
+// the canonical cyclic-pressure workload: for hops close to N, every
+// worm wraps and the plain ring's dependency graph is one big cycle.
+func (r *Ring) Workload(k, hops, l int) *message.Set {
+	starts := make([]int, 0, k*r.N)
+	for rep := 0; rep < k; rep++ {
+		for src := 0; src < r.N; src++ {
+			starts = append(starts, src)
+		}
+	}
+	return r.SparseWorkload(starts, hops, l)
+}
+
+// SparseWorkload builds one worm per listed start node, each travelling
+// `hops` edges clockwise with length l flits. Sparse workloads probe the
+// pressure threshold below which anonymous virtual channels still save
+// the plain ring.
+func (r *Ring) SparseWorkload(starts []int, hops, l int) *message.Set {
+	if hops < 1 || hops > r.N {
+		panic(fmt.Sprintf("deadlock: hops %d out of range [1, %d]", hops, r.N))
+	}
+	set := message.NewSet(r.G)
+	for _, src := range starts {
+		if src < 0 || src >= r.N {
+			panic(fmt.Sprintf("deadlock: start %d out of range", src))
+		}
+		dst := (src + hops) % r.N
+		set.Add(graph.NodeID(src), graph.NodeID(dst), l, r.Route(src, dst))
+	}
+	return set
+}

@@ -1,0 +1,177 @@
+package graph
+
+import "fmt"
+
+// Path is a sequence of edge IDs forming a directed walk: the head of
+// Path[i] must equal the tail of Path[i+1]. An empty path is legal and
+// denotes a message whose source equals its destination.
+type Path []EdgeID
+
+// Validate checks that p is a connected directed walk in g starting at src
+// and ending at dst. It returns a descriptive error on the first violation.
+func (p Path) Validate(g *Graph, src, dst NodeID) error {
+	if len(p) == 0 {
+		if src != dst {
+			return fmt.Errorf("graph: empty path but src %d != dst %d", src, dst)
+		}
+		return nil
+	}
+	cur := src
+	for i, id := range p {
+		if !g.HasEdge(id) {
+			return fmt.Errorf("graph: path[%d] = %d is not an edge", i, id)
+		}
+		e := g.Edge(id)
+		if e.Tail != cur {
+			return fmt.Errorf("graph: path[%d] = %d starts at %d, want %d", i, id, e.Tail, cur)
+		}
+		cur = e.Head
+	}
+	if cur != dst {
+		return fmt.Errorf("graph: path ends at %d, want %d", cur, dst)
+	}
+	return nil
+}
+
+// EdgeSimple reports whether the path uses no edge more than once. The
+// upper-bound theorems of the paper require edge-simple paths.
+func (p Path) EdgeSimple() bool {
+	seen := make(map[EdgeID]struct{}, len(p))
+	for _, id := range p {
+		if _, dup := seen[id]; dup {
+			return false
+		}
+		seen[id] = struct{}{}
+	}
+	return true
+}
+
+// Nodes returns the node sequence visited by the path, starting at src.
+// The result has len(p)+1 entries.
+func (p Path) Nodes(g *Graph, src NodeID) []NodeID {
+	out := make([]NodeID, 0, len(p)+1)
+	out = append(out, src)
+	cur := src
+	for _, id := range p {
+		cur = g.Edge(id).Head
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ShortestPath returns a minimum-hop path from src to dst found by
+// breadth-first search, or nil and false if dst is unreachable. Ties are
+// broken by edge-ID order, so the result is deterministic.
+func ShortestPath(g *Graph, src, dst NodeID) (Path, bool) {
+	if src == dst {
+		return Path{}, true
+	}
+	parent := make([]EdgeID, g.NumNodes())
+	for i := range parent {
+		parent[i] = None
+	}
+	visited := make([]bool, g.NumNodes())
+	visited[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.Out(v) {
+			h := g.Edge(eid).Head
+			if visited[h] {
+				continue
+			}
+			visited[h] = true
+			parent[h] = eid
+			if h == dst {
+				return reconstruct(g, parent, src, dst), true
+			}
+			queue = append(queue, h)
+		}
+	}
+	return nil, false
+}
+
+// reconstruct walks parent pointers from dst back to src.
+func reconstruct(g *Graph, parent []EdgeID, src, dst NodeID) Path {
+	var rev Path
+	cur := dst
+	for cur != src {
+		eid := parent[cur]
+		rev = append(rev, eid)
+		cur = g.Edge(eid).Tail
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// BFSDistances returns the hop distance from src to every node (-1 when
+// unreachable).
+func BFSDistances(g *Graph, src NodeID) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.Out(v) {
+			h := g.Edge(eid).Head
+			if dist[h] < 0 {
+				dist[h] = dist[v] + 1
+				queue = append(queue, h)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the largest finite shortest-path distance between any
+// ordered node pair, computed by BFS from every node. It returns 0 for
+// graphs with fewer than two nodes.
+func Diameter(g *Graph) int {
+	max := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, d := range BFSDistances(g, NodeID(v)) {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// IsDAG reports whether the graph has no directed cycle, via Kahn's
+// algorithm. Leveled networks (the butterfly among them) are DAGs, which is
+// what makes greedy one-pass wormhole routing on them deadlock-free.
+func IsDAG(g *Graph) bool {
+	indeg := make([]int, g.NumNodes())
+	for _, e := range g.Edges() {
+		indeg[e.Head]++
+	}
+	var queue []NodeID
+	for v := range indeg {
+		if indeg[v] == 0 {
+			queue = append(queue, NodeID(v))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, eid := range g.Out(v) {
+			h := g.Edge(eid).Head
+			indeg[h]--
+			if indeg[h] == 0 {
+				queue = append(queue, h)
+			}
+		}
+	}
+	return seen == g.NumNodes()
+}

@@ -1,0 +1,205 @@
+// Package lowerbound builds the Theorem 2.2.1 adversarial instance: a
+// network and a set of long messages whose paths have congestion C and
+// dilation D, yet which provably require Ω(L·C·D^(1/B)/B) flit steps to
+// route, no matter what schedule is used.
+//
+// The construction follows the paper exactly. Start from M′ base messages,
+// where M′ is the largest integer with 2·binom(M′−1, B) − 1 ≤ D. For every
+// (B+1)-subset S of base messages there is a dedicated *primary* edge e_S
+// that all of them (and only they) traverse. A base message visits the
+// primary edges of all binom(M′−1, B) subsets containing it, in
+// lexicographic order, hopping between consecutive primary edges over
+// *secondary* edges (which inherit congestion at most B because two
+// distinct (B+1)-subsets intersect in at most B messages). Each base
+// message is then replicated ⌊C/(B+1)⌋ times to raise the congestion to
+// (B+1)·⌊C/(B+1)⌋ ≈ C, and paths are padded with private chains to reach
+// dilation exactly D.
+//
+// The key property: every B+1 messages share some edge. A message "makes
+// progress" in a step when it moves and one of its first L−D flits is
+// delivered; a message making progress spans its entire path, so at most B
+// messages can make progress per step, giving T ≥ (L−D)·M/B.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+)
+
+// Params selects the instance size.
+type Params struct {
+	B       int // virtual channels; B ≥ 1
+	TargetD int // desired dilation (paths padded to exactly this)
+	TargetC int // desired congestion; effective C = (B+1)·⌊TargetC/(B+1)⌋
+	L       int // message length; the theorem needs L = (1+Ω(1))·D, e.g. 2·TargetD
+}
+
+// Construction is the built adversarial instance.
+type Construction struct {
+	G   *graph.Graph
+	Set *message.Set
+
+	B        int
+	C        int // achieved congestion
+	D        int // achieved dilation (== TargetD)
+	L        int
+	MPrime   int // base messages
+	Replicas int // copies of each base message
+	Primary  []graph.EdgeID
+}
+
+// Build constructs the instance. It panics on infeasible parameters
+// (TargetD too small to host even one subset pair, TargetC < B+1, L ≤ D).
+func Build(p Params) *Construction {
+	if p.B < 1 {
+		panic(fmt.Sprintf("lowerbound: B %d < 1", p.B))
+	}
+	if p.TargetC < p.B+1 {
+		panic(fmt.Sprintf("lowerbound: TargetC %d < B+1 = %d", p.TargetC, p.B+1))
+	}
+	if p.L <= p.TargetD {
+		panic(fmt.Sprintf("lowerbound: L %d must exceed D %d (theorem needs L=(1+Ω(1))·D)", p.L, p.TargetD))
+	}
+	mPrime := chooseMPrime(p.B, p.TargetD)
+	if mPrime < p.B+1 {
+		panic(fmt.Sprintf("lowerbound: TargetD %d too small for B %d (need ≥ %d)", p.TargetD, p.B, 2*Binom(p.B, p.B)-1))
+	}
+
+	subsets := Combinations(mPrime, p.B+1)
+	g := graph.New(4*len(subsets), 8*len(subsets))
+
+	// One primary edge per (B+1)-subset, with private endpoints.
+	primary := make([]graph.EdgeID, len(subsets))
+	for i := range subsets {
+		t := g.AddNode(fmt.Sprintf("p%d.t", i))
+		h := g.AddNode(fmt.Sprintf("p%d.h", i))
+		primary[i] = g.AddEdge(t, h)
+	}
+
+	// subsetsOf[m] lists, in lexicographic order, the indices of subsets
+	// containing base message m.
+	subsetsOf := make([][]int, mPrime)
+	for si, s := range subsets {
+		for _, m := range s {
+			subsetsOf[m] = append(subsetsOf[m], si)
+		}
+	}
+
+	// secondary[(a,b)] caches the connector head(e_a) → tail(e_b).
+	type hop struct{ a, b int }
+	secondary := make(map[hop]graph.EdgeID)
+
+	set := message.NewSet(g)
+	replicas := p.TargetC / (p.B + 1)
+	for m := 0; m < mPrime; m++ {
+		own := subsetsOf[m]
+		if len(own) == 0 {
+			panic("lowerbound: base message appears in no subset")
+		}
+		var path graph.Path
+		for i, si := range own {
+			if i > 0 {
+				prev := own[i-1]
+				k := hop{prev, si}
+				eid, ok := secondary[k]
+				if !ok {
+					eid = g.AddEdge(g.Edge(primary[prev]).Head, g.Edge(primary[si]).Tail)
+					secondary[k] = eid
+				}
+				path = append(path, eid)
+			}
+			path = append(path, primary[si])
+		}
+		// Pad with a private chain to reach dilation exactly TargetD. The
+		// chain is shared only by this message's replicas, so it carries
+		// congestion `replicas` ≤ C.
+		cur := g.Edge(path[len(path)-1]).Head
+		for len(path) < p.TargetD {
+			next := g.AddNode("")
+			path = append(path, g.AddEdge(cur, next))
+			cur = next
+		}
+		src := g.Edge(path[0]).Tail
+		for rep := 0; rep < replicas; rep++ {
+			set.Add(src, cur, p.L, append(graph.Path(nil), path...))
+		}
+	}
+
+	return &Construction{
+		G: g, Set: set,
+		B: p.B, C: replicas * (p.B + 1), D: p.TargetD, L: p.L,
+		MPrime: mPrime, Replicas: replicas, Primary: primary,
+	}
+}
+
+// chooseMPrime returns the largest M′ with 2·binom(M′−1, B) − 1 ≤ D.
+func chooseMPrime(b, d int) int {
+	m := b + 1
+	for 2*Binom(m, b)-1 <= d { // candidate M′ = m+1 has dilation 2·binom(m, b)−1
+		m++
+		if m > 1<<20 {
+			panic("lowerbound: runaway M′ search")
+		}
+	}
+	return m
+}
+
+// ProgressBound returns the progress-argument floor on routing time:
+// (L−D)·M/B flit steps, where M is the total message count. Any schedule —
+// online, offline, randomized — needs at least this long.
+func (c *Construction) ProgressBound() float64 {
+	m := c.Set.Len()
+	return float64(c.L-c.D) * float64(m) / float64(c.B)
+}
+
+// TheoremBound evaluates the Ω(L·C·D^(1/B)/B) form of Theorem 2.2.1
+// (without its hidden constant) for this instance.
+func (c *Construction) TheoremBound() float64 {
+	return float64(c.L) * float64(c.C) * math.Pow(float64(c.D), 1/float64(c.B)) / float64(c.B)
+}
+
+// Binom returns the binomial coefficient n choose k (0 when k < 0 or
+// k > n). It panics on overflow-scale inputs; the construction only needs
+// small values.
+func Binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+		if r < 0 {
+			panic("lowerbound: binomial overflow")
+		}
+	}
+	return r
+}
+
+// Combinations enumerates all k-subsets of {0, …, n−1} in lexicographic
+// order.
+func Combinations(n, k int) [][]int {
+	if k < 0 || k > n {
+		return nil
+	}
+	var out [][]int
+	cur := make([]int, k)
+	var rec func(start, idx int)
+	rec = func(start, idx int) {
+		if idx == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := start; v <= n-(k-idx); v++ {
+			cur[idx] = v
+			rec(v+1, idx+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,218 @@
+package lowerbound
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wormhole/internal/analysis"
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/vcsim"
+)
+
+func TestBinom(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 0, 1}, {5, 1, 5}, {5, 2, 10}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0},
+		{10, 3, 120}, {20, 10, 184756},
+	}
+	for _, c := range cases {
+		if got := Binom(c.n, c.k); got != c.want {
+			t.Errorf("Binom(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	combos := Combinations(4, 2)
+	if len(combos) != 6 {
+		t.Fatalf("%d combos", len(combos))
+	}
+	// Lexicographic order.
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if combos[i][j] != want[i][j] {
+				t.Fatalf("combos = %v", combos)
+			}
+		}
+	}
+	if Combinations(3, 0) == nil || len(Combinations(3, 0)) != 1 {
+		t.Error("n choose 0 should be the single empty set")
+	}
+	if Combinations(2, 3) != nil {
+		t.Error("k > n should be empty")
+	}
+}
+
+func TestCombinationsCountMatchesBinom(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		k := int(kRaw % 9)
+		return len(Combinations(n, k)) == Binom(n, k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildParameters(t *testing.T) {
+	for _, tc := range []struct{ b, d, c int }{
+		{1, 16, 8}, {1, 32, 4}, {2, 16, 9}, {2, 32, 12}, {3, 24, 8},
+	} {
+		con := Build(Params{B: tc.b, TargetD: tc.d, TargetC: tc.c, L: 2*tc.d + 4})
+		// Measured congestion and dilation must match the construction's
+		// claims exactly.
+		if got := analysis.Congestion(con.Set); got != con.C {
+			t.Errorf("B=%d: measured C=%d, claimed %d", tc.b, got, con.C)
+		}
+		if got := analysis.Dilation(con.Set); got != tc.d {
+			t.Errorf("B=%d: measured D=%d, want exactly %d", tc.b, got, tc.d)
+		}
+		if con.C != (tc.b+1)*(tc.c/(tc.b+1)) {
+			t.Errorf("B=%d: achieved C=%d not (B+1)⌊C/(B+1)⌋", tc.b, con.C)
+		}
+		if !con.Set.EdgeSimple() {
+			t.Errorf("B=%d: paths not edge-simple", tc.b)
+		}
+		// M′ maximality: 2·binom(M′−1, B) − 1 ≤ D < 2·binom(M′, B) − 1.
+		if 2*Binom(con.MPrime-1, tc.b)-1 > tc.d {
+			t.Errorf("B=%d: M'=%d too large", tc.b, con.MPrime)
+		}
+		if 2*Binom(con.MPrime, tc.b)-1 <= tc.d {
+			t.Errorf("B=%d: M'=%d not maximal", tc.b, con.MPrime)
+		}
+	}
+}
+
+// TestEveryBPlus1SubsetCollides verifies the construction's defining
+// property: any B+1 of the base messages pass through a common edge.
+func TestEveryBPlus1SubsetCollides(t *testing.T) {
+	for _, b := range []int{1, 2} {
+		con := Build(Params{B: b, TargetD: 20, TargetC: b + 1, L: 44})
+		// With TargetC = B+1 there is exactly one replica per base
+		// message, so message IDs coincide with base messages.
+		if con.Replicas != 1 {
+			t.Fatalf("B=%d: %d replicas, want 1", b, con.Replicas)
+		}
+		n := con.Set.Len()
+		for _, subset := range Combinations(n, b+1) {
+			ids := make([]message.ID, len(subset))
+			for i, s := range subset {
+				ids[i] = message.ID(s)
+			}
+			sub, _ := con.Set.Subset(ids)
+			if analysis.CollidingSubset(sub, b) == nil {
+				t.Fatalf("B=%d: subset %v does not share an edge", b, subset)
+			}
+		}
+	}
+}
+
+func TestPrimaryEdgeCongestionExactly(t *testing.T) {
+	con := Build(Params{B: 2, TargetD: 16, TargetC: 9, L: 40})
+	loads := analysis.EdgeLoads(con.Set)
+	for _, e := range con.Primary {
+		if loads[e] != con.C {
+			t.Errorf("primary edge %d carries %d, want C=%d", e, loads[e], con.C)
+		}
+	}
+}
+
+func TestSecondaryCongestionBelowPrimary(t *testing.T) {
+	con := Build(Params{B: 2, TargetD: 16, TargetC: 9, L: 40})
+	primary := make(map[graph.EdgeID]bool)
+	for _, e := range con.Primary {
+		primary[e] = true
+	}
+	loads := analysis.EdgeLoads(con.Set)
+	for e, load := range loads {
+		if primary[graph.EdgeID(e)] {
+			continue
+		}
+		if load >= con.C {
+			t.Errorf("non-primary edge %d carries %d ≥ C=%d", e, load, con.C)
+		}
+	}
+}
+
+// TestProgressFloorHolds routes the instance with several strategies and
+// checks none beats the (L−D)·M/B floor — the theorem's guarantee.
+func TestProgressFloorHolds(t *testing.T) {
+	for _, b := range []int{1, 2} {
+		con := Build(Params{B: b, TargetD: 12, TargetC: 2 * (b + 1), L: 30})
+		floor := con.ProgressBound()
+		for _, pol := range []vcsim.Policy{vcsim.ArbByID, vcsim.ArbAge, vcsim.ArbRandom} {
+			res := vcsim.Run(con.Set, nil, vcsim.Config{
+				VirtualChannels: b, Arbitration: pol, Seed: 5, CheckInvariants: true,
+			})
+			if !res.AllDelivered() {
+				t.Fatalf("B=%d %v: undelivered (deadlock=%v)", b, pol, res.Deadlocked)
+			}
+			if float64(res.Steps) < floor {
+				t.Errorf("B=%d %v: makespan %d beats the impossible floor %v",
+					b, pol, res.Steps, floor)
+			}
+		}
+	}
+}
+
+func TestDependencyAcyclic(t *testing.T) {
+	// Greedy routing on the construction must be deadlock-free: paths
+	// visit primary edges in increasing subset order.
+	con := Build(Params{B: 2, TargetD: 16, TargetC: 6, L: 34})
+	if !analysis.ChannelDependencyAcyclic(con.Set) {
+		t.Error("adversarial instance has cyclic channel dependencies")
+	}
+}
+
+func TestBoundsEvaluators(t *testing.T) {
+	con := Build(Params{B: 2, TargetD: 16, TargetC: 6, L: 34})
+	if con.ProgressBound() <= 0 || con.TheoremBound() <= 0 {
+		t.Error("bounds must be positive")
+	}
+	// Progress floor never exceeds the theorem form by more than small
+	// factors (both are Θ(LCD^(1/B)/B) for L = Θ(D)).
+	if con.ProgressBound() > 4*con.TheoremBound() {
+		t.Errorf("floor %v wildly above theorem %v", con.ProgressBound(), con.TheoremBound())
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	for name, p := range map[string]Params{
+		"B=0":      {B: 0, TargetD: 8, TargetC: 4, L: 20},
+		"C too lo": {B: 2, TargetD: 8, TargetC: 2, L: 20},
+		"L ≤ D":    {B: 1, TargetD: 8, TargetC: 4, L: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Build(p)
+		}()
+	}
+}
+
+func TestReplicasShareBasePath(t *testing.T) {
+	con := Build(Params{B: 1, TargetD: 10, TargetC: 6, L: 22})
+	per := con.Set.Len() / con.MPrime
+	if per != con.Replicas {
+		t.Fatalf("messages %d / M' %d ≠ replicas %d", con.Set.Len(), con.MPrime, con.Replicas)
+	}
+	// Consecutive blocks of `replicas` messages share identical paths.
+	for base := 0; base < con.MPrime; base++ {
+		first := con.Set.Get(message.ID(base * con.Replicas)).Path
+		for rep := 1; rep < con.Replicas; rep++ {
+			p := con.Set.Get(message.ID(base*con.Replicas + rep)).Path
+			if len(p) != len(first) {
+				t.Fatal("replica path length differs")
+			}
+			for i := range p {
+				if p[i] != first[i] {
+					t.Fatal("replica path differs")
+				}
+			}
+		}
+	}
+}

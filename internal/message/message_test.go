@@ -1,0 +1,218 @@
+package message
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/rng"
+	"wormhole/internal/topology"
+)
+
+func lineGraph(n int) *graph.Graph { return topology.NewLinearArray(n) }
+
+func TestSetAddAndAccessors(t *testing.T) {
+	g := lineGraph(4)
+	s := NewSet(g)
+	route := ShortestPathRouter(g)
+	id := s.Add(0, 3, 5, route(0, 3))
+	if id != 0 || s.Len() != 1 {
+		t.Fatal("Add bookkeeping")
+	}
+	m := s.Get(id)
+	if m.Src != 0 || m.Dst != 3 || m.Length != 5 || len(m.Path) != 3 {
+		t.Fatalf("message = %+v", m)
+	}
+	if s.MaxLength() != 5 {
+		t.Error("MaxLength")
+	}
+	s.Add(3, 0, 9, route(3, 0))
+	if s.MaxLength() != 9 {
+		t.Error("MaxLength after second add")
+	}
+}
+
+func TestAddPanicsOnBadPath(t *testing.T) {
+	g := lineGraph(4)
+	s := NewSet(g)
+	route := ShortestPathRouter(g)
+	assertPanics(t, "wrong dst", func() { s.Add(0, 2, 3, route(0, 3)) })
+	assertPanics(t, "zero length", func() { s.Add(0, 3, 0, route(0, 3)) })
+}
+
+func TestEdgeSimple(t *testing.T) {
+	g := lineGraph(3)
+	s := NewSet(g)
+	route := ShortestPathRouter(g)
+	s.Add(0, 2, 2, route(0, 2))
+	if !s.EdgeSimple() {
+		t.Error("simple set misflagged")
+	}
+	// Walk 0→1→0→1→2 repeats edge 0→1.
+	e01 := g.FindEdge(0, 1)
+	e10 := g.FindEdge(1, 0)
+	e12 := g.FindEdge(1, 2)
+	s.Add(0, 2, 2, graph.Path{e01, e10, e01, e12})
+	if s.EdgeSimple() {
+		t.Error("edge-repeating set not caught")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := lineGraph(4)
+	s := NewSet(g)
+	route := ShortestPathRouter(g)
+	s.Add(0, 3, 2, route(0, 3))
+	c := s.Clone()
+	c.Msgs[0].Path[0] = 999 // corrupt the clone only
+	if s.Msgs[0].Path[0] == 999 {
+		t.Error("clone shares path storage")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	g := lineGraph(5)
+	s := NewSet(g)
+	route := ShortestPathRouter(g)
+	for i := 0; i < 4; i++ {
+		s.Add(0, graph.NodeID(i+1), 2, route(0, graph.NodeID(i+1)))
+	}
+	sub, orig := s.Subset([]ID{2, 0})
+	if sub.Len() != 2 || orig[0] != 2 || orig[1] != 0 {
+		t.Fatalf("subset = %d msgs, orig %v", sub.Len(), orig)
+	}
+	if sub.Get(0).Dst != 3 || sub.Get(1).Dst != 1 {
+		t.Error("subset content wrong")
+	}
+	if sub.Get(0).ID != 0 || sub.Get(1).ID != 1 {
+		t.Error("subset IDs not densely renumbered")
+	}
+}
+
+func TestPermutationWorkload(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%20)
+		srcs := make([]graph.NodeID, n)
+		dsts := make([]graph.NodeID, n)
+		for i := range srcs {
+			srcs[i] = graph.NodeID(i)
+			dsts[i] = graph.NodeID(100 + i)
+		}
+		pairs := Permutation(srcs, dsts, r)
+		if len(pairs) != n {
+			return false
+		}
+		seen := make(map[graph.NodeID]bool)
+		for i, p := range pairs {
+			if p.Src != srcs[i] || seen[p.Dst] {
+				return false
+			}
+			seen[p.Dst] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRelationCounts(t *testing.T) {
+	r := rng.New(3)
+	n, q := 8, 3
+	srcs := make([]graph.NodeID, n)
+	dsts := make([]graph.NodeID, n)
+	for i := range srcs {
+		srcs[i] = graph.NodeID(i)
+		dsts[i] = graph.NodeID(50 + i)
+	}
+	pairs := QRelation(srcs, dsts, q, r)
+	if len(pairs) != n*q {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	perSrc := map[graph.NodeID]int{}
+	perDst := map[graph.NodeID]int{}
+	for _, p := range pairs {
+		perSrc[p.Src]++
+		perDst[p.Dst]++
+	}
+	for _, c := range perSrc {
+		if c != q {
+			t.Fatalf("per-source count %d, want %d", c, q)
+		}
+	}
+	for _, c := range perDst {
+		if c != q {
+			t.Fatalf("per-dest count %d, want %d", c, q)
+		}
+	}
+}
+
+func TestRandomDestinations(t *testing.T) {
+	r := rng.New(4)
+	srcs := []graph.NodeID{0, 1}
+	dsts := []graph.NodeID{10, 11, 12}
+	pairs := RandomDestinations(srcs, dsts, 5, r)
+	if len(pairs) != 10 {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Dst < 10 || p.Dst > 12 {
+			t.Fatalf("dst %d outside pool", p.Dst)
+		}
+	}
+}
+
+func TestTransposeWorkload(t *testing.T) {
+	pairs := Transpose(3, func(x, y int) graph.NodeID { return graph.NodeID(3*x + y) })
+	// 9 cells minus 3 diagonal = 6 messages.
+	if len(pairs) != 6 {
+		t.Fatalf("%d transpose pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		x, y := int(p.Src)/3, int(p.Src)%3
+		if int(p.Dst) != 3*y+x {
+			t.Fatalf("pair %v is not a transpose", p)
+		}
+	}
+}
+
+func TestBitReversalWorkload(t *testing.T) {
+	n := 8
+	srcs := make([]graph.NodeID, n)
+	dsts := make([]graph.NodeID, n)
+	for i := range srcs {
+		srcs[i] = graph.NodeID(i)
+		dsts[i] = graph.NodeID(i)
+	}
+	pairs := BitReversal(srcs, dsts)
+	// 3-bit reversals: 1 (001) ↔ 4 (100), 3 (011) ↔ 6 (110).
+	if pairs[1].Dst != 4 || pairs[3].Dst != 6 || pairs[0].Dst != 0 || pairs[7].Dst != 7 {
+		t.Fatalf("bit reversal wrong: %v", pairs)
+	}
+	assertPanics(t, "non power of two", func() { BitReversal(srcs[:3], dsts[:3]) })
+}
+
+func TestBuild(t *testing.T) {
+	g := lineGraph(6)
+	pairs := []Endpoints{{0, 5}, {5, 0}, {2, 4}}
+	s := Build(g, pairs, 7, ShortestPathRouter(g))
+	if s.Len() != 3 || s.MaxLength() != 7 {
+		t.Fatal("Build")
+	}
+	for i, p := range pairs {
+		if s.Get(ID(i)).Src != p.Src || s.Get(ID(i)).Dst != p.Dst {
+			t.Fatal("Build endpoints")
+		}
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,165 @@
+package routeopt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wormhole/internal/analysis"
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/topology"
+)
+
+// hotspotPairs sends k messages between the same endpoints of a graph
+// that offers several disjoint routes — plain BFS stacks them all on one
+// path, a congestion-aware selector spreads them.
+func parallelGraph(width, length int) (*graph.Graph, graph.NodeID, graph.NodeID) {
+	g := graph.New(2+width*length, width*(length+1))
+	src := g.AddNode("s")
+	dst := g.AddNode("t")
+	for w := 0; w < width; w++ {
+		prev := src
+		for i := 0; i < length; i++ {
+			n := g.AddNode("")
+			g.AddEdge(prev, n)
+			prev = n
+		}
+		g.AddEdge(prev, dst)
+	}
+	return g, src, dst
+}
+
+func TestGreedyMinMaxSpreadsParallelPaths(t *testing.T) {
+	g, src, dst := parallelGraph(4, 3)
+	pairs := make([]message.Endpoints, 8)
+	for i := range pairs {
+		pairs[i] = message.Endpoints{Src: src, Dst: dst}
+	}
+	// Plain BFS: everything on one lane → C = 8.
+	plain := message.Build(g, pairs, 4, message.ShortestPathRouter(g))
+	if c := analysis.Congestion(plain); c != 8 {
+		t.Fatalf("plain congestion = %d, want 8", c)
+	}
+	// Congestion-aware: spread over 4 lanes → C = 2.
+	smart := GreedyMinMax(g, pairs, 4, Options{})
+	if c := analysis.Congestion(smart); c != 2 {
+		t.Fatalf("greedy min-max congestion = %d, want 2", c)
+	}
+	for i := range smart.Msgs {
+		if err := smart.Msgs[i].Path.Validate(g, src, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGreedyMinMaxRespectsStretch(t *testing.T) {
+	// Stretch 1.0 forbids detours: on the parallel graph all lanes are
+	// equal length so spreading still works, but on a graph where the
+	// alternates are longer it must fall back to the shortest path.
+	g := graph.New(4, 4)
+	g.AddNodes(4)
+	g.AddEdge(0, 3) // direct: length 1
+	g.AddEdge(0, 1) // detour: length 3
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	pairs := []message.Endpoints{{Src: 0, Dst: 3}, {Src: 0, Dst: 3}}
+	set := GreedyMinMax(g, pairs, 2, Options{Stretch: 1.0})
+	for i := range set.Msgs {
+		if len(set.Msgs[i].Path) != 1 {
+			t.Fatalf("stretch 1.0 must keep the direct path, got %d hops", len(set.Msgs[i].Path))
+		}
+	}
+	// With stretch 3 the second message may take the detour.
+	set = GreedyMinMax(g, pairs, 2, Options{Stretch: 3.0})
+	if c := analysis.Congestion(set); c != 1 {
+		t.Fatalf("stretch 3: congestion %d, want 1 (detour taken)", c)
+	}
+}
+
+func TestRebalanceReducesCongestion(t *testing.T) {
+	g, src, dst := parallelGraph(4, 3)
+	pairs := make([]message.Endpoints, 8)
+	for i := range pairs {
+		pairs[i] = message.Endpoints{Src: src, Dst: dst}
+	}
+	set := message.Build(g, pairs, 4, message.ShortestPathRouter(g))
+	before := analysis.Congestion(set)
+	reroutes, after := Rebalance(set, Options{}, 0)
+	if after >= before {
+		t.Fatalf("rebalance: %d → %d (reroutes %d)", before, after, reroutes)
+	}
+	if after != 2 {
+		t.Errorf("rebalance should reach the optimum 2, got %d", after)
+	}
+	// Paths must stay valid.
+	for i := range set.Msgs {
+		m := set.Msgs[i]
+		if err := m.Path.Validate(g, m.Src, m.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGreedyMinMaxOnButterflyMatchesUniquePaths(t *testing.T) {
+	// The butterfly has a unique input→output path, so the selector has
+	// no freedom: it must return exactly the bit-fixing paths.
+	bf := topology.NewButterfly(16)
+	r := rng.New(5)
+	var pairs []message.Endpoints
+	for src, dst := range r.Perm(16) {
+		pairs = append(pairs, message.Endpoints{Src: bf.Input(src), Dst: bf.Output(dst)})
+	}
+	set := GreedyMinMax(bf.G, pairs, 4, Options{})
+	for i, ep := range pairs {
+		want := bf.Route(bf.Column(ep.Src), bf.Column(ep.Dst))
+		got := set.Msgs[i].Path
+		if len(got) != len(want) {
+			t.Fatalf("message %d: path length %d, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestGreedyMinMaxNeverWorseThanBFS(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := topology.NewMesh(5, 5)
+		var pairs []message.Endpoints
+		for i := 0; i < 20; i++ {
+			src := graph.NodeID(r.Intn(25))
+			dst := graph.NodeID(r.Intn(25))
+			if src == dst {
+				continue
+			}
+			pairs = append(pairs, message.Endpoints{Src: src, Dst: dst})
+		}
+		if len(pairs) == 0 {
+			return true
+		}
+		plain := message.Build(m.G, pairs, 3, message.ShortestPathRouter(m.G))
+		smart := GreedyMinMax(m.G, pairs, 3, Options{})
+		// The selector must not increase congestion beyond BFS routing
+		// (it can always fall back to shortest paths), modulo the +1
+		// slack of greedy sequential placement.
+		return analysis.Congestion(smart) <= analysis.Congestion(plain)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"stretch<1":    func() { Options{Stretch: 0.5}.withDefaults() },
+		"neg. penalty": func() { Options{Penalty: -1}.withDefaults() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,162 @@
+package schedule
+
+import (
+	"fmt"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+)
+
+// RefineResult records how one refinement step went.
+type RefineResult struct {
+	Spec       StepSpec
+	Attempts   int // resampling rounds used
+	FinalR     int // R after any escalation
+	Escalated  bool
+	NumClasses int // distinct non-empty classes after the step
+}
+
+// refiner carries the incidence structure needed to check multiplex sizes
+// quickly across resampling rounds.
+type refiner struct {
+	set  *message.Set
+	rnd  *rng.Source
+	opts Options
+}
+
+// refine applies one StepSpec to the coloring: every existing class is
+// partitioned into spec.R fresh classes uniformly at random, redrawing (all
+// classes, or only violated ones, per the options) until every (edge, new
+// class) pair carries at most spec.Mf messages. The coloring slice is
+// rewritten in place with new dense class IDs; the number of distinct new
+// classes is returned in the result.
+func (rf *refiner) refine(color []int, spec StepSpec) (RefineResult, error) {
+	res := RefineResult{Spec: spec, FinalR: spec.R}
+	n := rf.set.Len()
+	if n == 0 {
+		return res, nil
+	}
+
+	// Remap old colors densely so new class IDs are oldDense*r + j.
+	oldDense := densify(color)
+	r := spec.R
+
+	newColor := make([]int, n)
+	draw := func(i int) { newColor[i] = oldDense[i]*r + rf.rnd.Intn(r) }
+	for i := 0; i < n; i++ {
+		draw(i)
+	}
+
+	attempts := 0
+	for {
+		attempts++
+		violated := rf.violatedClasses(newColor, spec.Mf)
+		if len(violated) == 0 {
+			break
+		}
+		if attempts >= rf.opts.MaxAttempts {
+			// Escalate: more subclasses make the condition easier. The
+			// paper's constants satisfy the LLL so escalation should not
+			// trigger with ConstantScale = 1; with aggressive scaling it
+			// is the safety valve that keeps Build total.
+			r = r + (r+3)/4
+			res.Escalated = true
+			res.FinalR = r
+			attempts = 0
+			for i := 0; i < n; i++ {
+				newColor[i] = oldDense[i]*r + rf.rnd.Intn(r)
+			}
+			continue
+		}
+		if rf.opts.ResampleWhole {
+			for i := 0; i < n; i++ {
+				newColor[i] = oldDense[i]*r + rf.rnd.Intn(r)
+			}
+			continue
+		}
+		// Moser–Tardos style: redraw only messages in violated classes.
+		for i := 0; i < n; i++ {
+			if _, bad := violated[newColor[i]]; bad {
+				newColor[i] = oldDense[i]*r + rf.rnd.Intn(r)
+			}
+		}
+	}
+	res.Attempts = attempts
+	copy(color, newColor)
+	res.NumClasses = len(densifyInPlaceCount(color))
+	return res, nil
+}
+
+// violatedClasses returns the set of new-class IDs that have some edge
+// carrying more than mf of their messages.
+func (rf *refiner) violatedClasses(color []int, mf int) map[int]struct{} {
+	type key struct {
+		e graph.EdgeID
+		c int
+	}
+	counts := make(map[key]int)
+	violated := make(map[int]struct{})
+	for i := range rf.set.Msgs {
+		c := color[i]
+		for _, e := range rf.set.Msgs[i].Path {
+			k := key{e, c}
+			counts[k]++
+			if counts[k] > mf {
+				violated[c] = struct{}{}
+			}
+		}
+	}
+	return violated
+}
+
+// densify maps arbitrary class IDs to dense 0..k-1 IDs (first-seen order)
+// and returns the remapped copy.
+func densify(color []int) []int {
+	remap := make(map[int]int)
+	out := make([]int, len(color))
+	for i, c := range color {
+		d, ok := remap[c]
+		if !ok {
+			d = len(remap)
+			remap[c] = d
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// densifyInPlaceCount renumbers color in place to dense IDs and returns the
+// remap table (its size is the class count).
+func densifyInPlaceCount(color []int) map[int]int {
+	remap := make(map[int]int)
+	for i, c := range color {
+		d, ok := remap[c]
+		if !ok {
+			d = len(remap)
+			remap[c] = d
+		}
+		color[i] = d
+	}
+	return remap
+}
+
+// validateStep double-checks a finished refinement against the target (used
+// by tests and by Build's paranoia mode).
+func validateStep(s *message.Set, color []int, mf int) error {
+	type key struct {
+		e graph.EdgeID
+		c int
+	}
+	counts := make(map[key]int)
+	for i := range s.Msgs {
+		for _, e := range s.Msgs[i].Path {
+			k := key{e, color[i]}
+			counts[k]++
+			if counts[k] > mf {
+				return fmt.Errorf("schedule: class %d has %d > %d messages on edge %d", color[i], counts[k], mf, e)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package schedule
+
+import (
+	"fmt"
+
+	"wormhole/internal/analysis"
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/vcsim"
+)
+
+// Schedule is the output of the Theorem 2.1.6 construction: a coloring of
+// the messages with multiplex size ≤ B and the release times derived from
+// it. Class i is released at time i·Spacing, where Spacing = L+D−1 is long
+// enough that a class drains completely before the next one starts.
+type Schedule struct {
+	Colors     []int // per-message class, dense 0..NumClasses-1
+	NumClasses int
+	Spacing    int   // L+D−1
+	Releases   []int // per-message release times (Colors[i]·Spacing)
+	LengthUB   int   // guaranteed makespan: NumClasses·Spacing
+
+	// Provenance.
+	C, D, L, B int
+	Steps      []RefineResult // one per refinement step applied
+	Planned    []StepSpec     // the plan that was executed
+}
+
+// Build runs the refinement pipeline on the message set and returns the
+// schedule. It panics on non-edge-simple inputs (the theorem's
+// precondition) and returns an error only on internal validation failure.
+func Build(s *message.Set, opts Options, r *rng.Source) (*Schedule, error) {
+	opts = opts.withDefaults()
+	if !s.EdgeSimple() {
+		panic("schedule: Build requires edge-simple paths (Theorem 2.1.6 precondition)")
+	}
+	c := analysis.Congestion(s)
+	d := analysis.Dilation(s)
+	l := s.MaxLength()
+	n := s.Len()
+
+	sched := &Schedule{
+		Colors: make([]int, n),
+		C:      c, D: d, L: l, B: opts.B,
+	}
+	sched.Spacing = l + d - 1
+	if sched.Spacing < 1 {
+		sched.Spacing = 1
+	}
+
+	plan := Plan(c, d, opts.B, opts.ConstantScale)
+	sched.Planned = plan
+	rf := &refiner{set: s, rnd: r, opts: opts}
+	for _, spec := range plan {
+		step, err := rf.refine(sched.Colors, spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := validateStep(s, sched.Colors, spec.Mf); err != nil {
+			return nil, fmt.Errorf("schedule: step %v failed validation: %w", spec, err)
+		}
+		sched.Steps = append(sched.Steps, step)
+	}
+	// Densify the final coloring and derive releases.
+	remap := densifyInPlaceCount(sched.Colors)
+	sched.NumClasses = len(remap)
+	if sched.NumClasses == 0 {
+		sched.NumClasses = 1 // empty message set: one (empty) class
+	}
+	sched.Releases = make([]int, n)
+	for i, col := range sched.Colors {
+		sched.Releases[i] = col * sched.Spacing
+	}
+	sched.LengthUB = sched.NumClasses * sched.Spacing
+
+	if ms := analysis.MultiplexSize(s, sched.Colors); ms > opts.B && n > 0 {
+		return nil, fmt.Errorf("schedule: final multiplex size %d exceeds B=%d", ms, opts.B)
+	}
+	return sched, nil
+}
+
+// Verify executes the schedule on the wormhole simulator and checks the
+// Theorem 2.1.6 guarantees: every message delivered, zero stalls (no
+// message is ever blocked), and makespan within the LengthUB bound. The
+// simulation result is returned for inspection.
+func Verify(s *message.Set, sched *Schedule) (vcsim.Result, error) {
+	res := vcsim.Run(s, sched.Releases, vcsim.Config{
+		VirtualChannels: sched.B,
+		Arbitration:     vcsim.ArbByID,
+	})
+	if !res.AllDelivered() {
+		return res, fmt.Errorf("schedule: only %d/%d messages delivered", res.Delivered, s.Len())
+	}
+	if res.Deadlocked {
+		return res, fmt.Errorf("schedule: deadlock under a supposedly conflict-free schedule")
+	}
+	if res.TotalStalls != 0 {
+		return res, fmt.Errorf("schedule: %d stalls; color classes must never block", res.TotalStalls)
+	}
+	if res.Steps > sched.LengthUB {
+		return res, fmt.Errorf("schedule: makespan %d exceeds bound %d", res.Steps, sched.LengthUB)
+	}
+	return res, nil
+}
+
+// NaiveSchedule builds the footnote-5 baseline: greedily color the worm
+// conflict graph (no two path-sharing messages in one class) and release
+// class i at i·(L+D−1). It needs only B = 1 but uses up to D·(C−1)+1
+// classes.
+func NaiveSchedule(s *message.Set) *Schedule {
+	adj := analysis.ConflictGraph(s)
+	colors, k := analysis.GreedyColor(adj)
+	d := analysis.Dilation(s)
+	l := s.MaxLength()
+	spacing := l + d - 1
+	if spacing < 1 {
+		spacing = 1
+	}
+	if k == 0 {
+		k = 1
+	}
+	releases := make([]int, s.Len())
+	for i, c := range colors {
+		releases[i] = c * spacing
+	}
+	return &Schedule{
+		Colors:     colors,
+		NumClasses: k,
+		Spacing:    spacing,
+		Releases:   releases,
+		LengthUB:   k * spacing,
+		C:          analysis.Congestion(s),
+		D:          d,
+		L:          l,
+		B:          1,
+	}
+}

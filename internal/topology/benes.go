@@ -1,0 +1,188 @@
+package topology
+
+import (
+	"fmt"
+
+	"wormhole/internal/graph"
+)
+
+// Benes is an n-input Beneš network: two back-to-back butterflies, or
+// equivalently a recursive construction of 2·log n − 1 columns of 2×2
+// switches (paper Section 1.3.3). The network is rearrangeable: any
+// permutation of the inputs onto the outputs can be realized by
+// edge-disjoint paths, and Waksman's looping algorithm (RoutePermutation)
+// finds those paths in linear time. Routing any permutation of L-flit
+// worms over them takes exactly L + 2·log n − 1 flit steps with zero
+// stalls — the O(L + log n) wormhole result the paper credits to
+// Waksman's algorithm on the IBM GF-11.
+type Benes struct {
+	G *graph.Graph
+	// Inputs and Outputs are the n external port nodes.
+	Inputs  []graph.NodeID
+	Outputs []graph.NodeID
+	// Depth is the number of edges on every input→output path: 2·log n.
+	Depth int
+
+	root *benesNode
+}
+
+// benesNode is one recursion level: a column of n/2 input switches, two
+// half-size subnetworks, and a column of n/2 output switches. The subnet
+// "ports" are the parent's switch nodes, so no junction nodes are needed.
+type benesNode struct {
+	n            int
+	eIn          []graph.EdgeID // eIn[a]: port a → its input switch
+	eOut         []graph.EdgeID // eOut[b]: output switch → port b
+	upper, lower *benesNode     // nil at the base case (n == 2)
+}
+
+// NewBenes builds the Beneš network on n = 2^k ≥ 2 inputs.
+func NewBenes(n int) *Benes {
+	k := log2Exact(n)
+	g := graph.New(4*n*k, 4*n*k)
+	b := &Benes{G: g, Depth: 2 * k}
+	for i := 0; i < n; i++ {
+		b.Inputs = append(b.Inputs, g.AddNode(fmt.Sprintf("in%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		b.Outputs = append(b.Outputs, g.AddNode(fmt.Sprintf("out%d", i)))
+	}
+	b.root = buildBenes(g, b.Inputs, b.Outputs, 0)
+	return b
+}
+
+// buildBenes wires one recursion level between the given port nodes.
+func buildBenes(g *graph.Graph, ins, outs []graph.NodeID, depth int) *benesNode {
+	n := len(ins)
+	node := &benesNode{
+		n:    n,
+		eIn:  make([]graph.EdgeID, n),
+		eOut: make([]graph.EdgeID, n),
+	}
+	if n == 2 {
+		sw := g.AddNode(fmt.Sprintf("sw%d.b", depth))
+		node.eIn[0] = g.AddEdge(ins[0], sw)
+		node.eIn[1] = g.AddEdge(ins[1], sw)
+		node.eOut[0] = g.AddEdge(sw, outs[0])
+		node.eOut[1] = g.AddEdge(sw, outs[1])
+		return node
+	}
+	inSw := make([]graph.NodeID, n/2)
+	outSw := make([]graph.NodeID, n/2)
+	for j := 0; j < n/2; j++ {
+		inSw[j] = g.AddNode(fmt.Sprintf("sw%d.i%d", depth, j))
+		outSw[j] = g.AddNode(fmt.Sprintf("sw%d.o%d", depth, j))
+	}
+	for a := 0; a < n; a++ {
+		node.eIn[a] = g.AddEdge(ins[a], inSw[a/2])
+	}
+	for b := 0; b < n; b++ {
+		node.eOut[b] = g.AddEdge(outSw[b/2], outs[b])
+	}
+	node.upper = buildBenes(g, inSw, outSw, depth+1)
+	node.lower = buildBenes(g, inSw, outSw, depth+1)
+	return node
+}
+
+// RoutePermutation realizes the permutation perm (input a → output
+// perm[a]) as edge-disjoint paths using Waksman's looping algorithm. It
+// panics if perm is not a permutation of 0..n−1.
+func (b *Benes) RoutePermutation(perm []int) []graph.Path {
+	n := len(b.Inputs)
+	if len(perm) != n {
+		panic(fmt.Sprintf("topology: permutation arity %d, want %d", len(perm), n))
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			panic("topology: not a permutation")
+		}
+		seen[v] = true
+	}
+	paths := make([]graph.Path, n)
+	for a := 0; a < n; a++ {
+		paths[a] = graph.Path{}
+	}
+	b.root.route(perm, paths, identity(n))
+	return paths
+}
+
+// identity returns [0, 1, …, n−1] — the message indices carried through
+// the recursion so each level appends to the right global path.
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// route appends this level's edges to the global paths. perm maps local
+// in-port a to local out-port perm[a]; msg[a] is the global message index
+// entering local port a.
+func (nd *benesNode) route(perm []int, paths []graph.Path, msg []int) {
+	n := nd.n
+	if n == 2 {
+		for a := 0; a < 2; a++ {
+			paths[msg[a]] = append(paths[msg[a]], nd.eIn[a], nd.eOut[perm[a]])
+		}
+		return
+	}
+
+	// Waksman's looping algorithm: pick a subnetwork (0 = upper,
+	// 1 = lower) for every message so that port-switch partners (a and
+	// a^1 share an input switch; b and b^1 an output switch) always take
+	// different subnetworks.
+	inv := make([]int, n)
+	for a, bp := range perm {
+		inv[bp] = a
+	}
+	subnet := make([]int, n)
+	for a := range subnet {
+		subnet[a] = -1
+	}
+	for a0 := 0; a0 < n; a0++ {
+		if subnet[a0] >= 0 {
+			continue
+		}
+		a, s := a0, 0
+		for {
+			subnet[a] = s
+			// The out-switch partner of perm[a] must use the other
+			// subnetwork; find who drives it.
+			a2 := inv[perm[a]^1]
+			if subnet[a2] >= 0 {
+				break
+			}
+			subnet[a2] = 1 - s
+			// a2's in-switch partner must take the opposite of a2.
+			a3 := a2 ^ 1
+			if subnet[a3] >= 0 {
+				break
+			}
+			a = a3 // subnet[a3] will be set to s at loop top
+		}
+	}
+
+	// Split into the two half-size subproblems.
+	permU := make([]int, n/2)
+	permL := make([]int, n/2)
+	msgU := make([]int, n/2)
+	msgL := make([]int, n/2)
+	for a := 0; a < n; a++ {
+		gid := msg[a]
+		paths[gid] = append(paths[gid], nd.eIn[a])
+		if subnet[a] == 0 {
+			permU[a/2] = perm[a] / 2
+			msgU[a/2] = gid
+		} else {
+			permL[a/2] = perm[a] / 2
+			msgL[a/2] = gid
+		}
+	}
+	nd.upper.route(permU, paths, msgU)
+	nd.lower.route(permL, paths, msgL)
+	for a := 0; a < n; a++ {
+		paths[msg[a]] = append(paths[msg[a]], nd.eOut[perm[a]])
+	}
+}

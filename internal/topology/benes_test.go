@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/rng"
+)
+
+func TestBenesStructure(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		b := NewBenes(n)
+		if len(b.Inputs) != n || len(b.Outputs) != n {
+			t.Fatalf("n=%d: port counts %d/%d", n, len(b.Inputs), len(b.Outputs))
+		}
+		if !graph.IsDAG(b.G) {
+			t.Errorf("n=%d: Beneš network must be acyclic", n)
+		}
+		// Every input reaches every output in exactly Depth hops.
+		for _, in := range b.Inputs {
+			dist := graph.BFSDistances(b.G, in)
+			for _, out := range b.Outputs {
+				if dist[out] != b.Depth {
+					t.Fatalf("n=%d: distance %d, want %d", n, dist[out], b.Depth)
+				}
+			}
+		}
+	}
+}
+
+func TestBenesSwitchCount(t *testing.T) {
+	// The recursive construction uses S(n) = n/2 + 2·S(n/2) switches with
+	// S(2) = 1, i.e. n·log n − n/2 switches; total nodes add the 2n ports.
+	for _, n := range []int{2, 4, 8, 32} {
+		b := NewBenes(n)
+		k := 0
+		for v := n; v > 1; v >>= 1 {
+			k++
+		}
+		wantSwitches := n*k - n/2
+		if got := b.G.NumNodes() - 2*n; got != wantSwitches {
+			t.Errorf("n=%d: %d switches, want %d", n, got, wantSwitches)
+		}
+	}
+}
+
+func TestBenesRoutesIdentity(t *testing.T) {
+	b := NewBenes(8)
+	perm := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	paths := b.RoutePermutation(perm)
+	assertBenesPaths(t, b, perm, paths)
+}
+
+func TestBenesRoutesReversal(t *testing.T) {
+	b := NewBenes(8)
+	perm := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	paths := b.RoutePermutation(perm)
+	assertBenesPaths(t, b, perm, paths)
+}
+
+// TestBenesEdgeDisjointAllPermutations exhaustively checks every
+// permutation on 4 inputs — rearrangeability at small scale.
+func TestBenesEdgeDisjointAllPermutations(t *testing.T) {
+	b := NewBenes(4)
+	perm := []int{0, 1, 2, 3}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 4 {
+			assertBenesPaths(t, b, perm, b.RoutePermutation(perm))
+			return
+		}
+		for i := k; i < 4; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+}
+
+// TestBenesRandomPermutations property-checks larger sizes.
+func TestBenesRandomPermutations(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 << (seed % 4) // 8..64
+		b := NewBenes(n)
+		perm := r.Perm(n)
+		paths := b.RoutePermutation(perm)
+		// Validity.
+		for a, p := range paths {
+			if err := p.Validate(b.G, b.Inputs[a], b.Outputs[perm[a]]); err != nil {
+				return false
+			}
+			if len(p) != b.Depth {
+				return false
+			}
+		}
+		// Edge-disjointness.
+		used := make(map[graph.EdgeID]bool)
+		for _, p := range paths {
+			for _, e := range p {
+				if used[e] {
+					return false
+				}
+				used[e] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenesRejectsNonPermutation(t *testing.T) {
+	b := NewBenes(4)
+	for name, perm := range map[string][]int{
+		"short":     {0, 1},
+		"dup":       {0, 0, 1, 2},
+		"out-range": {0, 1, 2, 9},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			b.RoutePermutation(perm)
+		}()
+	}
+}
+
+func assertBenesPaths(t *testing.T, b *Benes, perm []int, paths []graph.Path) {
+	t.Helper()
+	used := make(map[graph.EdgeID]int)
+	for a, p := range paths {
+		if err := p.Validate(b.G, b.Inputs[a], b.Outputs[perm[a]]); err != nil {
+			t.Fatalf("path %d invalid: %v", a, err)
+		}
+		for _, e := range p {
+			used[e]++
+			if used[e] > 1 {
+				t.Fatalf("edge %d shared between paths (perm %v)", e, perm)
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package topology constructs the networks used throughout the paper:
+// butterflies (plain, wrapped, and back-to-back two-pass), meshes, toruses,
+// hypercubes, linear arrays, complete graphs, and random regular digraphs.
+//
+// Constructors return both the graph and a coordinate scheme so that
+// algorithms can translate between (column, level) positions and node IDs
+// without re-deriving the layout.
+package topology
+
+import (
+	"fmt"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/rng"
+)
+
+// Butterfly is an n-input butterfly network as defined in Section 1.2 of
+// the paper: n(log n + 1) nodes arranged in log n + 1 levels of n nodes
+// each. Node (w, i) sits in column w (a log n-bit number) at level i.
+// Edges are directed downward, level i → level i+1: the "straight" edge
+// keeps the column, the "cross" edge flips bit i+1 (bit positions numbered
+// 1..log n from the most significant, per the paper).
+//
+// Level 0 nodes are the inputs; level log n nodes are the outputs.
+type Butterfly struct {
+	G      *graph.Graph
+	Inputs int // n
+	Levels int // log n (number of edge stages)
+}
+
+// NewButterfly builds an n-input butterfly. n must be a power of two ≥ 2.
+func NewButterfly(n int) *Butterfly {
+	k := log2Exact(n)
+	g := graph.New(n*(k+1), 2*n*k)
+	b := &Butterfly{G: g, Inputs: n, Levels: k}
+	for lvl := 0; lvl <= k; lvl++ {
+		for w := 0; w < n; w++ {
+			id := g.AddNode(fmt.Sprintf("(%0*b,%d)", k, w, lvl))
+			if id != b.Node(w, lvl) {
+				panic("topology: butterfly node numbering out of order")
+			}
+		}
+	}
+	for lvl := 0; lvl < k; lvl++ {
+		for w := 0; w < n; w++ {
+			// Straight edge: same column.
+			g.AddEdge(b.Node(w, lvl), b.Node(w, lvl+1))
+			// Cross edge: flip the bit at position lvl+1 (1-indexed from
+			// the most significant bit).
+			g.AddEdge(b.Node(w, lvl), b.Node(flipBit(w, k, lvl+1), lvl+1))
+		}
+	}
+	return b
+}
+
+// Node returns the ID of the node in column w at level lvl.
+func (b *Butterfly) Node(w, lvl int) graph.NodeID {
+	return graph.NodeID(lvl*b.Inputs + w)
+}
+
+// Column returns the column of node id.
+func (b *Butterfly) Column(id graph.NodeID) int { return int(id) % b.Inputs }
+
+// Level returns the level of node id.
+func (b *Butterfly) Level(id graph.NodeID) int { return int(id) / b.Inputs }
+
+// Input returns the ID of input w (level 0).
+func (b *Butterfly) Input(w int) graph.NodeID { return b.Node(w, 0) }
+
+// Output returns the ID of output w (level log n).
+func (b *Butterfly) Output(w int) graph.NodeID { return b.Node(w, b.Levels) }
+
+// Route returns the unique downward path from input column src to output
+// column dst: at level i the path follows the straight edge if bit i+1 of
+// src and dst agree and the cross edge otherwise (bit-fixing).
+func (b *Butterfly) Route(src, dst int) graph.Path {
+	p := make(graph.Path, 0, b.Levels)
+	w := src
+	for lvl := 0; lvl < b.Levels; lvl++ {
+		next := setBitTo(w, b.Levels, lvl+1, bitAt(dst, b.Levels, lvl+1))
+		eid := b.G.FindEdge(b.Node(w, lvl), b.Node(next, lvl+1))
+		if eid == graph.None {
+			panic("topology: missing butterfly edge")
+		}
+		p = append(p, eid)
+		w = next
+	}
+	return p
+}
+
+// TwoPassButterfly is the unrolled network used by the Section 3.1
+// algorithm: a message first routes down one butterfly to a random column
+// at level log n, then down a second (mirrored) butterfly to its true
+// destination (Figure 2 of the paper). Unrolling the two passes into a
+// 2·log n-stage leveled DAG models the pipelined double traversal while
+// keeping the network acyclic, so drop-on-delay routing cannot deadlock.
+type TwoPassButterfly struct {
+	G      *graph.Graph
+	Inputs int
+	Levels int // log n; total edge stages = 2*log n
+}
+
+// NewTwoPassButterfly builds the back-to-back butterfly on n inputs.
+func NewTwoPassButterfly(n int) *TwoPassButterfly {
+	k := log2Exact(n)
+	g := graph.New(n*(2*k+1), 4*n*k)
+	t := &TwoPassButterfly{G: g, Inputs: n, Levels: k}
+	for lvl := 0; lvl <= 2*k; lvl++ {
+		for w := 0; w < n; w++ {
+			g.AddNode(fmt.Sprintf("(%0*b,%d)", k, w, lvl))
+		}
+	}
+	for lvl := 0; lvl < 2*k; lvl++ {
+		// Stage lvl fixes butterfly bit (lvl mod k) + 1: the first pass
+		// fixes bits 1..k, then the second pass fixes them again.
+		bit := lvl%k + 1
+		for w := 0; w < n; w++ {
+			g.AddEdge(t.Node(w, lvl), t.Node(w, lvl+1))
+			g.AddEdge(t.Node(w, lvl), t.Node(flipBit(w, k, bit), lvl+1))
+		}
+	}
+	return t
+}
+
+// Node returns the ID of the node in column w at level lvl (0..2·log n).
+func (t *TwoPassButterfly) Node(w, lvl int) graph.NodeID {
+	return graph.NodeID(lvl*t.Inputs + w)
+}
+
+// Column returns the column of node id.
+func (t *TwoPassButterfly) Column(id graph.NodeID) int { return int(id) % t.Inputs }
+
+// Level returns the level of node id.
+func (t *TwoPassButterfly) Level(id graph.NodeID) int { return int(id) / t.Inputs }
+
+// Input returns the ID of input w (level 0).
+func (t *TwoPassButterfly) Input(w int) graph.NodeID { return t.Node(w, 0) }
+
+// Output returns the ID of output w (level 2·log n).
+func (t *TwoPassButterfly) Output(w int) graph.NodeID { return t.Node(w, 2*t.Levels) }
+
+// Route returns the two-pass path from input column src through intermediate
+// column mid (reached at level log n) to output column dst.
+func (t *TwoPassButterfly) Route(src, mid, dst int) graph.Path {
+	p := make(graph.Path, 0, 2*t.Levels)
+	w := src
+	for lvl := 0; lvl < 2*t.Levels; lvl++ {
+		bit := lvl%t.Levels + 1
+		target := mid
+		if lvl >= t.Levels {
+			target = dst
+		}
+		next := setBitTo(w, t.Levels, bit, bitAt(target, t.Levels, bit))
+		eid := t.G.FindEdge(t.Node(w, lvl), t.Node(next, lvl+1))
+		if eid == graph.None {
+			panic("topology: missing two-pass butterfly edge")
+		}
+		p = append(p, eid)
+		w = next
+	}
+	return p
+}
+
+// RandomRoute picks a uniform intermediate column and returns the resulting
+// two-pass path along with the chosen column.
+func (t *TwoPassButterfly) RandomRoute(src, dst int, r *rng.Source) (graph.Path, int) {
+	mid := r.Intn(t.Inputs)
+	return t.Route(src, mid, dst), mid
+}
+
+// EdgeLevel returns the stage (0-based) an edge of a leveled network spans,
+// derived from its tail's level. It works for both Butterfly and
+// TwoPassButterfly graphs when given the respective level function.
+func EdgeLevel(g *graph.Graph, levelOf func(graph.NodeID) int, e graph.EdgeID) int {
+	return levelOf(g.Edge(e).Tail)
+}
+
+// --- bit helpers -----------------------------------------------------------
+//
+// The paper numbers bit positions 1..log n with position 1 the most
+// significant bit of the column number.
+
+// bitAt returns bit `pos` (1-indexed from the MSB of a k-bit word) of w.
+func bitAt(w, k, pos int) int {
+	return (w >> (k - pos)) & 1
+}
+
+// flipBit flips bit `pos` of the k-bit word w.
+func flipBit(w, k, pos int) int {
+	return w ^ (1 << (k - pos))
+}
+
+// setBitTo sets bit `pos` of the k-bit word w to v (0 or 1).
+func setBitTo(w, k, pos, v int) int {
+	mask := 1 << (k - pos)
+	if v == 0 {
+		return w &^ mask
+	}
+	return w | mask
+}
+
+// log2Exact returns log2(n) and panics unless n is a power of two ≥ 2.
+func log2Exact(n int) int {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("topology: size %d is not a power of two ≥ 2", n))
+	}
+	k := 0
+	for v := n; v > 1; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Log2 returns ⌈log2(n)⌉ for n ≥ 1. It is exported for use by experiment
+// code that sets L = log n and q = log n.
+func Log2(n int) int {
+	if n < 1 {
+		panic("topology: Log2 of non-positive value")
+	}
+	k := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	if k == 0 {
+		return 1 // the paper's message-length floors: log 1 treated as 1
+	}
+	return k
+}

@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"fmt"
+
+	"wormhole/internal/graph"
+)
+
+// Mesh is a d-dimensional mesh (a k-ary n-cube without wraparound, the
+// "mesh with constant dimension" of the paper's Section 1.3.4). Each node
+// has a coordinate vector; antiparallel edge pairs connect nodes that
+// differ by one in exactly one coordinate.
+type Mesh struct {
+	G     *graph.Graph
+	Dims  []int // size per dimension
+	Wrap  bool  // true for a torus
+	strid []int // row-major strides
+}
+
+// NewMesh builds a mesh with the given per-dimension sizes.
+func NewMesh(dims ...int) *Mesh { return newMesh(false, dims) }
+
+// NewTorus builds a torus (mesh with wraparound links) with the given
+// per-dimension sizes. Dimensions of size ≤ 2 get a single edge pair
+// rather than doubled parallel wrap edges.
+func NewTorus(dims ...int) *Mesh { return newMesh(true, dims) }
+
+func newMesh(wrap bool, dims []int) *Mesh {
+	if len(dims) == 0 {
+		panic("topology: mesh needs at least one dimension")
+	}
+	n := 1
+	strid := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		if dims[i] < 2 {
+			panic(fmt.Sprintf("topology: mesh dimension %d has size %d < 2", i, dims[i]))
+		}
+		strid[i] = n
+		n *= dims[i]
+	}
+	g := graph.New(n, 2*len(dims)*n)
+	m := &Mesh{G: g, Dims: append([]int(nil), dims...), Wrap: wrap, strid: strid}
+	coord := make([]int, len(dims))
+	for v := 0; v < n; v++ {
+		g.AddNode(fmt.Sprint(m.coordOf(v, coord)))
+	}
+	for v := 0; v < n; v++ {
+		m.coordOf(v, coord)
+		for d := range dims {
+			if coord[d]+1 < dims[d] {
+				g.AddBiEdge(graph.NodeID(v), graph.NodeID(v+strid[d]))
+			} else if wrap && dims[d] > 2 {
+				// Wrap edge back to coordinate 0 in dimension d.
+				g.AddBiEdge(graph.NodeID(v), graph.NodeID(v-(dims[d]-1)*strid[d]))
+			}
+		}
+	}
+	return m
+}
+
+// Node returns the ID of the node at the given coordinates.
+func (m *Mesh) Node(coord ...int) graph.NodeID {
+	if len(coord) != len(m.Dims) {
+		panic("topology: coordinate arity mismatch")
+	}
+	v := 0
+	for d, c := range coord {
+		if c < 0 || c >= m.Dims[d] {
+			panic(fmt.Sprintf("topology: coordinate %d out of range [0,%d)", c, m.Dims[d]))
+		}
+		v += c * m.strid[d]
+	}
+	return graph.NodeID(v)
+}
+
+// Coord returns the coordinates of node id as a fresh slice.
+func (m *Mesh) Coord(id graph.NodeID) []int {
+	out := make([]int, len(m.Dims))
+	return m.coordOf(int(id), out)
+}
+
+func (m *Mesh) coordOf(v int, out []int) []int {
+	for d := range m.Dims {
+		out[d] = v / m.strid[d] % m.Dims[d]
+	}
+	return out
+}
+
+// DimensionOrderRoute returns the canonical e-cube path from src to dst:
+// correct coordinates one dimension at a time, lowest dimension first.
+// On a torus it takes the shorter way around each ring. Dimension-order
+// routes are the standard deadlock-free minimal paths for meshes.
+func (m *Mesh) DimensionOrderRoute(src, dst graph.NodeID) graph.Path {
+	var p graph.Path
+	cur := m.Coord(src)
+	want := m.Coord(dst)
+	for d := range m.Dims {
+		for cur[d] != want[d] {
+			step := m.stepToward(cur, d, want[d])
+			from := m.Node(cur...)
+			cur[d] = step
+			to := m.Node(cur...)
+			eid := m.G.FindEdge(from, to)
+			if eid == graph.None {
+				panic("topology: missing mesh edge on dimension-order route")
+			}
+			p = append(p, eid)
+		}
+	}
+	return p
+}
+
+// stepToward returns the next coordinate value in dimension d moving from
+// cur[d] toward target, respecting wraparound on toruses.
+func (m *Mesh) stepToward(cur []int, d, target int) int {
+	size := m.Dims[d]
+	c := cur[d]
+	if !m.Wrap || size <= 2 {
+		if target > c {
+			return c + 1
+		}
+		return c - 1
+	}
+	fwd := (target - c + size) % size
+	bwd := (c - target + size) % size
+	if fwd <= bwd {
+		return (c + 1) % size
+	}
+	return (c - 1 + size) % size
+}

@@ -1,0 +1,242 @@
+// Package trace reconstructs flit-level space-time diagrams from
+// simulator runs. It exists for debugging, teaching, and the examples:
+// a rendered diagram makes blocking, virtual-channel sharing, and
+// drop-on-delay visually obvious on small instances.
+//
+// Usage:
+//
+//	rec := trace.NewRecorder(set)
+//	vcsim.Run(set, nil, vcsim.Config{VirtualChannels: 1, Observer: rec})
+//	fmt.Println(rec.Render())
+//
+// The diagram has one row per network edge (in first-use order) and one
+// column per flit step; a cell shows which worm's flit sits in that
+// edge's buffer at that time ('.' = empty, digits 2-9 = that many worms
+// sharing the buffer through distinct virtual channels).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/vcsim"
+)
+
+// Recorder implements vcsim.Observer and reconstructs per-step buffer
+// occupancy from the advance stream. Because worms are rigid, a worm's
+// full flit configuration at any time is determined by its frontier, so
+// recording (time, frontier) pairs suffices.
+type Recorder struct {
+	set *message.Set
+	// advances[m] lists the times at which message m advanced.
+	advances [][]int32
+	drops    map[message.ID]int
+	delivers map[message.ID]int
+	lastTime int
+}
+
+// NewRecorder returns a recorder for runs over the given message set.
+// The same recorder must not be reused across runs.
+func NewRecorder(set *message.Set) *Recorder {
+	return &Recorder{
+		set:      set,
+		advances: make([][]int32, set.Len()),
+		drops:    make(map[message.ID]int),
+		delivers: make(map[message.ID]int),
+	}
+}
+
+// OnAdvance implements vcsim.Observer.
+func (r *Recorder) OnAdvance(time int, msg message.ID, frontier int) {
+	r.advances[msg] = append(r.advances[msg], int32(time))
+	if time > r.lastTime {
+		r.lastTime = time
+	}
+}
+
+// OnDrop implements vcsim.Observer.
+func (r *Recorder) OnDrop(time int, msg message.ID) {
+	r.drops[msg] = time
+	if time > r.lastTime {
+		r.lastTime = time
+	}
+}
+
+// OnDeliver implements vcsim.Observer.
+func (r *Recorder) OnDeliver(time int, msg message.ID) {
+	r.delivers[msg] = time
+	if time > r.lastTime {
+		r.lastTime = time
+	}
+}
+
+// Steps returns the time of the last recorded event.
+func (r *Recorder) Steps() int { return r.lastTime }
+
+// frontierAt returns how many edges msg's header had crossed at time t,
+// or -1 if the worm was already dropped.
+func (r *Recorder) frontierAt(msg message.ID, t int) int {
+	if dropT, dropped := r.drops[msg]; dropped && t >= dropT {
+		return -1
+	}
+	// Advances are recorded in increasing time order.
+	adv := r.advances[msg]
+	n := sort.Search(len(adv), func(i int) bool { return int(adv[i]) > t })
+	return n
+}
+
+// OccupancyAt returns, for every edge holding at least one flit at time
+// t, the IDs of the messages buffered there.
+func (r *Recorder) OccupancyAt(t int) map[graph.EdgeID][]message.ID {
+	occ := make(map[graph.EdgeID][]message.ID)
+	for i := 0; i < r.set.Len(); i++ {
+		id := message.ID(i)
+		f := r.frontierAt(id, t)
+		if f <= 0 {
+			continue
+		}
+		m := r.set.Get(id)
+		d, l := len(m.Path), m.Length
+		lo, hi := f-l, f-1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > d-2 {
+			hi = d - 2
+		}
+		for j := lo; j <= hi; j++ {
+			e := m.Path[j]
+			occ[e] = append(occ[e], id)
+		}
+	}
+	return occ
+}
+
+// Render draws the space-time diagram. Rows are edges in first-use order
+// across all message paths; columns are flit steps 0..Steps(). Rendering
+// is intended for small instances; above maxCells cells it degrades to a
+// summary line.
+func (r *Recorder) Render() string {
+	const maxCells = 200000
+	edges, labels := r.edgeRows()
+	steps := r.lastTime
+	if len(edges)*(steps+1) > maxCells {
+		return fmt.Sprintf("trace: %d edges × %d steps — too large to render\n", len(edges), steps+1)
+	}
+	var b strings.Builder
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	fmt.Fprintf(&b, "%*s  time 0..%d (one column per flit step)\n", width, "", steps)
+	for i, e := range edges {
+		fmt.Fprintf(&b, "%-*s  ", width, labels[i])
+		for t := 0; t <= steps; t++ {
+			b.WriteByte(r.cellAt(e, t))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(r.legend())
+	return b.String()
+}
+
+// cellAt renders one (edge, time) cell.
+func (r *Recorder) cellAt(e graph.EdgeID, t int) byte {
+	var owners []message.ID
+	for i := 0; i < r.set.Len(); i++ {
+		id := message.ID(i)
+		f := r.frontierAt(id, t)
+		if f <= 0 {
+			continue
+		}
+		m := r.set.Get(id)
+		d, l := len(m.Path), m.Length
+		lo, hi := f-l, f-1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > d-2 {
+			hi = d - 2
+		}
+		for j := lo; j <= hi; j++ {
+			if m.Path[j] == e {
+				owners = append(owners, id)
+				break
+			}
+		}
+	}
+	switch {
+	case len(owners) == 0:
+		return '.'
+	case len(owners) == 1:
+		return msgChar(owners[0])
+	case len(owners) <= 9:
+		return byte('0' + len(owners))
+	default:
+		return '#'
+	}
+}
+
+// msgChar maps a message ID to a stable display character.
+func msgChar(id message.ID) byte {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return alphabet[int(id)%len(alphabet)]
+}
+
+// edgeRows returns the edges used by any path, in first-use order, with
+// labels "tail→head".
+func (r *Recorder) edgeRows() ([]graph.EdgeID, []string) {
+	var edges []graph.EdgeID
+	seen := make(map[graph.EdgeID]bool)
+	for i := 0; i < r.set.Len(); i++ {
+		for _, e := range r.set.Get(message.ID(i)).Path {
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	labels := make([]string, len(edges))
+	for i, e := range edges {
+		ed := r.set.G.Edge(e)
+		tl := r.set.G.Label(ed.Tail)
+		hl := r.set.G.Label(ed.Head)
+		if tl == "" {
+			tl = fmt.Sprint(ed.Tail)
+		}
+		if hl == "" {
+			hl = fmt.Sprint(ed.Head)
+		}
+		labels[i] = tl + ">" + hl
+	}
+	return edges, labels
+}
+
+// legend summarizes message fates under the diagram.
+func (r *Recorder) legend() string {
+	var b strings.Builder
+	b.WriteString("worms: ")
+	for i := 0; i < r.set.Len(); i++ {
+		id := message.ID(i)
+		fate := "in flight"
+		if t, ok := r.delivers[id]; ok {
+			fate = fmt.Sprintf("delivered@%d", t)
+		} else if t, ok := r.drops[id]; ok {
+			fate = fmt.Sprintf("dropped@%d", t)
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%d(%s)", msgChar(id), i, fate)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Assert the interface is satisfied.
+var _ vcsim.Observer = (*Recorder)(nil)

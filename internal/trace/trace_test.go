@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/topology"
+	"wormhole/internal/vcsim"
+)
+
+func lineSet(msgs, span, l int) *message.Set {
+	g := topology.NewLinearArray(span + 1)
+	set := message.NewSet(g)
+	route := message.ShortestPathRouter(g)
+	for i := 0; i < msgs; i++ {
+		set.Add(0, graph.NodeID(span), l, route(0, graph.NodeID(span)))
+	}
+	return set
+}
+
+func TestRecorderSingleWorm(t *testing.T) {
+	const d, l = 4, 3
+	set := lineSet(1, d, l)
+	rec := NewRecorder(set)
+	res := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: 1, Observer: rec})
+	if rec.Steps() != res.Steps {
+		t.Errorf("recorder steps %d, sim %d", rec.Steps(), res.Steps)
+	}
+	// The worm advances every step: d+l-1 advances.
+	if got := rec.frontierAt(0, res.Steps); got != d+l-1 {
+		t.Errorf("final frontier %d, want %d", got, d+l-1)
+	}
+	// At time 1 the header sits at edge 0.
+	occ := rec.OccupancyAt(1)
+	if len(occ) != 1 {
+		t.Fatalf("occupancy at t=1: %v", occ)
+	}
+	for e, ids := range occ {
+		if e != set.Get(0).Path[0] || len(ids) != 1 || ids[0] != 0 {
+			t.Errorf("unexpected occupancy %v", occ)
+		}
+	}
+	// After delivery, nothing is buffered.
+	if occ := rec.OccupancyAt(res.Steps); len(occ) != 0 {
+		t.Errorf("post-delivery occupancy %v", occ)
+	}
+}
+
+func TestRecorderOccupancyMatchesSim(t *testing.T) {
+	// Two worms sharing a path with B=2: peak occupancy per edge is 2,
+	// matching the simulator's MaxOccupied.
+	set := lineSet(2, 5, 4)
+	rec := NewRecorder(set)
+	res := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: 2, Observer: rec})
+	peak := 0
+	for t0 := 0; t0 <= res.Steps; t0++ {
+		for _, ids := range rec.OccupancyAt(t0) {
+			if len(ids) > peak {
+				peak = len(ids)
+			}
+		}
+	}
+	if peak != res.MaxOccupied {
+		t.Errorf("recorder peak %d, sim MaxOccupied %d", peak, res.MaxOccupied)
+	}
+}
+
+func TestRecorderDrops(t *testing.T) {
+	set := lineSet(2, 4, 6)
+	rec := NewRecorder(set)
+	res := vcsim.Run(set, nil, vcsim.Config{
+		VirtualChannels: 1, DropOnDelay: true, Observer: rec,
+	})
+	if res.Dropped != 1 {
+		t.Fatalf("dropped %d", res.Dropped)
+	}
+	if _, ok := rec.drops[1]; !ok {
+		t.Error("drop event not recorded")
+	}
+	// Dropped worm occupies nothing after its drop time.
+	dropT := rec.drops[1]
+	for _, ids := range rec.OccupancyAt(dropT) {
+		for _, id := range ids {
+			if id == 1 {
+				t.Error("dropped worm still occupies a buffer")
+			}
+		}
+	}
+}
+
+func TestRenderDiagram(t *testing.T) {
+	set := lineSet(2, 3, 3)
+	rec := NewRecorder(set)
+	vcsim.Run(set, nil, vcsim.Config{VirtualChannels: 1, Observer: rec})
+	out := rec.Render()
+	if !strings.Contains(out, "time 0..") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("worm characters missing:\n%s", out)
+	}
+	if !strings.Contains(out, "delivered@") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Two edge rows (the final edge's buffer is never occupied but the
+	// row still renders) plus header and legend.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+3+1 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderLargeDegradesGracefully(t *testing.T) {
+	bf := topology.NewButterfly(256)
+	set := message.NewSet(bf.G)
+	for src := 0; src < 256; src++ {
+		for rep := 0; rep < 4; rep++ {
+			dst := (src*7 + rep*13) % 256
+			set.Add(bf.Input(src), bf.Output(dst), 300, bf.Route(src, dst))
+		}
+	}
+	rec := NewRecorder(set)
+	vcsim.Run(set, nil, vcsim.Config{VirtualChannels: 2, Observer: rec})
+	out := rec.Render()
+	if !strings.Contains(out, "too large") {
+		t.Errorf("large trace should summarize, got %d bytes", len(out))
+	}
+}
+
+func TestSingleWormDiagonal(t *testing.T) {
+	// A lone worm's header traces a diagonal through the diagram: edge i
+	// is first occupied at time i+1.
+	const d, l = 5, 2
+	set := lineSet(1, d, l)
+	rec := NewRecorder(set)
+	vcsim.Run(set, nil, vcsim.Config{VirtualChannels: 1, Observer: rec})
+	m := set.Get(0)
+	for i := 0; i <= d-2; i++ {
+		occ := rec.OccupancyAt(i + 1)
+		found := false
+		for e := range occ {
+			if e == m.Path[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("edge %d not occupied at time %d: %v", i, i+1, occ)
+		}
+	}
+}

@@ -1,0 +1,622 @@
+// Package vcsim is a cycle-accurate simulator of the paper's wormhole
+// router model (Section 1.1):
+//
+//   - every physical channel (directed edge) multiplexes B virtual
+//     channels, realized as a B-slot flit buffer at the head of the edge,
+//     at most one flit per message per buffer;
+//   - in one flit step, one flit can cross each of the B virtual channels
+//     of an edge (so up to B flits per edge per step, at most one per
+//     message);
+//   - a header flit cannot cross an edge whose head buffer has no free
+//     slot; a blocked worm stalls rigidly (no flit of it moves);
+//   - injection and delivery buffers are external and unbounded, and a
+//     flit reaching its destination node leaves the network immediately.
+//
+// Two model variants from the paper are supported: drop-on-delay (the
+// Section 3.1 algorithm discards any worm that is ever delayed) and the
+// restricted-bandwidth model of the Section 1.4 remarks (B buffer slots
+// per edge but only one flit may cross each physical edge per step).
+//
+// The simulator is synchronous and two-phase: slot releases performed
+// during a step become visible to other messages only at the next step,
+// matching a conservative hardware pipeline. Under this discipline a color
+// class with multiplex size ≤ B released in isolation provably never
+// blocks, which is the property the Theorem 2.1.6 schedules rely on.
+package vcsim
+
+import (
+	"fmt"
+	"sort"
+
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+)
+
+// Policy selects how contending headers are ordered within a flit step.
+type Policy int8
+
+const (
+	// ArbByID processes messages in message-ID order (a deterministic
+	// stand-in for FIFO hardware arbitration).
+	ArbByID Policy = iota
+	// ArbRandom shuffles contenders uniformly each step.
+	ArbRandom
+	// ArbAge gives priority to messages with earlier release times
+	// (ties broken by ID).
+	ArbAge
+)
+
+func (p Policy) String() string {
+	switch p {
+	case ArbByID:
+		return "by-id"
+	case ArbRandom:
+		return "random"
+	case ArbAge:
+		return "age"
+	}
+	return fmt.Sprintf("policy(%d)", int8(p))
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// VirtualChannels is B ≥ 1: buffer slots per edge and, unless
+	// RestrictedBandwidth is set, also the per-edge flit bandwidth.
+	VirtualChannels int
+	// RestrictedBandwidth enables the Section 1.4 remark model: B buffer
+	// slots but at most one flit crosses each physical edge per step.
+	RestrictedBandwidth bool
+	// DropOnDelay discards a worm the first time it fails to advance
+	// (used by the Section 3.1 butterfly algorithm).
+	DropOnDelay bool
+	// Arbitration orders contending messages. Default ArbByID.
+	Arbitration Policy
+	// Seed feeds the ArbRandom shuffle; ignored otherwise.
+	Seed uint64
+	// MaxSteps bounds the run; 0 derives a safe bound from the workload.
+	// Exceeding the bound marks the result as truncated.
+	MaxSteps int
+	// CheckInvariants makes every step assert buffer-capacity and
+	// worm-contiguity invariants (for tests; costs time).
+	CheckInvariants bool
+	// Observer, when non-nil, receives per-event callbacks (advances,
+	// drops, deliveries). Event times match the MessageStats convention:
+	// an event processed in the step from t to t+1 reports time t+1.
+	Observer Observer
+}
+
+// Observer receives simulation events; the trace package uses it to
+// reconstruct space-time diagrams. Implementations must not call back
+// into the simulator.
+type Observer interface {
+	// OnAdvance fires when a worm moves; frontier is the number of edges
+	// its header has crossed after the move.
+	OnAdvance(time int, msg message.ID, frontier int)
+	// OnDrop fires when drop-on-delay discards a worm.
+	OnDrop(time int, msg message.ID)
+	// OnDeliver fires when a worm's last flit reaches its destination.
+	OnDeliver(time int, msg message.ID)
+}
+
+// Status describes a message's final (or current) state.
+type Status int8
+
+const (
+	// StatusWaiting means the release time has not been reached.
+	StatusWaiting Status = iota
+	// StatusActive means the worm is injected or trying to inject.
+	StatusActive
+	// StatusDelivered means all L flits reached the destination.
+	StatusDelivered
+	// StatusDropped means drop-on-delay discarded the worm.
+	StatusDropped
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusWaiting:
+		return "waiting"
+	case StatusActive:
+		return "active"
+	case StatusDelivered:
+		return "delivered"
+	case StatusDropped:
+		return "dropped"
+	}
+	return fmt.Sprintf("status(%d)", int8(s))
+}
+
+// MessageStats records the fate of one message.
+type MessageStats struct {
+	Status      Status
+	Release     int // configured release time
+	InjectTime  int // flit step at which the header first crossed an edge; -1 if never
+	DeliverTime int // flit step at which the last flit arrived; -1 if not delivered
+	DropTime    int // flit step of the drop; -1 if not dropped
+	Stalls      int // steps spent eligible but unable to advance
+}
+
+// Latency returns delivery time minus release, or -1 if undelivered.
+func (m MessageStats) Latency() int {
+	if m.Status != StatusDelivered {
+		return -1
+	}
+	return m.DeliverTime - m.Release
+}
+
+// Result summarizes a run.
+type Result struct {
+	Steps       int  // flit step at which the last event occurred
+	Delivered   int  // messages fully delivered
+	Dropped     int  // messages discarded by drop-on-delay
+	Deadlocked  bool // true if a blocked configuration could never advance
+	Truncated   bool // true if MaxSteps was exceeded
+	TotalStalls int
+	FlitHops    int64 // total flit-edge crossings (work performed)
+	MaxOccupied int   // max buffer slots observed in use on any edge
+	PerMessage  []MessageStats
+	BlockedIDs  []message.ID // messages blocked at deadlock detection
+}
+
+// AllDelivered reports whether every message was delivered.
+func (r *Result) AllDelivered() bool {
+	return r.Delivered == len(r.PerMessage)
+}
+
+// MaxLatency returns the largest per-message latency among delivered
+// messages (0 when none were delivered).
+func (r *Result) MaxLatency() int {
+	max := 0
+	for i := range r.PerMessage {
+		if l := r.PerMessage[i].Latency(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// DeliveredIDs returns the IDs of delivered messages in ID order.
+func (r *Result) DeliveredIDs() []message.ID {
+	var out []message.ID
+	for i := range r.PerMessage {
+		if r.PerMessage[i].Status == StatusDelivered {
+			out = append(out, message.ID(i))
+		}
+	}
+	return out
+}
+
+// DroppedIDs returns the IDs of dropped messages in ID order.
+func (r *Result) DroppedIDs() []message.ID {
+	var out []message.ID
+	for i := range r.PerMessage {
+		if r.PerMessage[i].Status == StatusDropped {
+			out = append(out, message.ID(i))
+		}
+	}
+	return out
+}
+
+// worm is the per-message simulation state. Because worms are rigid, the
+// entire flit configuration is captured by a single counter: frontier = the
+// number of edges the header has crossed. Flit j has crossed
+// clamp(frontier−j, 0, D) edges; an in-network flit that has crossed c ≥ 1
+// edges occupies the buffer at the head of path[c−1], and a flit with
+// c = D has been removed into the delivery buffer.
+type worm struct {
+	id       int
+	path     []int32 // edge IDs (widened once at Run start)
+	d, l     int     // path length, message length
+	frontier int
+	release  int
+	stats    MessageStats
+}
+
+// complete reports whether all flits have been delivered.
+func (w *worm) complete() bool { return w.frontier >= w.d+w.l-1 }
+
+// span returns the closed interval [lo, hi] of path indices whose buffers
+// this worm currently occupies; ok is false when the worm occupies nothing.
+// Buffers exist only for non-final edges (a flit crossing the last edge is
+// removed immediately), hence the d−2 cap.
+func (w *worm) span() (lo, hi int, ok bool) {
+	hi = w.frontier - 1
+	if hi > w.d-2 {
+		hi = w.d - 2
+	}
+	lo = w.frontier - w.l
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi, lo <= hi
+}
+
+// crossed returns the closed interval [lo, hi] of path indices whose edges
+// carry one flit of this worm if it advances this step.
+func (w *worm) crossed() (lo, hi int) {
+	hi = w.frontier
+	if hi > w.d-1 {
+		hi = w.d - 1
+	}
+	lo = w.frontier - w.l + 1
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// Run simulates the message set under the given per-message release times
+// (release[i] is the earliest flit step at which message i may start; nil
+// means all release at 0) and returns the result.
+func Run(s *message.Set, release []int, cfg Config) Result {
+	sim := newSim(s, release, cfg)
+	sim.run()
+	return sim.result()
+}
+
+type sim struct {
+	cfg   Config
+	b     int
+	cap   int // per-edge flit crossings per step
+	worms []worm
+	// pending holds worm indices sorted by (release, id); worms move to
+	// active as their release times pass, so steps never scan unreleased
+	// worms (schedules can spread releases over a long horizon).
+	pending []int
+	// active holds released, incomplete worms in (release, id) order —
+	// which is plain ID order when all releases coincide, matching the
+	// ArbByID policy's contract.
+	active []int
+	now    int
+
+	slotsUsed []int32 // persistent per-edge buffer occupancy
+	grants    []int32 // per-step: slots granted this step
+	crossings []int32 // per-step: flits crossing this step
+	releases  []int32 // per-step: slots released this step
+	dirty     []int32 // touched edge IDs this step (for O(touched) reset)
+
+	shuffler *rng.Source
+
+	totalStalls int
+	flitHops    int64
+	maxOccupied int
+	delivered   int
+	dropped     int
+	deadlocked  bool
+	truncated   bool
+	blockedIDs  []message.ID
+	maxSteps    int
+}
+
+func newSim(s *message.Set, release []int, cfg Config) *sim {
+	if cfg.VirtualChannels < 1 {
+		panic(fmt.Sprintf("vcsim: VirtualChannels %d < 1", cfg.VirtualChannels))
+	}
+	if release != nil && len(release) != s.Len() {
+		panic(fmt.Sprintf("vcsim: %d release times for %d messages", len(release), s.Len()))
+	}
+	n := s.Len()
+	m := s.G.NumEdges()
+	si := &sim{
+		cfg:       cfg,
+		b:         cfg.VirtualChannels,
+		cap:       cfg.VirtualChannels,
+		worms:     make([]worm, n),
+		pending:   make([]int, 0, n),
+		active:    make([]int, 0, n),
+		slotsUsed: make([]int32, m),
+		grants:    make([]int32, m),
+		crossings: make([]int32, m),
+		releases:  make([]int32, m),
+	}
+	if cfg.RestrictedBandwidth {
+		si.cap = 1
+	}
+	if cfg.Arbitration == ArbRandom {
+		si.shuffler = rng.New(cfg.Seed)
+	}
+	work := 0
+	maxRelease := 0
+	for i := 0; i < n; i++ {
+		msg := s.Get(message.ID(i))
+		rel := 0
+		if release != nil {
+			rel = release[i]
+			if rel < 0 {
+				panic(fmt.Sprintf("vcsim: negative release time for message %d", i))
+			}
+		}
+		if rel > maxRelease {
+			maxRelease = rel
+		}
+		p := make([]int32, len(msg.Path))
+		for j, e := range msg.Path {
+			p[j] = int32(e)
+		}
+		si.worms[i] = worm{
+			id:      i,
+			path:    p,
+			d:       len(p),
+			l:       msg.Length,
+			release: rel,
+			stats:   MessageStats{Release: rel, InjectTime: -1, DeliverTime: -1, DropTime: -1},
+		}
+		work += len(p) + msg.Length
+		si.pending = append(si.pending, i)
+	}
+	si.maxSteps = cfg.MaxSteps
+	if si.maxSteps == 0 {
+		// Any non-deadlocked run advances at least one worm per step, so
+		// total steps ≤ maxRelease + Σ(D_i + L_i). Deadlocks are detected
+		// separately, so this bound is a pure safety net.
+		si.maxSteps = maxRelease + work + n + 16
+	}
+	// Pending is kept sorted by (release, id); worms enter the active list
+	// in that order, which all policies treat as the base ordering.
+	sort.SliceStable(si.pending, func(a, b int) bool {
+		wa, wb := &si.worms[si.pending[a]], &si.worms[si.pending[b]]
+		if wa.release != wb.release {
+			return wa.release < wb.release
+		}
+		return wa.id < wb.id
+	})
+	return si
+}
+
+func (si *sim) run() {
+	for len(si.active) > 0 || len(si.pending) > 0 {
+		if si.now >= si.maxSteps {
+			si.truncated = true
+			return
+		}
+		// Fast-forward across gaps where nothing is eligible.
+		if len(si.active) == 0 && si.worms[si.pending[0]].release > si.now {
+			si.now = si.worms[si.pending[0]].release
+		}
+		si.admit()
+		si.step()
+	}
+}
+
+// admit moves pending worms whose release has arrived onto the active list.
+func (si *sim) admit() {
+	for len(si.pending) > 0 && si.worms[si.pending[0]].release <= si.now {
+		si.active = append(si.active, si.pending[0])
+		si.pending = si.pending[1:]
+	}
+}
+
+// step advances the simulation by one flit step.
+func (si *sim) step() {
+	order := si.active
+	if si.cfg.Arbitration == ArbRandom {
+		order = append([]int(nil), si.active...)
+		si.shuffler.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	moved := false
+	droppedAny := false
+	anyEligible := len(order) > 0
+	var blocked []message.ID
+
+	for _, idx := range order {
+		w := &si.worms[idx]
+		if si.tryAdvance(w) {
+			moved = true
+			continue
+		}
+		// Failed to advance.
+		if si.cfg.DropOnDelay {
+			si.drop(w)
+			droppedAny = true
+			continue
+		}
+		w.stats.Stalls++
+		si.totalStalls++
+		blocked = append(blocked, message.ID(w.id))
+	}
+
+	si.applyStepEnd()
+	si.now++
+	si.reap()
+
+	if si.cfg.CheckInvariants {
+		si.checkInvariants()
+	}
+
+	if !moved && !droppedAny && anyEligible {
+		// Every eligible worm is slot-blocked and slots free only when
+		// worms move; future releases cannot free slots. Frozen forever.
+		si.deadlocked = true
+		si.blockedIDs = blocked
+		si.finishAsDeadlocked()
+	}
+}
+
+// tryAdvance attempts to move worm w one step, honoring buffer and
+// bandwidth constraints. On success it performs the move and returns true.
+func (si *sim) tryAdvance(w *worm) bool {
+	if w.d == 0 {
+		// Source equals destination: delivered instantly upon release.
+		w.frontier = w.l // mark complete
+		w.stats.Status = StatusDelivered
+		w.stats.InjectTime = si.now
+		w.stats.DeliverTime = si.now
+		si.delivered++
+		if obs := si.cfg.Observer; obs != nil {
+			obs.OnDeliver(si.now, message.ID(w.id))
+		}
+		return true
+	}
+	// Buffer constraint: crossing edge path[frontier] requires a free slot
+	// unless it is the final edge (delivery buffer is external).
+	needSlot := int32(-1)
+	if w.frontier < w.d-1 {
+		e := w.path[w.frontier]
+		if si.slotsUsed[e]+si.grants[e] >= int32(si.b) {
+			return false
+		}
+		needSlot = e
+	}
+	// Bandwidth constraint: every edge a flit of this worm would cross
+	// this step must still have crossing capacity.
+	lo, hi := w.crossed()
+	for i := lo; i <= hi; i++ {
+		if si.crossings[w.path[i]] >= int32(si.cap) {
+			return false
+		}
+	}
+	// Commit.
+	if needSlot >= 0 {
+		si.grants[needSlot]++
+		si.touch(needSlot)
+	}
+	for i := lo; i <= hi; i++ {
+		e := w.path[i]
+		si.crossings[e]++
+		si.touch(e)
+	}
+	si.flitHops += int64(hi - lo + 1)
+	// Tail release: the slot at path[frontier−L] frees when the tail flit
+	// leaves it (visible next step).
+	if rel := w.frontier - w.l; rel >= 0 && rel <= w.d-2 {
+		e := w.path[rel]
+		si.releases[e]++
+		si.touch(e)
+	}
+	if w.stats.InjectTime < 0 {
+		w.stats.InjectTime = si.now + 1
+	}
+	w.frontier++
+	if obs := si.cfg.Observer; obs != nil {
+		obs.OnAdvance(si.now+1, message.ID(w.id), w.frontier)
+	}
+	if w.complete() {
+		w.stats.Status = StatusDelivered
+		w.stats.DeliverTime = si.now + 1
+		si.delivered++
+		if obs := si.cfg.Observer; obs != nil {
+			obs.OnDeliver(si.now+1, message.ID(w.id))
+		}
+	} else {
+		w.stats.Status = StatusActive
+	}
+	return true
+}
+
+// drop discards worm w, releasing all buffer slots it occupies (visible
+// next step, like any other release).
+func (si *sim) drop(w *worm) {
+	if lo, hi, ok := w.span(); ok {
+		for i := lo; i <= hi; i++ {
+			e := w.path[i]
+			si.releases[e]++
+			si.touch(e)
+		}
+	}
+	w.stats.Status = StatusDropped
+	w.stats.DropTime = si.now + 1
+	si.dropped++
+	if obs := si.cfg.Observer; obs != nil {
+		obs.OnDrop(si.now+1, message.ID(w.id))
+	}
+}
+
+// touch records an edge index for end-of-step cleanup.
+func (si *sim) touch(e int32) {
+	si.dirty = append(si.dirty, e)
+}
+
+// applyStepEnd folds grants and releases into persistent occupancy and
+// clears the per-step scratch arrays.
+func (si *sim) applyStepEnd() {
+	for _, e := range si.dirty {
+		if si.grants[e] != 0 || si.releases[e] != 0 {
+			si.slotsUsed[e] += si.grants[e] - si.releases[e]
+			if int(si.slotsUsed[e]) > si.maxOccupied {
+				si.maxOccupied = int(si.slotsUsed[e])
+			}
+			si.grants[e] = 0
+			si.releases[e] = 0
+		}
+		si.crossings[e] = 0
+	}
+	si.dirty = si.dirty[:0]
+}
+
+// reap removes completed and dropped worms from the active list, preserving
+// order.
+func (si *sim) reap() {
+	keep := si.active[:0]
+	for _, idx := range si.active {
+		st := si.worms[idx].stats.Status
+		if st == StatusDelivered || st == StatusDropped {
+			continue
+		}
+		keep = append(keep, idx)
+	}
+	si.active = keep
+}
+
+// finishAsDeadlocked empties the worm lists so run() terminates.
+func (si *sim) finishAsDeadlocked() {
+	si.active = si.active[:0]
+	si.pending = si.pending[:0]
+}
+
+// checkInvariants asserts model invariants; it panics on violation so test
+// failures pinpoint the first bad step.
+func (si *sim) checkInvariants() {
+	occ := make(map[int32]int32, 64)
+	for i := range si.worms {
+		w := &si.worms[i]
+		if w.stats.Status == StatusDropped || w.stats.Status == StatusDelivered {
+			continue
+		}
+		if lo, hi, ok := w.span(); ok {
+			for j := lo; j <= hi; j++ {
+				occ[w.path[j]]++
+			}
+		}
+	}
+	for e, c := range occ {
+		if c != si.slotsUsed[e] {
+			panic(fmt.Sprintf("vcsim: step %d: edge %d occupancy %d but slotsUsed %d", si.now, e, c, si.slotsUsed[e]))
+		}
+		if c > int32(si.b) {
+			panic(fmt.Sprintf("vcsim: step %d: edge %d holds %d > B=%d flits", si.now, e, c, si.b))
+		}
+	}
+	for e, used := range si.slotsUsed {
+		if used != 0 && occ[int32(e)] == 0 {
+			panic(fmt.Sprintf("vcsim: step %d: edge %d has stale occupancy %d", si.now, e, used))
+		}
+	}
+}
+
+func (si *sim) result() Result {
+	res := Result{
+		Delivered:   si.delivered,
+		Dropped:     si.dropped,
+		Deadlocked:  si.deadlocked,
+		Truncated:   si.truncated,
+		TotalStalls: si.totalStalls,
+		FlitHops:    si.flitHops,
+		MaxOccupied: si.maxOccupied,
+		PerMessage:  make([]MessageStats, len(si.worms)),
+		BlockedIDs:  si.blockedIDs,
+	}
+	last := 0
+	for i := range si.worms {
+		st := si.worms[i].stats
+		res.PerMessage[i] = st
+		if st.DeliverTime > last {
+			last = st.DeliverTime
+		}
+		if st.DropTime > last {
+			last = st.DropTime
+		}
+	}
+	res.Steps = last
+	return res
+}
