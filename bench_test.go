@@ -1,14 +1,15 @@
-// Benchmark harness: one benchmark per reproduced table/figure (see
-// DESIGN.md section 4) plus the ablation studies of section 5.
+// Benchmark harness: one benchmark per reproduced table/figure (see the
+// experiment catalogue in README.md) plus the ablation studies.
 //
 // Each benchmark executes the corresponding experiment at smoke scale per
 // iteration and reports experiment-specific metrics (flit steps, classes,
 // speedups) through b.ReportMetric, so `go test -bench` output doubles as
 // a compact reproduction log. Full-scale numbers are produced by
-// `go run ./cmd/wormbench -all` and recorded in EXPERIMENTS.md.
+// `go run ./cmd/wormbench -all`.
 package wormhole_test
 
 import (
+	"fmt"
 	"testing"
 
 	"wormhole"
@@ -56,6 +57,27 @@ func BenchmarkAblationResample(b *testing.B)    { runExperiment(b, "A2") }
 func BenchmarkAblationDrop(b *testing.B)        { runExperiment(b, "A3") }
 func BenchmarkAblationPasses(b *testing.B)      { runExperiment(b, "A4") }
 func BenchmarkAblationPathSelect(b *testing.B)  { runExperiment(b, "A5") }
+
+// BenchmarkParallelHarness measures the job-runner's scaling: the same
+// experiment bundle executed across worker counts. Output tables are
+// byte-identical for every worker count (see core.TestParallelDeterminism),
+// so the speedup is pure harness parallelism.
+func BenchmarkParallelHarness(b *testing.B) {
+	// T1+T6 share the schedule-heavy workloads; T4 adds simulator load.
+	ids := []string{"T1", "T4", "T6"}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := core.Config{Seed: 42, Quick: true, Workers: w}
+			for i := 0; i < b.N; i++ {
+				for _, id := range ids {
+					if _, err := core.Run(id, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
 
 // --- component micro-benchmarks ----------------------------------------------
 //

@@ -4,11 +4,13 @@
 // Usage:
 //
 //	wormbench -list
-//	wormbench -run T1 [-seed 42] [-quick] [-trials 5]
+//	wormbench -run T1 [-seed 42] [-quick] [-trials 5] [-workers 8]
 //	wormbench -all
 //
-// Experiment IDs are defined in DESIGN.md (F1, F2 for the figures; T1–T8
-// for the theorem/remark reproductions; A1–A4 for the design ablations).
+// Experiment IDs are catalogued in README.md (F1, F2 for the figures;
+// T1–T11 for the theorem/remark reproductions; A1–A5 for the design
+// ablations). -workers fans the experiment's independent jobs across a
+// worker pool (0 = GOMAXPROCS); tables are byte-identical for any value.
 package main
 
 import (
@@ -22,17 +24,18 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "experiment ID to run (e.g. T1)")
-		all    = flag.Bool("all", false, "run every experiment")
-		seed   = flag.Uint64("seed", 42, "experiment seed")
-		quick  = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
-		trials = flag.Int("trials", 0, "override trial count (0 = default)")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment ID to run (e.g. T1)")
+		all     = flag.Bool("all", false, "run every experiment")
+		seed    = flag.Uint64("seed", 42, "experiment seed")
+		quick   = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
+		trials  = flag.Int("trials", 0, "override trial count (0 = default)")
+		workers = flag.Int("workers", 0, "parallel harness workers (0 = GOMAXPROCS)")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
 
-	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials}
+	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers}
 
 	switch {
 	case *list:

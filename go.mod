@@ -1,0 +1,3 @@
+module wormhole
+
+go 1.24

@@ -26,14 +26,28 @@ func A1Arbitration(cfg Config) []*stats.Table {
 	r := rng.New(cfg.Seed)
 	pairs := butterfly.RandomDestinations(n, q, r)
 
+	type job struct {
+		b   int
+		pol vcsim.Policy
+	}
+	var jobs []job
+	for _, b := range []int{1, 2, 4} {
+		for _, pol := range []vcsim.Policy{vcsim.ArbByID, vcsim.ArbRandom, vcsim.ArbAge} {
+			jobs = append(jobs, job{b, pol})
+		}
+	}
+	type out struct {
+		steps, stalls int
+	}
+	outs := mapJobs(cfg, len(jobs), func(i int) out {
+		res := butterfly.RunOnePass(bf, pairs, l, jobs[i].b, jobs[i].pol, cfg.Seed)
+		return out{steps: res.Steps, stalls: res.TotalStalls}
+	})
 	t := stats.NewTable(
 		"A1 — ablation: arbitration policy on greedy one-pass routing",
 		"policy", "B", "steps", "stalls")
-	for _, b := range []int{1, 2, 4} {
-		for _, pol := range []vcsim.Policy{vcsim.ArbByID, vcsim.ArbRandom, vcsim.ArbAge} {
-			res := butterfly.RunOnePass(bf, pairs, l, b, pol, cfg.Seed)
-			t.AddRow(pol.String(), b, res.Steps, res.TotalStalls)
-		}
+	for i, o := range outs {
+		t.AddRow(jobs[i].pol.String(), jobs[i].b, o.steps, o.stalls)
 	}
 	return []*stats.Table{t}
 }
@@ -46,30 +60,43 @@ func A2Resample(cfg Config) []*stats.Table {
 	if !cfg.Quick {
 		p = ButterflyQRelation(256, 16, 48, cfg.Seed)
 	}
+	type job struct {
+		b     int
+		whole bool
+	}
+	var jobs []job
+	for _, b := range []int{1, 2, 4} {
+		jobs = append(jobs, job{b, false}, job{b, true})
+	}
+	type out struct {
+		classes, attempts int
+		escalated         bool
+	}
+	outs := mapJobs(cfg, len(jobs), func(i int) out {
+		sched, err := schedule.Build(p.Set, schedule.Options{
+			B:             jobs[i].b,
+			ConstantScale: DefaultConstantScale,
+			ResampleWhole: jobs[i].whole,
+		}, rng.New(cfg.Seed))
+		if err != nil {
+			panic(fmt.Sprintf("A2: %v", err))
+		}
+		o := out{classes: sched.NumClasses}
+		for _, st := range sched.Steps {
+			o.attempts += st.Attempts
+			o.escalated = o.escalated || st.Escalated
+		}
+		return o
+	})
 	t := stats.NewTable(
 		"A2 — ablation: resampling granularity in the LLL scheduler",
 		"mode", "B", "classes", "attempts", "escalated")
-	for _, b := range []int{1, 2, 4} {
-		for _, whole := range []bool{false, true} {
-			sched, err := schedule.Build(p.Set, schedule.Options{
-				B:             b,
-				ConstantScale: DefaultConstantScale,
-				ResampleWhole: whole,
-			}, rng.New(cfg.Seed))
-			if err != nil {
-				panic(fmt.Sprintf("A2: %v", err))
-			}
-			attempts, escalated := 0, false
-			for _, st := range sched.Steps {
-				attempts += st.Attempts
-				escalated = escalated || st.Escalated
-			}
-			mode := "violated-only"
-			if whole {
-				mode = "whole"
-			}
-			t.AddRow(mode, b, sched.NumClasses, attempts, escalated)
+	for i, o := range outs {
+		mode := "violated-only"
+		if jobs[i].whole {
+			mode = "whole"
 		}
+		t.AddRow(mode, jobs[i].b, o.classes, o.attempts, o.escalated)
 	}
 	return []*stats.Table{t}
 }
@@ -97,18 +124,30 @@ func A3Drop(cfg Config) []*stats.Table {
 	}
 	set := butterfly.TwoPassPathEndpoints(tp, routes, l)
 
+	// Two jobs per B: the drop-on-delay run and the blocking run.
+	type job struct {
+		b    int
+		drop bool
+	}
+	var jobs []job
+	for _, b := range []int{1, 2, 4} {
+		jobs = append(jobs, job{b, true}, job{b, false})
+	}
+	outs := mapJobs(cfg, len(jobs), func(i int) vcsim.Result {
+		return vcsim.Run(set, nil, vcsim.Config{
+			VirtualChannels: jobs[i].b, DropOnDelay: jobs[i].drop,
+			Arbitration: vcsim.ArbRandom, Seed: cfg.Seed,
+		})
+	})
 	t := stats.NewTable(
 		"A3 — ablation: drop-on-delay vs blocking for one subround batch",
 		"mode", "B", "delivered", "dropped", "steps")
-	for _, b := range []int{1, 2, 4} {
-		drop := vcsim.Run(set, nil, vcsim.Config{
-			VirtualChannels: b, DropOnDelay: true, Arbitration: vcsim.ArbRandom, Seed: cfg.Seed,
-		})
-		t.AddRow("drop-on-delay", b, drop.Delivered, drop.Dropped, drop.Steps)
-		block := vcsim.Run(set, nil, vcsim.Config{
-			VirtualChannels: b, Arbitration: vcsim.ArbRandom, Seed: cfg.Seed,
-		})
-		t.AddRow("blocking", b, block.Delivered, block.Dropped, block.Steps)
+	for i, res := range outs {
+		mode := "blocking"
+		if jobs[i].drop {
+			mode = "drop-on-delay"
+		}
+		t.AddRow(mode, jobs[i].b, res.Delivered, res.Dropped, res.Steps)
 	}
 	return []*stats.Table{t}
 }
@@ -121,7 +160,6 @@ func A4Passes(cfg Config) []*stats.Table {
 	if !cfg.Quick {
 		n = 256
 	}
-	r := rng.New(cfg.Seed)
 
 	// Bit-reversal: the classic adversarial permutation for bit-fixing.
 	pairs := make([]butterfly.ColPair, n)
@@ -136,18 +174,38 @@ func A4Passes(cfg Config) []*stats.Table {
 		pairs[w] = butterfly.ColPair{Src: w, Dst: rev}
 	}
 
+	// Two jobs per B (one-pass, two-pass). Each job owns a child source
+	// pre-split from the experiment seed by index, so the randomized runs
+	// stay deterministic under any worker count.
+	type job struct {
+		b       int
+		twoPass bool
+	}
+	var jobs []job
+	for _, b := range []int{1, 2, 4} {
+		jobs = append(jobs, job{b, false}, job{b, true})
+	}
+	srcs := jobSources(cfg.Seed, len(jobs))
+	survivors := mapJobs(cfg, len(jobs), func(i int) int {
+		b, jr := jobs[i].b, srcs[i]
+		if !jobs[i].twoPass {
+			return len(butterfly.RunLockstepOnePass(n, b, pairs, butterfly.ArbRandom, jr))
+		}
+		routes := make([]butterfly.TwoPassRoute, n)
+		for j, p := range pairs {
+			routes[j] = butterfly.TwoPassRoute{Src: p.Src, Mid: jr.Intn(n), Dst: p.Dst}
+		}
+		return len(butterfly.RunLockstepSubround(n, b, routes, butterfly.ArbRandom, jr))
+	})
 	t := stats.NewTable(
 		"A4 — ablation: one-pass vs two-pass delivery on bit-reversal",
 		"mode", "B", "survivors", "fraction")
-	for _, b := range []int{1, 2, 4} {
-		one := butterfly.RunLockstepOnePass(n, b, pairs, butterfly.ArbRandom, r)
-		t.AddRow("one-pass", b, len(one), float64(len(one))/float64(n))
-		routes := make([]butterfly.TwoPassRoute, n)
-		for i, p := range pairs {
-			routes[i] = butterfly.TwoPassRoute{Src: p.Src, Mid: r.Intn(n), Dst: p.Dst}
+	for i, s := range survivors {
+		mode := "one-pass"
+		if jobs[i].twoPass {
+			mode = "two-pass"
 		}
-		two := butterfly.RunLockstepSubround(n, b, routes, butterfly.ArbRandom, r)
-		t.AddRow("two-pass", b, len(two), float64(len(two))/float64(n))
+		t.AddRow(mode, jobs[i].b, s, float64(s)/float64(n))
 	}
 	return []*stats.Table{t}
 }
@@ -182,23 +240,41 @@ func A5PathSelection(cfg Config) []*stats.Table {
 	}
 	l := 2 * side
 
+	// One job per path selector; each builds its own message set, so the
+	// three schedule-and-verify pipelines are independent.
+	selectors := []struct {
+		name  string
+		build func() *message.Set
+	}{
+		{"BFS shortest paths", func() *message.Set {
+			return message.Build(m.G, pairs, l, message.ShortestPathRouter(m.G))
+		}},
+		{"greedy min-max", func() *message.Set {
+			return routeopt.GreedyMinMax(m.G, pairs, l, routeopt.Options{})
+		}},
+		{"BFS + rebalance", func() *message.Set {
+			set := message.Build(m.G, pairs, l, message.ShortestPathRouter(m.G))
+			routeopt.Rebalance(set, routeopt.Options{}, 0)
+			return set
+		}},
+	}
+	type out struct {
+		c, d, classes, steps int
+	}
+	outs := mapJobs(cfg, len(selectors), func(i int) out {
+		p := NewProblem(selectors[i].name, selectors[i].build())
+		sched, res, err := p.RouteScheduled(ScheduleOptions{B: 2, Seed: cfg.Seed})
+		if err != nil {
+			panic(fmt.Sprintf("A5 %s: %v", selectors[i].name, err))
+		}
+		return out{c: p.C, d: p.D, classes: sched.NumClasses, steps: res.Steps}
+	})
 	t := stats.NewTable(
 		"A5 — ablation: path selection feeding the Theorem 2.1.6 scheduler",
 		"selector", "C", "D", "classes", "verified makespan")
-	addRow := func(name string, set *message.Set) {
-		p := NewProblem(name, set)
-		sched, res, err := p.RouteScheduled(ScheduleOptions{B: 2, Seed: cfg.Seed})
-		if err != nil {
-			panic(fmt.Sprintf("A5 %s: %v", name, err))
-		}
-		t.AddRow(name, p.C, p.D, sched.NumClasses, res.Steps)
+	for i, o := range outs {
+		t.AddRow(selectors[i].name, o.c, o.d, o.classes, o.steps)
 	}
-
-	addRow("BFS shortest paths", message.Build(m.G, pairs, l, message.ShortestPathRouter(m.G)))
-	addRow("greedy min-max", routeopt.GreedyMinMax(m.G, pairs, l, routeopt.Options{}))
-	rebalanced := message.Build(m.G, pairs, l, message.ShortestPathRouter(m.G))
-	routeopt.Rebalance(rebalanced, routeopt.Options{}, 0)
-	addRow("BFS + rebalance", rebalanced)
 	return []*stats.Table{t}
 }
 

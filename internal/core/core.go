@@ -1,7 +1,7 @@
 // Package core is the public face of the repository: it couples workload
 // construction, the Theorem 2.1.6 scheduler, the flit-level simulator, and
 // the baselines into runnable experiments — one per table/figure listed in
-// DESIGN.md — and renders paper-style result tables.
+// README.md — and renders paper-style result tables.
 //
 // A typical use:
 //

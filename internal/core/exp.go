@@ -12,11 +12,14 @@ type Config struct {
 	// Seed makes the whole experiment deterministic.
 	Seed uint64
 	// Quick shrinks sweeps to test-suite scale; full scale reproduces the
-	// EXPERIMENTS.md numbers.
+	// README.md numbers.
 	Quick bool
 	// Trials averages randomized measurements (0 = per-experiment
 	// default).
 	Trials int
+	// Workers bounds the harness's job-runner fan-out (0 = GOMAXPROCS).
+	// Tables are byte-identical for every worker count; see parallel.go.
+	Workers int
 }
 
 func (c Config) trials(def int) int {
@@ -26,7 +29,8 @@ func (c Config) trials(def int) int {
 	return def
 }
 
-// Experiment is a runnable reproduction unit keyed by DESIGN.md IDs.
+// Experiment is a runnable reproduction unit keyed by the IDs catalogued
+// in README.md.
 type Experiment struct {
 	ID    string
 	Title string

@@ -20,15 +20,27 @@ func F1Butterfly(cfg Config) []*stats.Table {
 	if cfg.Quick {
 		ns = []int{8, 64}
 	}
+	// One job per butterfly size (Diameter on the larger sizes dominates).
+	type out struct {
+		nodes, edges, levels, diameter int
+		dag, unique                    bool
+	}
+	outs := mapJobs(cfg, len(ns), func(i int) out {
+		bf := topology.NewButterfly(ns[i])
+		return out{
+			nodes:    bf.G.NumNodes(),
+			edges:    bf.G.NumEdges(),
+			levels:   bf.Levels + 1,
+			diameter: graph.Diameter(bf.G),
+			dag:      graph.IsDAG(bf.G),
+			unique:   butterflyPathsUnique(bf, cfg.Seed),
+		}
+	})
 	t := stats.NewTable(
 		"F1 — Figure 1: butterfly structure (n inputs, log n + 1 levels)",
 		"n", "nodes", "edges", "levels", "diameter", "leveled DAG", "unique paths")
-	for _, n := range ns {
-		bf := topology.NewButterfly(n)
-		k := bf.Levels
-		unique := butterflyPathsUnique(bf, cfg.Seed)
-		t.AddRow(n, bf.G.NumNodes(), bf.G.NumEdges(), k+1,
-			graph.Diameter(bf.G), graph.IsDAG(bf.G), unique)
+	for i, o := range outs {
+		t.AddRow(ns[i], o.nodes, o.edges, o.levels, o.diameter, o.dag, o.unique)
 	}
 	return []*stats.Table{t}
 }
@@ -58,31 +70,39 @@ func butterflyPathsUnique(bf *topology.Butterfly, seed uint64) bool {
 func F2TwoPass(cfg Config) []*stats.Table {
 	n := 8
 	tp := topology.NewTwoPassButterfly(n)
-	r := rng.New(cfg.Seed)
+	// The two tables are independent jobs; each owns a pre-split child
+	// source so its random draws don't depend on the other's.
+	srcs := jobSources(cfg.Seed, 2)
 
-	trace := stats.NewTable(
-		"F2 — Figure 2: a message's two passes (column at each level)",
-		"message", "src", "mid", "dst", "column trace (level 0..2log n)")
-	for i := 0; i < 4; i++ {
-		src, dst := r.Intn(n), r.Intn(n)
-		path, mid := tp.RandomRoute(src, dst, r)
-		cols := fmt.Sprint(columnsAlong(tp, path, src))
-		trace.AddRow(fmt.Sprintf("p%d", i), src, mid, dst, cols)
-	}
-
-	// Aggregate: a full two-pass permutation workload's C and D.
-	set := message.NewSet(tp.G)
-	l := topology.Log2(n)
-	for src, dst := range r.Perm(n) {
-		p, _ := tp.RandomRoute(src, dst, r)
-		set.Add(tp.Input(src), tp.Output(dst), l, p)
-	}
-	agg := stats.NewTable(
-		"F2 — two-pass workload parameters",
-		"n", "messages", "C", "D", "edge-simple", "dependency acyclic")
-	agg.AddRow(n, set.Len(), analysis.Congestion(set), analysis.Dilation(set),
-		set.EdgeSimple(), analysis.ChannelDependencyAcyclic(set))
-	return []*stats.Table{trace, agg}
+	tables := mapJobs(cfg, 2, func(i int) *stats.Table {
+		r := srcs[i]
+		if i == 0 {
+			trace := stats.NewTable(
+				"F2 — Figure 2: a message's two passes (column at each level)",
+				"message", "src", "mid", "dst", "column trace (level 0..2log n)")
+			for j := 0; j < 4; j++ {
+				src, dst := r.Intn(n), r.Intn(n)
+				path, mid := tp.RandomRoute(src, dst, r)
+				cols := fmt.Sprint(columnsAlong(tp, path, src))
+				trace.AddRow(fmt.Sprintf("p%d", j), src, mid, dst, cols)
+			}
+			return trace
+		}
+		// Aggregate: a full two-pass permutation workload's C and D.
+		set := message.NewSet(tp.G)
+		l := topology.Log2(n)
+		for src, dst := range r.Perm(n) {
+			p, _ := tp.RandomRoute(src, dst, r)
+			set.Add(tp.Input(src), tp.Output(dst), l, p)
+		}
+		agg := stats.NewTable(
+			"F2 — two-pass workload parameters",
+			"n", "messages", "C", "D", "edge-simple", "dependency acyclic")
+		agg.AddRow(n, set.Len(), analysis.Congestion(set), analysis.Dilation(set),
+			set.EdgeSimple(), analysis.ChannelDependencyAcyclic(set))
+		return agg
+	})
+	return tables
 }
 
 // columnsAlong lists the column of each node visited by a two-pass path.

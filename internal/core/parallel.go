@@ -1,0 +1,137 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wormhole/internal/rng"
+)
+
+// This file is the experiment harness's parallel job-runner. Every sweep
+// in the package is expressed as a list of independent jobs — one per
+// trial, per sweep point, or per workload — executed through mapJobs.
+//
+// Determinism contract: a job may depend only on its index (and on state
+// fully constructed before the fan-out), never on execution order, and it
+// writes only to its own result slot. Randomized jobs draw from per-job
+// sources derived by index before any job runs (see jobSources) or from
+// seeds computed arithmetically from the index. Under that contract the
+// collected result slice — and hence every rendered table — is
+// byte-identical for any worker count, which TestParallelDeterminism
+// verifies across the whole experiment registry.
+
+// workers resolves Config.Workers: 0 means GOMAXPROCS.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachJob executes job(0..n-1), fanning across up to workers
+// goroutines. Indices are handed out through an atomic counter, so
+// scheduling is work-stealing-ish and the worker count never affects
+// which jobs run — only where.
+//
+// The experiments use panic as their failure convention, so a panicking
+// job must stay recoverable by the caller exactly as in a sequential
+// run: the first panic value is captured, the panicking worker stops,
+// and the panic is re-raised on the calling goroutine after the pool
+// drains (the original value is preserved; the worker's stack is lost).
+func forEachJob(workers, n int, job func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+		panicked  atomic.Bool
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				if !runJob(job, i, &panicOnce, &panicVal, &panicked) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// runJob runs one job, converting a panic into a recorded value; it
+// reports whether the worker should keep going.
+func runJob(job func(i int), i int, once *sync.Once, val *any, flag *atomic.Bool) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			once.Do(func() { *val = r })
+			flag.Store(true)
+			ok = false
+		}
+	}()
+	job(i)
+	return true
+}
+
+// mapJobs runs n independent jobs under cfg's worker budget and collects
+// their results in index order.
+func mapJobs[T any](cfg Config, n int, job func(i int) T) []T {
+	out := make([]T, n)
+	forEachJob(cfg.workers(), n, func(i int) { out[i] = job(i) })
+	return out
+}
+
+// flatJobs runs n independent jobs that each produce a row slice and
+// concatenates the slices in index order — the shape used by experiments
+// whose sweep points emit a variable number of table rows.
+func flatJobs[T any](cfg Config, n int, job func(i int) []T) []T {
+	parts := mapJobs(cfg, n, job)
+	var out []T
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// grid3 decodes a flat job index into the (a, b, c) coordinates of an
+// (na × nb × nc) sweep grid with c varying fastest. index3 is its
+// inverse; sweeps that fan out over a grid use the pair so the encode
+// and decode cannot drift apart.
+func grid3(i, nb, nc int) (a, b, c int) {
+	return i / (nb * nc), i / nc % nb, i % nc
+}
+
+func index3(a, b, c, nb, nc int) int {
+	return (a*nb+b)*nc + c
+}
+
+// jobSources derives n independent child sources from seed by repeated
+// Split. The derivation happens up front, in index order, so the source
+// a job receives depends only on (seed, index) — never on which worker
+// runs it or when.
+func jobSources(seed uint64, n int) []*rng.Source {
+	parent := rng.New(seed)
+	out := make([]*rng.Source, n)
+	for i := range out {
+		out[i] = parent.Split()
+	}
+	return out
+}

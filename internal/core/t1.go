@@ -29,48 +29,48 @@ func T1ScheduleLength(cfg Config) []T1Row {
 	if cfg.Quick {
 		bs = []int{1, 2, 4}
 	}
-	var rows []T1Row
-	for _, p := range probs {
-		base := 0
-		for _, b := range bs {
-			sched, res, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
-			if err != nil {
-				panic(fmt.Sprintf("T1: %s B=%d: %v", p.Label, b, err))
-			}
-			if b == bs[0] {
-				base = res.Steps
-			}
-			row := T1Row{
-				Workload: p.Label,
-				C:        p.C, D: p.D, L: p.L, B: b,
-				Classes:  sched.NumClasses,
-				Makespan: res.Steps,
-				Bound:    schedule.UpperBound216(p.L, p.C, p.D, b),
-			}
-			row.Speedup = stats.Ratio(float64(base), float64(res.Steps))
-			row.Predicted = stats.Ratio(
-				schedule.UpperBound216(p.L, p.C, p.D, bs[0]),
-				row.Bound)
-			row.Superlin = row.Speedup / float64(b)
-			rows = append(rows, row)
+	// One job per (workload, B) cell; the base makespans needed for the
+	// speedup columns are filled in after the fan-out.
+	rows := mapJobs(cfg, len(probs)*len(bs), func(i int) T1Row {
+		p, b := probs[i/len(bs)], bs[i%len(bs)]
+		sched, res, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
+		if err != nil {
+			panic(fmt.Sprintf("T1: %s B=%d: %v", p.Label, b, err))
 		}
+		return T1Row{
+			Workload: p.Label,
+			C:        p.C, D: p.D, L: p.L, B: b,
+			Classes:  sched.NumClasses,
+			Makespan: res.Steps,
+			Bound:    schedule.UpperBound216(p.L, p.C, p.D, b),
+		}
+	})
+	for i := range rows {
+		r := &rows[i]
+		base := rows[i-i%len(bs)].Makespan
+		r.Speedup = stats.Ratio(float64(base), float64(r.Makespan))
+		r.Predicted = stats.Ratio(
+			schedule.UpperBound216(r.L, r.C, r.D, bs[0]),
+			r.Bound)
+		r.Superlin = r.Speedup / float64(r.B)
 	}
 	return rows
 }
 
 func t1Workloads(cfg Config) []*Problem {
+	builders := []func() *Problem{
+		func() *Problem { return ButterflyQRelation(256, 8, 32, cfg.Seed) },
+		func() *Problem { return ButterflyQRelation(256, 16, 64, cfg.Seed+1) },
+		func() *Problem { return RandomRegularWorkload(256, 3, 2048, 48, cfg.Seed+2) },
+		func() *Problem { return LinearHotspot(48, 24, 48) },
+	}
 	if cfg.Quick {
-		return []*Problem{
-			ButterflyQRelation(64, 8, 24, cfg.Seed),
-			RandomRegularWorkload(96, 3, 384, 24, cfg.Seed+1),
+		builders = []func() *Problem{
+			func() *Problem { return ButterflyQRelation(64, 8, 24, cfg.Seed) },
+			func() *Problem { return RandomRegularWorkload(96, 3, 384, 24, cfg.Seed+1) },
 		}
 	}
-	return []*Problem{
-		ButterflyQRelation(256, 8, 32, cfg.Seed),
-		ButterflyQRelation(256, 16, 64, cfg.Seed+1),
-		RandomRegularWorkload(256, 3, 2048, 48, cfg.Seed+2),
-		LinearHotspot(48, 24, 48),
-	}
+	return mapJobs(cfg, len(builders), func(i int) *Problem { return builders[i]() })
 }
 
 func t1Table(rows []T1Row) *stats.Table {

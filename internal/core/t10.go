@@ -45,58 +45,64 @@ func T10Continuous(cfg Config) []T10Row {
 	l := topology.Log2(n)
 	bf := topology.NewButterfly(n)
 
-	var rows []T10Row
-	for _, b := range bs {
-		for _, rate := range rates {
-			r := rng.New(cfg.Seed + uint64(b)*1009 + uint64(rate*1e6))
-			set := message.NewSet(bf.G)
-			var releases []int
-			lastArrival := 0
-			for src := 0; src < n; src++ {
-				t := 0.0
-				for {
-					// Exponential interarrival with mean 1/rate.
-					t += -math.Log(1-r.Float64()) / rate
-					it := int(t)
-					if it >= horizon {
-						break
-					}
-					dst := r.Intn(n)
-					set.Add(bf.Input(src), bf.Output(dst), l, bf.Route(src, dst))
-					releases = append(releases, it)
-					if it > lastArrival {
-						lastArrival = it
-					}
+	// One job per (B, rate) point; a point whose Poisson draw yields no
+	// messages returns nil and is skipped when the rows are collected.
+	rows := mapJobs(cfg, len(bs)*len(rates), func(i int) *T10Row {
+		b, rate := bs[i/len(rates)], rates[i%len(rates)]
+		r := rng.New(cfg.Seed + uint64(b)*1009 + uint64(rate*1e6))
+		set := message.NewSet(bf.G)
+		var releases []int
+		lastArrival := 0
+		for src := 0; src < n; src++ {
+			t := 0.0
+			for {
+				// Exponential interarrival with mean 1/rate.
+				t += -math.Log(1-r.Float64()) / rate
+				it := int(t)
+				if it >= horizon {
+					break
+				}
+				dst := r.Intn(n)
+				set.Add(bf.Input(src), bf.Output(dst), l, bf.Route(src, dst))
+				releases = append(releases, it)
+				if it > lastArrival {
+					lastArrival = it
 				}
 			}
-			if set.Len() == 0 {
-				continue
-			}
-			res := vcsim.Run(set, releases, vcsim.Config{
-				VirtualChannels: b,
-				Arbitration:     vcsim.ArbAge,
-			})
-			if !res.AllDelivered() {
-				panic("T10: open-loop run failed to drain")
-			}
-			lats := make([]float64, 0, set.Len())
-			for i := range res.PerMessage {
-				lats = append(lats, float64(res.PerMessage[i].Latency()))
-			}
-			sum := stats.Summarize(lats)
-			overrun := res.Steps - lastArrival - (l + l - 1)
-			rows = append(rows, T10Row{
-				N: n, B: b,
-				Rate:      rate,
-				Messages:  set.Len(),
-				MeanLat:   sum.Mean,
-				P95Lat:    stats.Percentile(lats, 0.95),
-				Overrun:   overrun,
-				Saturated: overrun > horizon/4,
-			})
+		}
+		if set.Len() == 0 {
+			return nil
+		}
+		res := vcsim.Run(set, releases, vcsim.Config{
+			VirtualChannels: b,
+			Arbitration:     vcsim.ArbAge,
+		})
+		if !res.AllDelivered() {
+			panic("T10: open-loop run failed to drain")
+		}
+		lats := make([]float64, 0, set.Len())
+		for i := range res.PerMessage {
+			lats = append(lats, float64(res.PerMessage[i].Latency()))
+		}
+		sum := stats.Summarize(lats)
+		overrun := res.Steps - lastArrival - (l + l - 1)
+		return &T10Row{
+			N: n, B: b,
+			Rate:      rate,
+			Messages:  set.Len(),
+			MeanLat:   sum.Mean,
+			P95Lat:    stats.Percentile(lats, 0.95),
+			Overrun:   overrun,
+			Saturated: overrun > horizon/4,
+		}
+	})
+	out := make([]T10Row, 0, len(rows))
+	for _, r := range rows {
+		if r != nil {
+			out = append(out, *r)
 		}
 	}
-	return rows
+	return out
 }
 
 func t10Table(rows []T10Row) *stats.Table {

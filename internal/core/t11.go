@@ -33,29 +33,24 @@ func T11DallySeitz(cfg Config) []T11Row {
 		waves = []int{1, 2}
 	}
 	l := n + 2 // long enough that wrapped worms pin their whole path
-	var rows []T11Row
 
-	run := func(discipline string, classes, b int, starts []int, k int) {
-		r := deadlock.NewRing(n, classes)
-		set := r.SparseWorkload(starts, n-1, l)
-		res := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: b})
-		rows = append(rows, T11Row{
-			Ring:       n,
-			Discipline: discipline,
-			Waves:      k,
-			DepAcyclic: analysis.ChannelDependencyAcyclic(set),
-			Deadlocked: res.Deadlocked,
-			Delivered:  res.Delivered,
-			Messages:   set.Len(),
-			Steps:      res.Steps,
-		})
+	// Build the full job list first (each job = one ring configuration),
+	// then fan the independent simulations across the runner.
+	type job struct {
+		discipline string
+		classes, b int
+		starts     []int
+		k          int
 	}
+	var jobs []job
 
 	// Light load: two opposed worms — the anonymous B=2 router survives.
 	sparse := []int{0, n / 2}
-	run("plain B=1", 1, 1, sparse, 0)
-	run("anonymous B=2", 1, 2, sparse, 0)
-	run("dateline 2 classes", 2, 1, sparse, 0)
+	jobs = append(jobs,
+		job{"plain B=1", 1, 1, sparse, 0},
+		job{"anonymous B=2", 1, 2, sparse, 0},
+		job{"dateline 2 classes", 2, 1, sparse, 0},
+	)
 
 	// Full pressure: k worms per node.
 	for _, k := range waves {
@@ -65,11 +60,29 @@ func T11DallySeitz(cfg Config) []T11Row {
 				starts = append(starts, s)
 			}
 		}
-		run("plain B=1", 1, 1, starts, k)
-		run("anonymous B=2", 1, 2, starts, k)
-		run("dateline 2 classes", 2, 1, starts, k)
+		jobs = append(jobs,
+			job{"plain B=1", 1, 1, starts, k},
+			job{"anonymous B=2", 1, 2, starts, k},
+			job{"dateline 2 classes", 2, 1, starts, k},
+		)
 	}
-	return rows
+
+	return mapJobs(cfg, len(jobs), func(i int) T11Row {
+		j := jobs[i]
+		r := deadlock.NewRing(n, j.classes)
+		set := r.SparseWorkload(j.starts, n-1, l)
+		res := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: j.b})
+		return T11Row{
+			Ring:       n,
+			Discipline: j.discipline,
+			Waves:      j.k,
+			DepAcyclic: analysis.ChannelDependencyAcyclic(set),
+			Deadlocked: res.Deadlocked,
+			Delivered:  res.Delivered,
+			Messages:   set.Len(),
+			Steps:      res.Steps,
+		}
+	})
 }
 
 func t11Table(rows []T11Row) *stats.Table {

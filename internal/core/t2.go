@@ -38,8 +38,10 @@ func T2LowerBound(cfg Config) []T2Row {
 	if cfg.Quick {
 		cells = []cell{{1, 2, 16}, {2, 2, 16}, {3, 2, 16}}
 	}
-	var rows []T2Row
-	for _, c := range cells {
+	// Every cell is an independent job: the adversarial network, both
+	// routers, and the floor check are all derived from the cell alone.
+	return mapJobs(cfg, len(cells), func(i int) T2Row {
+		c := cells[i]
 		targetC := c.cMul * (c.b + 1) * 2
 		con := lowerbound.Build(lowerbound.Params{
 			B:       c.b,
@@ -63,7 +65,7 @@ func T2LowerBound(cfg Config) []T2Row {
 		if sched.Steps < best {
 			best = sched.Steps
 		}
-		rows = append(rows, T2Row{
+		return T2Row{
 			B:        c.b,
 			MPrime:   con.MPrime,
 			Messages: con.Set.Len(),
@@ -75,9 +77,8 @@ func T2LowerBound(cfg Config) []T2Row {
 			GreedyOK:   float64(greedy.Steps) >= floor,
 			SchedOK:    float64(sched.Steps) >= floor,
 			FloorRatio: stats.Ratio(float64(best), floor),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // T2SpeedupRow measures the paper's headline claim on a fixed instance:
@@ -109,9 +110,10 @@ func T2Superlinear(cfg Config) []T2SpeedupRow {
 	if cfg.Quick {
 		vcs = []int{1, 2, 4}
 	}
-	var rows []T2SpeedupRow
-	base := 0
-	for _, b := range vcs {
+	// One job per router B; the B = vcs[0] baseline for the speedup
+	// columns is applied after the fan-out.
+	rows := mapJobs(cfg, len(vcs), func(i int) T2SpeedupRow {
+		b := vcs[i]
 		greedy := p.RouteGreedy(GreedyOptions{B: b, Policy: vcsim.ArbAge})
 		if !greedy.AllDelivered() {
 			panic(fmt.Sprintf("T2: greedy with %d VCs failed on fixed adversary", b))
@@ -124,19 +126,19 @@ func T2Superlinear(cfg Config) []T2SpeedupRow {
 		if sres.Steps < best {
 			best = sres.Steps
 		}
-		if b == vcs[0] {
-			base = best
-		}
-		speedup := stats.Ratio(float64(base), float64(best))
-		rows = append(rows, T2SpeedupRow{
+		return T2SpeedupRow{
 			VCs:       b,
 			Greedy:    greedy.Steps,
 			Scheduled: sres.Steps,
 			Best:      best,
-			Speedup:   speedup,
-			PerVC:     speedup / float64(b),
 			Predicted: schedule.PredictedSpeedup(p.D, b),
-		})
+		}
+	})
+	base := rows[0].Best
+	for i := range rows {
+		r := &rows[i]
+		r.Speedup = stats.Ratio(float64(base), float64(r.Best))
+		r.PerVC = r.Speedup / float64(r.VCs)
 	}
 	return rows
 }

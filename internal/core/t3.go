@@ -32,25 +32,45 @@ func T3QRelation(cfg Config) []T3Row {
 		bs = []int{1, 2, 4}
 		trials = 2
 	}
-	var rows []T3Row
-	for _, c := range cells {
+	// Full fan-out: one job per (cell, B, trial). Each trial reseeds from
+	// (Seed, trial) alone, so the job grid is embarrassingly parallel.
+	type trialOut struct {
+		steps, delivered float64
+		colors, rounds   int
+	}
+	grid := len(cells) * len(bs)
+	outs := mapJobs(cfg, grid*trials, func(i int) trialOut {
+		ci, bi, t := grid3(i, len(bs), trials)
+		c, b := cells[ci], bs[bi]
+		l := topology.Log2(c.n)
+		r := rng.New(cfg.Seed + uint64(t)*7919)
+		pairs := butterfly.RandomQRelation(c.n, c.q, r)
+		res := butterfly.RunQRelation(pairs, butterfly.Params{
+			N: c.n, Q: c.q, L: l, B: b,
+		}, r)
+		out := trialOut{
+			steps:     float64(res.FlitSteps),
+			delivered: float64(res.DeliveredMsgs) / float64(res.TotalMessages),
+			rounds:    len(res.Rounds),
+		}
+		if len(res.Rounds) > 0 {
+			out.colors = res.Rounds[0].Colors
+		}
+		return out
+	})
+	rows := make([]T3Row, 0, grid)
+	for ci, c := range cells {
 		l := topology.Log2(c.n)
 		var baseSteps float64
-		for _, b := range bs {
+		for bi, b := range bs {
 			var steps, delivered float64
 			var colors, rounds int
 			for t := 0; t < trials; t++ {
-				r := rng.New(cfg.Seed + uint64(t)*7919)
-				pairs := butterfly.RandomQRelation(c.n, c.q, r)
-				res := butterfly.RunQRelation(pairs, butterfly.Params{
-					N: c.n, Q: c.q, L: l, B: b,
-				}, r)
-				steps += float64(res.FlitSteps)
-				delivered += float64(res.DeliveredMsgs) / float64(res.TotalMessages)
-				rounds = len(res.Rounds)
-				if len(res.Rounds) > 0 {
-					colors = res.Rounds[0].Colors
-				}
+				o := outs[index3(ci, bi, t, len(bs), trials)]
+				steps += o.steps
+				delivered += o.delivered
+				rounds = o.rounds
+				colors = o.colors
 			}
 			steps /= float64(trials)
 			delivered /= float64(trials)

@@ -37,32 +37,52 @@ func T4OnePass(cfg Config) []T4Row {
 		bs = []int{1, 2, 4}
 		trials = 2
 	}
-	var rows []T4Row
-	for _, c := range cells {
-		bf := topology.NewButterfly(c.n)
+	// One job per (cell, B, trial); the expensive collision/phase probes
+	// ride on the trial-0 job of each cell, exactly as before.
+	type trialOut struct {
+		steps      float64
+		collide    int
+		collidePre float64
+		maxPhase   int
+	}
+	grid := len(cells) * len(bs)
+	// The butterflies depend only on the cell list; build each once before
+	// the fan-out (read-only afterwards).
+	bfs := make([]*topology.Butterfly, len(cells))
+	for ci, c := range cells {
+		bfs[ci] = topology.NewButterfly(c.n)
+	}
+	outs := mapJobs(cfg, grid*trials, func(i int) trialOut {
+		ci, bi, t := grid3(i, len(bs), trials)
+		c, b := cells[ci], bs[bi]
+		bf := bfs[ci]
 		l := topology.Log2(c.n)
-		for _, b := range bs {
+		r := rng.New(cfg.Seed + uint64(t)*104729)
+		pairs := butterfly.RandomDestinations(c.n, c.q, r)
+		res := butterfly.RunOnePass(bf, pairs, l, b, vcsim.ArbByID, cfg.Seed)
+		out := trialOut{steps: float64(res.Steps), collide: -1}
+		if t == 0 {
+			// Collision threshold and phase stats on the first trial
+			// only (they are expensive).
+			if c.n <= 256 || cfg.Quick {
+				out.collide = butterfly.CollisionThreshold(bf, pairs, l, b, 24, 0.95, r)
+			}
+			out.collidePre = butterfly.TheoreticalCollisionSize(c.n, c.q, l, b)
+			set := butterflySet(bf, pairs, l)
+			sim := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: b})
+			mp, _ := butterfly.PhasePartition(sim, min(l, topology.Log2(c.n)), l)
+			out.maxPhase = mp
+		}
+		return out
+	})
+	rows := make([]T4Row, 0, grid)
+	for ci, c := range cells {
+		l := topology.Log2(c.n)
+		for bi, b := range bs {
+			first := outs[index3(ci, bi, 0, len(bs), trials)]
 			var steps float64
-			maxPhase := 0
-			collide := -1
-			var collidePre float64
 			for t := 0; t < trials; t++ {
-				r := rng.New(cfg.Seed + uint64(t)*104729)
-				pairs := butterfly.RandomDestinations(c.n, c.q, r)
-				res := butterfly.RunOnePass(bf, pairs, l, b, vcsim.ArbByID, cfg.Seed)
-				steps += float64(res.Steps)
-				if t == 0 {
-					// Collision threshold and phase stats on the first
-					// trial only (they are expensive).
-					if c.n <= 256 || cfg.Quick {
-						collide = butterfly.CollisionThreshold(bf, pairs, l, b, 24, 0.95, r)
-					}
-					collidePre = butterfly.TheoreticalCollisionSize(c.n, c.q, l, b)
-					set := butterflySet(bf, pairs, l)
-					sim := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: b})
-					mp, _ := butterfly.PhasePartition(sim, min(l, topology.Log2(c.n)), l)
-					maxPhase = mp
-				}
+				steps += outs[index3(ci, bi, t, len(bs), trials)].steps
 			}
 			steps /= float64(trials)
 			bound := butterfly.OnePassBound(c.n, c.q, l, b)
@@ -71,9 +91,9 @@ func T4OnePass(cfg Config) []T4Row {
 				Steps:      steps,
 				Bound:      bound,
 				Ratio:      stats.Ratio(steps, bound),
-				Collide:    collide,
-				CollidePre: collidePre,
-				MaxPhase:   maxPhase,
+				Collide:    first.collide,
+				CollidePre: first.collidePre,
+				MaxPhase:   first.maxPhase,
 			})
 		}
 	}

@@ -37,66 +37,77 @@ func T5RouterComparison(cfg Config) []T5Row {
 	l := k
 	p := ButterflyQRelation(n, q, l, cfg.Seed)
 
-	var rows []T5Row
+	// Each router family is an independent job over the shared workload;
+	// the job list preserves the table's row order.
+	var jobs []func() []T5Row
 
 	// Wormhole, greedy and scheduled, for B in {1, 2, ⌈log log n⌉·2}.
 	bs := []int{1, 2, 2 * log2ceil(k)}
 	for _, b := range bs {
-		g := p.RouteGreedy(GreedyOptions{B: b, Policy: vcsim.ArbAge})
-		rows = append(rows, T5Row{
-			Method:    fmt.Sprintf("wormhole greedy B=%d", b),
-			BufFlits:  b,
-			FlitSteps: g.Steps,
-			Delivered: g.AllDelivered(),
-		})
-		_, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed})
-		if err != nil {
-			panic(fmt.Sprintf("T5: scheduled B=%d: %v", b, err))
-		}
-		rows = append(rows, T5Row{
-			Method:    fmt.Sprintf("wormhole LLL-scheduled B=%d", b),
-			BufFlits:  b,
-			FlitSteps: sres.Steps,
-			Delivered: sres.AllDelivered(),
+		b := b
+		jobs = append(jobs, func() []T5Row {
+			g := p.RouteGreedy(GreedyOptions{B: b, Policy: vcsim.ArbAge})
+			_, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed})
+			if err != nil {
+				panic(fmt.Sprintf("T5: scheduled B=%d: %v", b, err))
+			}
+			return []T5Row{{
+				Method:    fmt.Sprintf("wormhole greedy B=%d", b),
+				BufFlits:  b,
+				FlitSteps: g.Steps,
+				Delivered: g.AllDelivered(),
+			}, {
+				Method:    fmt.Sprintf("wormhole LLL-scheduled B=%d", b),
+				BufFlits:  b,
+				FlitSteps: sres.Steps,
+				Delivered: sres.AllDelivered(),
+			}}
 		})
 	}
 
 	// Store-and-forward: greedy FIFO; buffer budget is whole messages.
-	saf := baseline.RunStoreAndForward(p.Set, baseline.SAFConfig{Seed: cfg.Seed})
-	rows = append(rows, T5Row{
-		Method:    "store-and-forward greedy",
-		BufFlits:  baseline.SAFFlitBufferBudget(saf, l),
-		FlitSteps: saf.FlitSteps,
-		Delivered: saf.Delivered == p.Set.Len(),
-		Note:      fmt.Sprintf("bound L(C+D)=%s", stats.FormatFloat(schedule.StoreAndForwardBound(l, p.C, p.D))),
+	jobs = append(jobs, func() []T5Row {
+		saf := baseline.RunStoreAndForward(p.Set, baseline.SAFConfig{Seed: cfg.Seed})
+		return []T5Row{{
+			Method:    "store-and-forward greedy",
+			BufFlits:  baseline.SAFFlitBufferBudget(saf, l),
+			FlitSteps: saf.FlitSteps,
+			Delivered: saf.Delivered == p.Set.Len(),
+			Note:      fmt.Sprintf("bound L(C+D)=%s", stats.FormatFloat(schedule.StoreAndForwardBound(l, p.C, p.D))),
+		}}
 	})
 
 	// Store-and-forward with LMR delay smoothing: the certified-collision-
 	// free O(C+D) schedule the paper's comparison assumes.
-	lmr, err := baseline.BuildLMRSchedule(p.Set, rng.New(cfg.Seed), 0)
-	if err != nil {
-		panic(fmt.Sprintf("T5: LMR schedule: %v", err))
-	}
-	rows = append(rows, T5Row{
-		Method:    "store-and-forward LMR-scheduled",
-		BufFlits:  l, // unimpeded motion: one message per node at a time
-		FlitSteps: baseline.LMRFlitSteps(lmr, l),
-		Delivered: true,
-		Note:      fmt.Sprintf("window=%d attempts=%d", lmr.Window, lmr.Attempts),
+	jobs = append(jobs, func() []T5Row {
+		lmr, err := baseline.BuildLMRSchedule(p.Set, rng.New(cfg.Seed), 0)
+		if err != nil {
+			panic(fmt.Sprintf("T5: LMR schedule: %v", err))
+		}
+		return []T5Row{{
+			Method:    "store-and-forward LMR-scheduled",
+			BufFlits:  l, // unimpeded motion: one message per node at a time
+			FlitSteps: baseline.LMRFlitSteps(lmr, l),
+			Delivered: true,
+			Note:      fmt.Sprintf("window=%d attempts=%d", lmr.Window, lmr.Attempts),
+		}}
 	})
 
 	// Virtual cut-through with the wormhole router's buffer budget.
 	for _, b := range bs[1:] {
-		v := baseline.RunVirtualCutThrough(p.Set, baseline.VCTConfig{BufferFlits: b})
-		rows = append(rows, T5Row{
-			Method:    fmt.Sprintf("virtual cut-through buf=%d", b),
-			BufFlits:  b,
-			FlitSteps: v.Steps,
-			Delivered: v.Delivered == p.Set.Len() && !v.Deadlocked,
+		b := b
+		jobs = append(jobs, func() []T5Row {
+			v := baseline.RunVirtualCutThrough(p.Set, baseline.VCTConfig{BufferFlits: b})
+			return []T5Row{{
+				Method:    fmt.Sprintf("virtual cut-through buf=%d", b),
+				BufFlits:  b,
+				FlitSteps: v.Steps,
+				Delivered: v.Delivered == p.Set.Len() && !v.Deadlocked,
+			}}
 		})
 	}
 
-	return rows
+	return flatJobs(cfg, len(jobs), func(i int) []T5Row { return jobs[i]() })
 }
 
 func log2ceil(x int) int {

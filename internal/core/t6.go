@@ -28,32 +28,39 @@ type T6Row struct {
 func T6NaiveVsLLL(cfg Config) []T6Row {
 	probs := t1Workloads(cfg)
 	bs := []int{1, 2, 4}
-	var rows []T6Row
-	for _, p := range probs {
+	// Stage 1: the per-workload naive baselines, one job each.
+	type naiveOut struct {
+		classes, steps int
+	}
+	naives := mapJobs(cfg, len(probs), func(i int) naiveOut {
+		p := probs[i]
 		naive := schedule.NaiveSchedule(p.Set)
 		nres, err := schedule.Verify(p.Set, naive)
 		if err != nil {
 			panic(fmt.Sprintf("T6: naive schedule invalid on %s: %v", p.Label, err))
 		}
-		for _, b := range bs {
-			sched, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
-			if err != nil {
-				panic(fmt.Sprintf("T6: LLL schedule failed on %s B=%d: %v", p.Label, b, err))
-			}
-			rows = append(rows, T6Row{
-				Workload: p.Label,
-				C:        p.C, D: p.D, L: p.L, B: b,
-				NaiveClasses: naive.NumClasses,
-				NaiveSteps:   nres.Steps,
-				LLLClasses:   sched.NumClasses,
-				LLLSteps:     sres.Steps,
-				Improvement:  stats.Ratio(float64(nres.Steps), float64(sres.Steps)),
-				NaiveBound:   schedule.NaiveBound(p.L, p.C, p.D),
-				LLLBound:     schedule.UpperBound216(p.L, p.C, p.D, b),
-			})
+		return naiveOut{classes: naive.NumClasses, steps: nres.Steps}
+	})
+	// Stage 2: one job per (workload, B) LLL cell.
+	return mapJobs(cfg, len(probs)*len(bs), func(i int) T6Row {
+		p, b := probs[i/len(bs)], bs[i%len(bs)]
+		nv := naives[i/len(bs)]
+		sched, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
+		if err != nil {
+			panic(fmt.Sprintf("T6: LLL schedule failed on %s B=%d: %v", p.Label, b, err))
 		}
-	}
-	return rows
+		return T6Row{
+			Workload: p.Label,
+			C:        p.C, D: p.D, L: p.L, B: b,
+			NaiveClasses: nv.classes,
+			NaiveSteps:   nv.steps,
+			LLLClasses:   sched.NumClasses,
+			LLLSteps:     sres.Steps,
+			Improvement:  stats.Ratio(float64(nv.steps), float64(sres.Steps)),
+			NaiveBound:   schedule.NaiveBound(p.L, p.C, p.D),
+			LLLBound:     schedule.UpperBound216(p.L, p.C, p.D, b),
+		}
+	})
 }
 
 func t6Table(rows []T6Row) *stats.Table {

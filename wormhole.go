@@ -26,7 +26,7 @@
 //	fmt.Println(res.Steps, res.AllDelivered())
 //
 // The experiment harness behind `wormbench` is exposed through
-// RunExperiment; see DESIGN.md for the experiment catalogue.
+// RunExperiment; see README.md for the experiment catalogue.
 package wormhole
 
 import (
@@ -268,8 +268,10 @@ type ExperimentConfig = core.Config
 // ResultTable is an aligned text table of experiment results.
 type ResultTable = stats.Table
 
-// RunExperiment executes a DESIGN.md experiment by ID (F1, F2, T1…T8,
-// A1…A4).
+// RunExperiment executes a README.md-catalogued experiment by ID (F1, F2,
+// T1…T11, A1…A5). Set ExperimentConfig.Workers to fan the experiment's
+// independent jobs across a worker pool; tables are byte-identical for
+// any worker count.
 func RunExperiment(id string, cfg ExperimentConfig) ([]*ResultTable, error) {
 	return core.Run(id, cfg)
 }
