@@ -19,6 +19,7 @@ import (
 	"wormhole/internal/rng"
 	"wormhole/internal/schedule"
 	"wormhole/internal/topology"
+	"wormhole/internal/traffic"
 	"wormhole/internal/vcsim"
 )
 
@@ -51,6 +52,7 @@ func BenchmarkT8RestrictedModel(b *testing.B)  { runExperiment(b, "T8") }
 func BenchmarkT9Waksman(b *testing.B)          { runExperiment(b, "T9") }
 func BenchmarkT10Continuous(b *testing.B)      { runExperiment(b, "T10") }
 func BenchmarkT11DallySeitz(b *testing.B)      { runExperiment(b, "T11") }
+func BenchmarkT12OpenLoop(b *testing.B)        { runExperiment(b, "T12") }
 
 func BenchmarkAblationArbitration(b *testing.B) { runExperiment(b, "A1") }
 func BenchmarkAblationResample(b *testing.B)    { runExperiment(b, "A2") }
@@ -107,6 +109,41 @@ func BenchmarkSimulatorGreedy(b *testing.B) {
 			b.ReportMetric(float64(steps), "flit-steps")
 		})
 	}
+}
+
+// BenchmarkOpenLoopStep measures the incremental engine at steady state:
+// a 64-input butterfly under continuous Poisson injection at a fixed
+// sustainable rate (λ = 0.1, B = 4), reporting the cost of one open-loop
+// flit step. This is the hot path of the traffic subsystem, so the
+// ns/step trajectory is the perf baseline for future engine work.
+func BenchmarkOpenLoopStep(b *testing.B) {
+	cfg := traffic.Config{
+		Net:             traffic.NewButterflyNet(64),
+		VirtualChannels: 4,
+		MessageLength:   6,
+		Arbitration:     vcsim.ArbAge,
+		Process:         traffic.Poisson,
+		Rate:            0.1,
+		Pattern:         traffic.Uniform,
+		Warmup:          128,
+		Measure:         1024,
+		Drain:           2048,
+		Seed:            17,
+	}
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		res, err := traffic.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Saturated {
+			b.Fatal("benchmark workload must run at steady state")
+		}
+		steps += int64(res.Steps)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
 }
 
 // BenchmarkScheduleBuild measures LLL schedule construction.

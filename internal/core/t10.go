@@ -1,12 +1,11 @@
 package core
 
 import (
-	"math"
+	"fmt"
 
-	"wormhole/internal/message"
-	"wormhole/internal/rng"
 	"wormhole/internal/stats"
 	"wormhole/internal/topology"
+	"wormhole/internal/traffic"
 	"wormhole/internal/vcsim"
 )
 
@@ -29,6 +28,11 @@ type T10Row struct {
 // D^(1/B) factor in the cited maximum-injection-rate bound. Batch
 // theorems do not cover this regime — the experiment is contextual, not
 // a theorem reproduction.
+//
+// The experiment runs on the internal/traffic open-loop engine (Poisson
+// process, uniform pattern, no warmup, full drain), which replaced the
+// original hand-rolled release-list generator; T12 is the full
+// steady-state treatment with measurement windows and saturation search.
 func T10Continuous(cfg Config) []T10Row {
 	n := 64
 	horizon := 2048
@@ -43,63 +47,49 @@ func T10Continuous(cfg Config) []T10Row {
 		bs = []int{1, 4}
 	}
 	l := topology.Log2(n)
-	bf := topology.NewButterfly(n)
 
 	// One job per (B, rate) point; a point whose Poisson draw yields no
-	// messages returns nil and is skipped when the rows are collected.
-	rows := mapJobs(cfg, len(bs)*len(rates), func(i int) *T10Row {
+	// messages returns an empty row and is skipped when rows are
+	// collected.
+	rows := mapJobs(cfg, len(bs)*len(rates), func(i int) T10Row {
 		b, rate := bs[i/len(rates)], rates[i%len(rates)]
-		r := rng.New(cfg.Seed + uint64(b)*1009 + uint64(rate*1e6))
-		set := message.NewSet(bf.G)
-		var releases []int
-		lastArrival := 0
-		for src := 0; src < n; src++ {
-			t := 0.0
-			for {
-				// Exponential interarrival with mean 1/rate.
-				t += -math.Log(1-r.Float64()) / rate
-				it := int(t)
-				if it >= horizon {
-					break
-				}
-				dst := r.Intn(n)
-				set.Add(bf.Input(src), bf.Output(dst), l, bf.Route(src, dst))
-				releases = append(releases, it)
-				if it > lastArrival {
-					lastArrival = it
-				}
-			}
-		}
-		if set.Len() == 0 {
-			return nil
-		}
-		res := vcsim.Run(set, releases, vcsim.Config{
+		res, err := traffic.Run(traffic.Config{
+			Net:             traffic.NewButterflyNet(n),
 			VirtualChannels: b,
+			MessageLength:   l,
 			Arbitration:     vcsim.ArbAge,
+			Process:         traffic.Poisson,
+			Rate:            rate,
+			Pattern:         traffic.Uniform,
+			Warmup:          0, // every message is tracked, as before
+			Measure:         horizon,
+			Drain:           horizon * 16,
+			Seed:            cfg.Seed + uint64(b)*1009 + uint64(rate*1e6),
 		})
-		if !res.AllDelivered() {
+		if err != nil {
+			panic(fmt.Sprintf("T10: %v", err))
+		}
+		if res.Injected == 0 {
+			return T10Row{}
+		}
+		if res.Backlog > 0 {
 			panic("T10: open-loop run failed to drain")
 		}
-		lats := make([]float64, 0, set.Len())
-		for i := range res.PerMessage {
-			lats = append(lats, float64(res.PerMessage[i].Latency()))
-		}
-		sum := stats.Summarize(lats)
-		overrun := res.Steps - lastArrival - (l + l - 1)
-		return &T10Row{
+		overrun := res.Steps - res.LastRelease - (l + l - 1)
+		return T10Row{
 			N: n, B: b,
 			Rate:      rate,
-			Messages:  set.Len(),
-			MeanLat:   sum.Mean,
-			P95Lat:    stats.Percentile(lats, 0.95),
+			Messages:  res.Injected,
+			MeanLat:   res.MeanLatency,
+			P95Lat:    res.P95,
 			Overrun:   overrun,
 			Saturated: overrun > horizon/4,
 		}
 	})
 	out := make([]T10Row, 0, len(rows))
 	for _, r := range rows {
-		if r != nil {
-			out = append(out, *r)
+		if r.Messages > 0 {
+			out = append(out, r)
 		}
 	}
 	return out

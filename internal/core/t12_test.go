@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestT12WorkersByteIdentity is the acceptance contract for the open-loop
+// experiment, mirroring TestParallelDeterminism but pinning the exact
+// worker counts the issue names: rendered tables must be byte-identical
+// for Workers ∈ {1, 4, 8}. (TestParallelDeterminism also covers T12 via
+// the registry; this test exists so a registry refactor cannot silently
+// drop the contract.)
+func TestT12WorkersByteIdentity(t *testing.T) {
+	render := func(workers int) string {
+		tables, err := Run("T12", Config{Seed: 42, Quick: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tab := range tables {
+			sb.WriteString(tab.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	base := render(1)
+	for _, w := range []int{4, 8} {
+		if got := render(w); got != base {
+			t.Errorf("tables differ between Workers=1 and Workers=%d:\n--- 1 ---\n%s\n--- %d ---\n%s",
+				w, base, w, got)
+		}
+	}
+	if !strings.Contains(base, "sat rate") {
+		t.Fatal("saturation table missing from T12 output")
+	}
+}
+
+// TestT12QuickShape sanity-checks the quick-mode tables: curve points for
+// every (B, rate) pair and one saturation row per B, with the saturation
+// rate not decreasing in B.
+func TestT12QuickShape(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true}
+	p := t12Scale(cfg)
+	rows := T12OpenLoop(cfg)
+	if len(rows) != len(p.bs)*len(p.rates) {
+		t.Fatalf("curve rows = %d, want %d", len(rows), len(p.bs)*len(p.rates))
+	}
+	for _, r := range rows {
+		if r.Messages == 0 {
+			t.Errorf("B=%d rate=%g: no messages injected", r.B, r.Offered)
+		}
+	}
+	sat := T12Saturation(cfg)
+	if len(sat) != len(p.bs) {
+		t.Fatalf("saturation rows = %d, want %d", len(sat), len(p.bs))
+	}
+	for i := 1; i < len(sat); i++ {
+		if sat[i].SatRate < sat[i-1].SatRate {
+			t.Errorf("saturation rate decreasing: B=%d → %g, B=%d → %g",
+				sat[i-1].B, sat[i-1].SatRate, sat[i].B, sat[i].SatRate)
+		}
+	}
+}

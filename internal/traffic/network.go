@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"fmt"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/topology"
+)
+
+// Network adapts a topology for open-loop traffic: a set of numbered
+// endpoints, each with an injection node and a delivery node, plus a
+// router between endpoint indices. The traffic engine is topology-
+// agnostic — it only ever speaks endpoint indices — so any network with
+// fixed single-path routing plugs in through this adapter.
+//
+// For indirect networks (butterflies) the injection and delivery nodes of
+// endpoint i differ (input column i, output column i); for direct
+// networks (meshes, toruses) they coincide.
+type Network struct {
+	// G is the physical network.
+	G *graph.Graph
+	// Endpoints is the number of traffic endpoints.
+	Endpoints int
+	// Source returns the injection node of endpoint i.
+	Source func(i int) graph.NodeID
+	// Dest returns the delivery node of endpoint i.
+	Dest func(i int) graph.NodeID
+	// Route returns the path from endpoint src's injection node to
+	// endpoint dst's delivery node.
+	Route func(src, dst int) graph.Path
+	// Label names the network in tables and errors.
+	Label string
+}
+
+// NewButterflyNet adapts an n-input butterfly: endpoint i injects at
+// input column i and delivers at output column i, routed on the unique
+// bit-fixing path. The leveled DAG structure makes greedy wormhole
+// routing deadlock-free for any B.
+func NewButterflyNet(n int) *Network {
+	bf := topology.NewButterfly(n)
+	return &Network{
+		G:         bf.G,
+		Endpoints: n,
+		Source:    func(i int) graph.NodeID { return bf.Input(i) },
+		Dest:      func(i int) graph.NodeID { return bf.Output(i) },
+		Route:     func(src, dst int) graph.Path { return bf.Route(src, dst) },
+		Label:     fmt.Sprintf("butterfly(n=%d)", n),
+	}
+}
+
+// NewMeshNet adapts a mesh with the given per-dimension sizes: every node
+// is an endpoint, routed dimension-order. Dimension-order routes on a
+// mesh are deadlock-free.
+func NewMeshNet(dims ...int) *Network {
+	m := topology.NewMesh(dims...)
+	return meshNet(m, fmt.Sprintf("mesh%v", dims))
+}
+
+// NewTorusNet adapts a torus with the given per-dimension sizes: every
+// node is an endpoint, routed dimension-order (shortest way around each
+// ring). Unlike the mesh, torus dimension-order routing can deadlock at
+// B = 1 under heavy load — which is exactly the regime the open-loop
+// engine is built to expose; the run reports Deadlocked when it happens.
+func NewTorusNet(dims ...int) *Network {
+	m := topology.NewTorus(dims...)
+	return meshNet(m, fmt.Sprintf("torus%v", dims))
+}
+
+func meshNet(m *topology.Mesh, label string) *Network {
+	n := m.G.NumNodes()
+	return &Network{
+		G:         m.G,
+		Endpoints: n,
+		Source:    func(i int) graph.NodeID { return graph.NodeID(i) },
+		Dest:      func(i int) graph.NodeID { return graph.NodeID(i) },
+		Route: func(src, dst int) graph.Path {
+			return m.DimensionOrderRoute(graph.NodeID(src), graph.NodeID(dst))
+		},
+		Label: label,
+	}
+}

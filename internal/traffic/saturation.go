@@ -1,0 +1,103 @@
+package traffic
+
+import "fmt"
+
+// SearchOptions tunes the saturation-rate bisection.
+type SearchOptions struct {
+	// Lo is a rate assumed sustainable (default 0, trivially so).
+	Lo float64
+	// Hi is the upper bracket (default: the process's MaxRate).
+	Hi float64
+	// Iters is the number of bisection steps (default 10). Each halves
+	// the bracket, so the knee is located to (Hi−Lo)/2^Iters.
+	Iters int
+}
+
+// Probe records one bisection probe.
+type Probe struct {
+	Rate      float64
+	Accepted  float64
+	MeanLat   float64
+	Saturated bool
+}
+
+// SearchResult reports a saturation search.
+type SearchResult struct {
+	// Rate is the saturation rate: the largest probed offered load the
+	// network sustained (accepted ≥ 95% of offered). It is 0 when even
+	// the first probe saturated, and Hi when the network sustained the
+	// full upper bracket.
+	Rate float64
+	// Probes lists every probe in execution order.
+	Probes []Probe
+}
+
+// SaturationRate bisects the offered load to locate the network's
+// saturation knee: the boundary between rates the network sustains and
+// rates where accepted throughput falls behind offered. The search is
+// fully deterministic — probe i runs with a seed derived from
+// (cfg.Seed, i) — so results are reproducible and independent of any
+// surrounding parallelism.
+//
+// cfg.Rate is ignored; cfg.MaxBacklog should be set (saturated probes
+// stop as soon as the backlog proves unsustainable instead of simulating
+// the whole collapse).
+func SaturationRate(cfg Config, opts SearchOptions) (SearchResult, error) {
+	lo := opts.Lo
+	hi := opts.Hi
+	if hi <= 0 {
+		hi = cfg.MaxRate()
+	}
+	if max := cfg.MaxRate(); hi > max {
+		hi = max
+	}
+	if lo < 0 || lo >= hi {
+		return SearchResult{}, fmt.Errorf("traffic: bad saturation bracket [%g, %g]", lo, hi)
+	}
+	iters := opts.Iters
+	if iters <= 0 {
+		iters = 10
+	}
+
+	var out SearchResult
+	probe := func(rate float64) (bool, error) {
+		c := cfg
+		c.Rate = rate
+		// Decorrelate probes while keeping them a pure function of the
+		// experiment seed and the probe index.
+		c.Seed = cfg.Seed + uint64(len(out.Probes))*0x9E3779B97F4A7C15
+		r, err := Run(c)
+		if err != nil {
+			return false, err
+		}
+		out.Probes = append(out.Probes, Probe{
+			Rate: rate, Accepted: r.Accepted, MeanLat: r.MeanLatency, Saturated: r.Saturated,
+		})
+		return r.Saturated, nil
+	}
+
+	// If the network sustains the full upper bracket, the knee is at or
+	// above Hi; report Hi rather than bisecting inside a sustained range.
+	sat, err := probe(hi)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	if !sat {
+		out.Rate = hi
+		return out, nil
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		sat, err := probe(mid)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		if sat {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	out.Rate = lo
+	return out, nil
+}

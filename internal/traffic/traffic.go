@@ -1,0 +1,316 @@
+// Package traffic is the steady-state open-loop traffic engine: it
+// drives the incremental vcsim.Sim with continuous stochastic injection
+// and measures the network at steady state, the regime in which router
+// designs are conventionally compared (latency-vs-offered-load curves and
+// saturation throughput) and which the batch theorems of the paper only
+// bracket.
+//
+// A run is structured into three windows measured in flit steps:
+//
+//	warmup      injection on, nothing recorded — fills the network to
+//	            steady state so cold-start transients don't bias stats;
+//	measurement injection on — messages released in this window are
+//	            tracked for latency, and deliveries completed in it are
+//	            counted as accepted throughput;
+//	drain       injection off — in-flight messages finish so tracked
+//	            latencies aren't censored, bounded by a step budget.
+//
+// Injection is a per-endpoint stochastic process (Bernoulli, Poisson, or
+// bursty on/off) combined with a spatial destination pattern (uniform,
+// transpose, bit-reverse, hotspot) on any Network adapter. Latencies are
+// streamed into a fixed-size quantile Sketch, so memory does not grow
+// with the message count. Everything is deterministic in Config.Seed:
+// identical configs produce identical Results, bit for bit, regardless of
+// how many harness workers run around the engine.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/vcsim"
+)
+
+// saturationShortfall is the accepted/offered ratio below which a run is
+// declared saturated: the network is refusing ≥ 5% of the offered load.
+const saturationShortfall = 0.95
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// Net is the network adapter (required).
+	Net *Network
+	// VirtualChannels is B ≥ 1, as in vcsim.Config.
+	VirtualChannels int
+	// MessageLength is the worm length L in flits (required ≥ 1).
+	MessageLength int
+	// Arbitration orders contending messages; default ArbByID.
+	Arbitration vcsim.Policy
+	// RestrictedBandwidth selects the Section 1.4 remark model.
+	RestrictedBandwidth bool
+
+	// Process is the temporal injection process; default Bernoulli.
+	Process Process
+	// Rate is the offered load in messages per endpoint per flit step.
+	// Bernoulli and OnOff cap it at 1 and the on/off duty cycle
+	// respectively; Poisson accepts any rate up to 8.
+	Rate float64
+	// OnMean and OffMean are the OnOff process's mean burst and idle
+	// lengths in steps (defaults 8 and 24).
+	OnMean, OffMean float64
+
+	// Pattern is the spatial destination pattern; default Uniform.
+	Pattern Pattern
+	// HotspotCount is the number of hot endpoints (default 1).
+	HotspotCount int
+	// HotspotFraction is the probability a message targets a hot endpoint
+	// (default 0.5).
+	HotspotFraction float64
+
+	// Warmup, Measure, Drain are the window lengths in flit steps.
+	// Measure is required ≥ 1; Warmup and Drain may be 0.
+	Warmup, Measure, Drain int
+	// MaxBacklog, when > 0, stops the run early (marking it Saturated) as
+	// soon as more than MaxBacklog messages are simultaneously in flight.
+	// Saturated open-loop runs accumulate unbounded backlog by
+	// definition, so a cap turns a hopeless run into a cheap verdict —
+	// essential inside the saturation search.
+	MaxBacklog int
+
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+func (c *Config) onOffMeans() (on, off float64) {
+	on, off = c.OnMean, c.OffMean
+	if on <= 0 {
+		on = 8
+	}
+	if off <= 0 {
+		off = 24
+	}
+	return on, off
+}
+
+func (c *Config) hotspotParams() (count int, frac float64) {
+	count, frac = c.HotspotCount, c.HotspotFraction
+	if count <= 0 {
+		count = 1
+	}
+	if frac <= 0 {
+		frac = 0.5
+	}
+	return count, frac
+}
+
+// MaxRate returns the largest offered load the configured process can
+// generate: 1 for Bernoulli, the ON duty cycle for OnOff, and the
+// validation cap of 8 for Poisson. The saturation search uses it as the
+// default upper bracket.
+func (c *Config) MaxRate() float64 {
+	switch c.Process {
+	case Bernoulli:
+		return 1
+	case OnOff:
+		on, off := c.onOffMeans()
+		return on / (on + off)
+	default:
+		return 8
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Net == nil {
+		return errors.New("traffic: Config.Net is required")
+	}
+	if c.Net.Endpoints < 1 {
+		return fmt.Errorf("traffic: network %q has no endpoints", c.Net.Label)
+	}
+	if c.VirtualChannels < 1 {
+		return fmt.Errorf("traffic: VirtualChannels %d < 1", c.VirtualChannels)
+	}
+	if c.MessageLength < 1 {
+		return fmt.Errorf("traffic: MessageLength %d < 1", c.MessageLength)
+	}
+	if c.Measure < 1 {
+		return fmt.Errorf("traffic: Measure window %d < 1", c.Measure)
+	}
+	if c.Warmup < 0 || c.Drain < 0 {
+		return fmt.Errorf("traffic: negative window (warmup %d, drain %d)", c.Warmup, c.Drain)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("traffic: Rate %g must be positive", c.Rate)
+	}
+	if max := c.MaxRate(); c.Rate > max {
+		return fmt.Errorf("traffic: Rate %g exceeds the %s process maximum %g", c.Rate, c.Process, max)
+	}
+	if c.Pattern.needsPow2() {
+		n := c.Net.Endpoints
+		if n&(n-1) != 0 {
+			return fmt.Errorf("traffic: %s pattern needs a power-of-two endpoint count, have %d", c.Pattern, n)
+		}
+	}
+	return nil
+}
+
+// Result reports one open-loop run. Latency statistics cover tracked
+// messages: those released during the measurement window and delivered
+// before the run ended.
+type Result struct {
+	Offered  float64 // configured rate (messages/endpoint/step)
+	Accepted float64 // deliveries per endpoint per measured step
+
+	Injected         int // messages injected across warmup + measurement
+	Tracked          int // released in the measurement window
+	TrackedDone      int // tracked messages that completed
+	DeliveredMeasure int // deliveries that occurred inside the window
+
+	MeanLatency   float64
+	P50, P95, P99 float64
+	MinLatency    int
+	MaxLatency    int
+
+	Steps       int // flit step at which the run stopped
+	LastRelease int // release time of the last injected message
+	Backlog     int // messages still in flight when the run stopped
+
+	Saturated  bool // accepted fell ≥ 5% short of offered (or worse, below)
+	EarlyStop  bool // MaxBacklog tripped before the windows completed
+	Truncated  bool // drain budget exhausted with messages in flight
+	Deadlocked bool // the network deadlocked (possible on toruses at low B)
+}
+
+// Run executes one open-loop simulation and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	net := cfg.Net
+	horizon := cfg.Warmup + cfg.Measure
+
+	var (
+		sketch           Sketch
+		trackedDone      int
+		deliveredMeasure int
+	)
+	onComplete := func(_ message.ID, st vcsim.MessageStats) {
+		if st.Status != vcsim.StatusDelivered {
+			return
+		}
+		// Deliveries stamped in (warmup, warmup+measure] happened during
+		// measurement steps (an event in the step t→t+1 stamps t+1).
+		if st.DeliverTime > cfg.Warmup && st.DeliverTime <= horizon {
+			deliveredMeasure++
+		}
+		if st.Release >= cfg.Warmup && st.Release < horizon {
+			trackedDone++
+			sketch.Add(st.Latency())
+		}
+	}
+
+	sim, err := vcsim.NewSim(net.G, vcsim.Config{
+		VirtualChannels:     cfg.VirtualChannels,
+		RestrictedBandwidth: cfg.RestrictedBandwidth,
+		Arbitration:         cfg.Arbitration,
+		Seed:                cfg.Seed,
+		MaxSteps:            horizon + cfg.Drain,
+		OnComplete:          onComplete,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Per-endpoint sources are pre-split in index order, so endpoint i's
+	// arrival and destination stream depends only on (Seed, i).
+	parent := rng.New(cfg.Seed)
+	injectors := make([]injector, net.Endpoints)
+	for i := range injectors {
+		injectors[i] = newInjector(&cfg, parent.Split())
+	}
+
+	res := Result{Offered: cfg.Rate, LastRelease: -1}
+	injectSteps := 0
+	for t := 0; t < horizon; t++ {
+		for e := range injectors {
+			for k := injectors[e].arrivals(&cfg, t); k > 0; k-- {
+				dst := cfg.dest(e, injectors[e].r)
+				msg := message.Message{
+					Src:    net.Source(e),
+					Dst:    net.Dest(dst),
+					Length: cfg.MessageLength,
+					Path:   net.Route(e, dst),
+				}
+				if _, err := sim.Inject(msg, t); err != nil {
+					return Result{}, fmt.Errorf("traffic: inject at step %d: %w", t, err)
+				}
+				res.LastRelease = t
+				if t >= cfg.Warmup {
+					res.Tracked++
+				}
+			}
+		}
+		if err := sim.Step(); err != nil {
+			res.Deadlocked = errors.Is(err, vcsim.ErrDeadlocked)
+			break
+		}
+		injectSteps++
+		if cfg.MaxBacklog > 0 && sim.Active() > cfg.MaxBacklog {
+			res.EarlyStop = true
+			break
+		}
+	}
+	// Drain: injection off; let in-flight messages finish inside the
+	// remaining step budget. A run that already failed skips it — the
+	// verdict is in, and a deadlocked or over-backlogged network will not
+	// drain anyway.
+	if !res.Deadlocked && !res.EarlyStop {
+		for sim.Active() > 0 {
+			if err := sim.Step(); err != nil {
+				res.Deadlocked = errors.Is(err, vcsim.ErrDeadlocked)
+				break
+			}
+		}
+	}
+
+	res.Injected = sim.Injected()
+	res.Steps = sim.Now()
+	res.Backlog = sim.Active()
+	res.Truncated = sim.Truncated()
+	res.TrackedDone = trackedDone
+	res.DeliveredMeasure = deliveredMeasure
+	if n := sketch.Count(); n > 0 {
+		res.MeanLatency = sketch.Mean()
+		res.P50 = sketch.Quantile(0.50)
+		res.P95 = sketch.Quantile(0.95)
+		res.P99 = sketch.Quantile(0.99)
+		res.MinLatency = sketch.Min()
+		res.MaxLatency = sketch.Max()
+	}
+	// Accepted throughput normalizes deliveries over the measurement
+	// steps the run actually executed, so an early stop still yields a
+	// meaningful (and damning) number.
+	measured := injectSteps - cfg.Warmup
+	if measured > cfg.Measure {
+		measured = cfg.Measure
+	}
+	if measured > 0 {
+		res.Accepted = float64(deliveredMeasure) / (float64(net.Endpoints) * float64(measured))
+	}
+	// Saturation verdict: a definitive failure (deadlock, backlog blowup)
+	// or accepted throughput falling ≥ 5% short of offered. The shortfall
+	// test subtracts a 3σ Poisson allowance (the window sees ~expected
+	// arrivals, so counts fluctuate by √expected) — without it, short
+	// measurement windows at low load flag spurious saturation on pure
+	// boundary noise. Truncation alone is deliberately NOT a verdict: a
+	// short (even zero) drain budget leaves the steady-state in-flight
+	// population stranded at any load, which censors tail latencies but
+	// says nothing about sustainability — the window shortfall already
+	// catches genuine saturation.
+	expected := res.Offered * float64(net.Endpoints) * float64(measured)
+	shortfall := saturationShortfall*expected - 3*math.Sqrt(expected)
+	res.Saturated = res.Deadlocked || res.EarlyStop ||
+		float64(deliveredMeasure) < shortfall
+	return res, nil
+}

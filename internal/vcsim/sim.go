@@ -1,0 +1,131 @@
+package vcsim
+
+// This file is the incremental (open-loop) lifecycle of the Sim engine:
+// construction over a bare network, streaming injection, single-step
+// advancement, and terminal-state inspection. The step machinery itself
+// lives in vcsim.go and is shared verbatim with the batch Run wrapper,
+// so the two modes cannot drift apart.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+)
+
+var (
+	// ErrNoHorizon is returned by NewSim when Config.MaxSteps is zero. The
+	// batch wrapper can derive a safe bound from its finite workload, but
+	// an open-loop simulation has no workload to derive a bound from —
+	// messages stream in — so the horizon must be explicit.
+	ErrNoHorizon = errors.New("vcsim: incremental simulation requires an explicit Config.MaxSteps horizon")
+	// ErrHorizon is returned by Step once the MaxSteps horizon is reached;
+	// the result is marked Truncated.
+	ErrHorizon = errors.New("vcsim: MaxSteps horizon reached")
+	// ErrDeadlocked is returned by Step once a deadlock has frozen the
+	// network: every eligible worm is slot-blocked, and slots only free
+	// when worms move, so no future injection can help.
+	ErrDeadlocked = errors.New("vcsim: network is deadlocked")
+)
+
+// NewSim returns an empty incremental simulator over the network g.
+// Unlike the batch Run wrapper, cfg.MaxSteps must be set explicitly: with
+// messages streaming in there is no workload to derive a safe bound from,
+// so a zero horizon is rejected with ErrNoHorizon rather than guessed at.
+func NewSim(g *graph.Graph, cfg Config) (*Sim, error) {
+	if cfg.VirtualChannels < 1 {
+		return nil, fmt.Errorf("vcsim: VirtualChannels %d < 1", cfg.VirtualChannels)
+	}
+	if cfg.MaxSteps <= 0 {
+		return nil, ErrNoHorizon
+	}
+	return emptySim(g.NumEdges(), cfg), nil
+}
+
+// Inject adds one message to the simulation with the given release time
+// and returns its ID. IDs are dense and assigned in injection order, so
+// they double as indices into Result().PerMessage. The release time must
+// not lie in the past (release ≥ Now()); the message becomes eligible in
+// the first step at or after its release, exactly like a batch release
+// list entry.
+func (si *Sim) Inject(msg message.Message, release int) (message.ID, error) {
+	if release < si.now {
+		return -1, fmt.Errorf("vcsim: release %d is before the current step %d", release, si.now)
+	}
+	if msg.Length < 1 {
+		return -1, fmt.Errorf("vcsim: message length %d < 1", msg.Length)
+	}
+	p := make([]int32, len(msg.Path))
+	for j, e := range msg.Path {
+		if int(e) < 0 || int(e) >= len(si.slotsUsed) {
+			return -1, fmt.Errorf("vcsim: path edge %d out of range [0,%d)", e, len(si.slotsUsed))
+		}
+		p[j] = int32(e)
+	}
+	id := len(si.worms)
+	si.worms = append(si.worms, worm{
+		id:      id,
+		path:    p,
+		d:       len(p),
+		l:       msg.Length,
+		release: release,
+		stats:   MessageStats{Release: release, InjectTime: -1, DeliverTime: -1, DropTime: -1},
+	})
+	// Keep pending sorted by (release, id): the new ID is the largest, so
+	// it slots in after every entry with release ≤ its own.
+	pos := sort.Search(len(si.pending), func(i int) bool {
+		return si.worms[si.pending[i]].release > release
+	})
+	si.pending = append(si.pending, 0)
+	copy(si.pending[pos+1:], si.pending[pos:])
+	si.pending[pos] = id
+	return message.ID(id), nil
+}
+
+// Step advances the simulation by exactly one flit step, admitting
+// released messages and moving eligible worms. A step with no eligible
+// messages is an idle step: time advances and nothing else happens, which
+// is how open-loop drivers model real time between arrivals. Step returns
+// ErrHorizon once Now() has reached the MaxSteps horizon (marking the
+// result Truncated) and ErrDeadlocked once a deadlock has been detected —
+// including the step that detects it.
+func (si *Sim) Step() error {
+	if si.deadlocked {
+		return ErrDeadlocked
+	}
+	if si.now >= si.maxSteps {
+		si.truncated = true
+		return ErrHorizon
+	}
+	si.admit()
+	si.step()
+	if si.deadlocked {
+		return ErrDeadlocked
+	}
+	return nil
+}
+
+// Now returns the current flit step.
+func (si *Sim) Now() int { return si.now }
+
+// Active returns the number of injected messages that have not yet
+// completed: worms in flight plus worms waiting on their release time.
+// After a deadlock it counts the frozen worms, which never complete.
+func (si *Sim) Active() int { return len(si.worms) - si.delivered - si.dropped }
+
+// Injected returns the total number of messages injected so far.
+func (si *Sim) Injected() int { return len(si.worms) }
+
+// Delivered returns the number of fully delivered messages so far.
+func (si *Sim) Delivered() int { return si.delivered }
+
+// Dropped returns the number of messages discarded by drop-on-delay.
+func (si *Sim) Dropped() int { return si.dropped }
+
+// Deadlocked reports whether a deadlock has frozen the network.
+func (si *Sim) Deadlocked() bool { return si.deadlocked }
+
+// Truncated reports whether the MaxSteps horizon was reached.
+func (si *Sim) Truncated() bool { return si.truncated }

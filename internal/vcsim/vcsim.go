@@ -83,6 +83,11 @@ type Config struct {
 	// drops, deliveries). Event times match the MessageStats convention:
 	// an event processed in the step from t to t+1 reports time t+1.
 	Observer Observer
+	// OnComplete, when non-nil, fires exactly once per message when it
+	// finishes — delivered or dropped — with its final MessageStats. Open-
+	// loop drivers use it to stream latencies without retaining per-message
+	// state; it must not call back into the simulator.
+	OnComplete func(message.ID, MessageStats)
 }
 
 // Observer receives simulation events; the trace package uses it to
@@ -247,14 +252,31 @@ func (w *worm) crossed() (lo, hi int) {
 
 // Run simulates the message set under the given per-message release times
 // (release[i] is the earliest flit step at which message i may start; nil
-// means all release at 0) and returns the result.
+// means all release at 0) and returns the result. It is a thin batch
+// wrapper over the incremental Sim engine: all messages are loaded up
+// front and the simulation is drained to completion.
 func Run(s *message.Set, release []int, cfg Config) Result {
-	sim := newSim(s, release, cfg)
-	sim.run()
-	return sim.result()
+	sim := newBatchSim(s, release, cfg)
+	sim.Drain()
+	return sim.Result()
 }
 
-type sim struct {
+// Sim is the incremental simulation engine: a resumable simulator state
+// that messages can be injected into while time advances. The lifecycle
+// is
+//
+//	sim, err := NewSim(g, cfg)        // cfg.MaxSteps must be explicit
+//	id, err := sim.Inject(msg, t)     // any time, for any release ≥ Now()
+//	err = sim.Step()                  // advance exactly one flit step
+//	sim.Drain()                       // run until empty/deadlock/horizon
+//	res := sim.Result()               // snapshot, callable at any point
+//
+// Step advances one flit step even when no message is eligible (idle
+// steps model real time in open-loop workloads); Drain instead
+// fast-forwards across idle gaps, which is what the batch Run wrapper
+// uses. Completion of individual messages is observable through
+// Config.OnComplete. A Sim must not be shared across goroutines.
+type Sim struct {
 	cfg   Config
 	b     int
 	cap   int // per-edge flit crossings per step
@@ -294,26 +316,18 @@ type sim struct {
 	maxSteps    int
 }
 
-func newSim(s *message.Set, release []int, cfg Config) *sim {
-	if cfg.VirtualChannels < 1 {
-		panic(fmt.Sprintf("vcsim: VirtualChannels %d < 1", cfg.VirtualChannels))
-	}
-	if release != nil && len(release) != s.Len() {
-		panic(fmt.Sprintf("vcsim: %d release times for %d messages", len(release), s.Len()))
-	}
-	n := s.Len()
-	m := s.G.NumEdges()
-	si := &sim{
+// emptySim builds a Sim with no messages over a network of numEdges
+// physical channels. Both constructors (batch and incremental) share it.
+func emptySim(numEdges int, cfg Config) *Sim {
+	si := &Sim{
 		cfg:       cfg,
 		b:         cfg.VirtualChannels,
 		cap:       cfg.VirtualChannels,
-		worms:     make([]worm, n),
-		pending:   make([]int, 0, n),
-		active:    make([]int, 0, n),
-		slotsUsed: make([]int32, m),
-		grants:    make([]int32, m),
-		crossings: make([]int32, m),
-		releases:  make([]int32, m),
+		slotsUsed: make([]int32, numEdges),
+		grants:    make([]int32, numEdges),
+		crossings: make([]int32, numEdges),
+		releases:  make([]int32, numEdges),
+		maxSteps:  cfg.MaxSteps,
 	}
 	if cfg.RestrictedBandwidth {
 		si.cap = 1
@@ -321,6 +335,24 @@ func newSim(s *message.Set, release []int, cfg Config) *sim {
 	if cfg.Arbitration == ArbRandom {
 		si.shuffler = rng.New(cfg.Seed)
 	}
+	return si
+}
+
+// newBatchSim loads a complete message set, deriving the MaxSteps safety
+// bound from the workload when the config leaves it at 0 (which is only
+// meaningful here: the batch workload is finite and fully known).
+func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
+	if cfg.VirtualChannels < 1 {
+		panic(fmt.Sprintf("vcsim: VirtualChannels %d < 1", cfg.VirtualChannels))
+	}
+	if release != nil && len(release) != s.Len() {
+		panic(fmt.Sprintf("vcsim: %d release times for %d messages", len(release), s.Len()))
+	}
+	n := s.Len()
+	si := emptySim(s.G.NumEdges(), cfg)
+	si.worms = make([]worm, n)
+	si.pending = make([]int, 0, n)
+	si.active = make([]int, 0, n)
 	work := 0
 	maxRelease := 0
 	for i := 0; i < n; i++ {
@@ -350,7 +382,6 @@ func newSim(s *message.Set, release []int, cfg Config) *sim {
 		work += len(p) + msg.Length
 		si.pending = append(si.pending, i)
 	}
-	si.maxSteps = cfg.MaxSteps
 	if si.maxSteps == 0 {
 		// Any non-deadlocked run advances at least one worm per step, so
 		// total steps ≤ maxRelease + Σ(D_i + L_i). Deadlocks are detected
@@ -369,15 +400,26 @@ func newSim(s *message.Set, release []int, cfg Config) *sim {
 	return si
 }
 
-func (si *sim) run() {
+// Drain runs the simulation until every injected message has completed,
+// a deadlock freezes the network (Deadlocked), or the MaxSteps horizon is
+// exceeded (Truncated). Unlike repeated Step calls, Drain fast-forwards
+// across gaps where no message is eligible, so idle time costs nothing;
+// batch Run is exactly load-everything-then-Drain.
+func (si *Sim) Drain() {
 	for len(si.active) > 0 || len(si.pending) > 0 {
+		// Fast-forward across gaps where nothing is eligible — but never
+		// past the horizon: a release beyond MaxSteps truncates the run
+		// at the horizon instead of executing steps past the bound that
+		// Step() enforces.
+		if len(si.active) == 0 && si.worms[si.pending[0]].release > si.now {
+			si.now = si.worms[si.pending[0]].release
+			if si.now > si.maxSteps {
+				si.now = si.maxSteps
+			}
+		}
 		if si.now >= si.maxSteps {
 			si.truncated = true
 			return
-		}
-		// Fast-forward across gaps where nothing is eligible.
-		if len(si.active) == 0 && si.worms[si.pending[0]].release > si.now {
-			si.now = si.worms[si.pending[0]].release
 		}
 		si.admit()
 		si.step()
@@ -385,7 +427,7 @@ func (si *sim) run() {
 }
 
 // admit moves pending worms whose release has arrived onto the active list.
-func (si *sim) admit() {
+func (si *Sim) admit() {
 	for len(si.pending) > 0 && si.worms[si.pending[0]].release <= si.now {
 		idx := si.pending[0]
 		si.pending = si.pending[1:]
@@ -407,7 +449,7 @@ func (si *sim) admit() {
 }
 
 // step advances the simulation by one flit step.
-func (si *sim) step() {
+func (si *Sim) step() {
 	order := si.active
 	switch {
 	case si.cfg.Arbitration == ArbRandom:
@@ -460,7 +502,7 @@ func (si *sim) step() {
 
 // tryAdvance attempts to move worm w one step, honoring buffer and
 // bandwidth constraints. On success it performs the move and returns true.
-func (si *sim) tryAdvance(w *worm) bool {
+func (si *Sim) tryAdvance(w *worm) bool {
 	if w.d == 0 {
 		// Source equals destination: delivered in the step after release.
 		// Event times follow the Config.Observer convention — an event
@@ -473,6 +515,9 @@ func (si *sim) tryAdvance(w *worm) bool {
 		si.delivered++
 		if obs := si.cfg.Observer; obs != nil {
 			obs.OnDeliver(si.now+1, message.ID(w.id))
+		}
+		if cb := si.cfg.OnComplete; cb != nil {
+			cb(message.ID(w.id), w.stats)
 		}
 		return true
 	}
@@ -526,6 +571,9 @@ func (si *sim) tryAdvance(w *worm) bool {
 		if obs := si.cfg.Observer; obs != nil {
 			obs.OnDeliver(si.now+1, message.ID(w.id))
 		}
+		if cb := si.cfg.OnComplete; cb != nil {
+			cb(message.ID(w.id), w.stats)
+		}
 	} else {
 		w.stats.Status = StatusActive
 	}
@@ -534,7 +582,7 @@ func (si *sim) tryAdvance(w *worm) bool {
 
 // drop discards worm w, releasing all buffer slots it occupies (visible
 // next step, like any other release).
-func (si *sim) drop(w *worm) {
+func (si *Sim) drop(w *worm) {
 	if lo, hi, ok := w.span(); ok {
 		for i := lo; i <= hi; i++ {
 			e := w.path[i]
@@ -548,16 +596,19 @@ func (si *sim) drop(w *worm) {
 	if obs := si.cfg.Observer; obs != nil {
 		obs.OnDrop(si.now+1, message.ID(w.id))
 	}
+	if cb := si.cfg.OnComplete; cb != nil {
+		cb(message.ID(w.id), w.stats)
+	}
 }
 
 // touch records an edge index for end-of-step cleanup.
-func (si *sim) touch(e int32) {
+func (si *Sim) touch(e int32) {
 	si.dirty = append(si.dirty, e)
 }
 
 // applyStepEnd folds grants and releases into persistent occupancy and
 // clears the per-step scratch arrays.
-func (si *sim) applyStepEnd() {
+func (si *Sim) applyStepEnd() {
 	for _, e := range si.dirty {
 		if si.grants[e] != 0 || si.releases[e] != 0 {
 			si.slotsUsed[e] += si.grants[e] - si.releases[e]
@@ -574,7 +625,7 @@ func (si *sim) applyStepEnd() {
 
 // reap removes completed and dropped worms from the active list (and the
 // ID-ordered view, when materialized), preserving order.
-func (si *sim) reap() {
+func (si *Sim) reap() {
 	si.active = reapList(si.worms, si.active)
 	if si.byID != nil {
 		si.byID = reapList(si.worms, si.byID)
@@ -586,6 +637,12 @@ func reapList(worms []worm, list []int) []int {
 	for _, idx := range list {
 		st := worms[idx].stats.Status
 		if st == StatusDelivered || st == StatusDropped {
+			// The path is never consulted again; freeing it shrinks a
+			// completed worm to its fixed-size struct and stats. (The
+			// struct itself is retained so IDs keep indexing worms and
+			// Result can report per-message stats; a long-lived open-loop
+			// Sim therefore still grows by ~one small struct per message.)
+			worms[idx].path = nil
 			continue
 		}
 		keep = append(keep, idx)
@@ -594,14 +651,14 @@ func reapList(worms []worm, list []int) []int {
 }
 
 // finishAsDeadlocked empties the worm lists so run() terminates.
-func (si *sim) finishAsDeadlocked() {
+func (si *Sim) finishAsDeadlocked() {
 	si.active = si.active[:0]
 	si.pending = si.pending[:0]
 }
 
 // checkInvariants asserts model invariants; it panics on violation so test
 // failures pinpoint the first bad step.
-func (si *sim) checkInvariants() {
+func (si *Sim) checkInvariants() {
 	occ := make(map[int32]int32, 64)
 	for i := range si.worms {
 		w := &si.worms[i]
@@ -629,7 +686,10 @@ func (si *sim) checkInvariants() {
 	}
 }
 
-func (si *sim) result() Result {
+// Result snapshots the simulation state into a Result. It can be called
+// at any point in a Sim's life; per-message stats of in-flight messages
+// appear with their current (partial) values.
+func (si *Sim) Result() Result {
 	res := Result{
 		Delivered:   si.delivered,
 		Dropped:     si.dropped,

@@ -13,7 +13,11 @@
 //     congestion/dilation analysis;
 //   - the flit-level simulator of the paper's router model (B virtual
 //     channels per edge, rigid worms, optional drop-on-delay and
-//     restricted-bandwidth variants);
+//     restricted-bandwidth variants), with both a batch entry point and
+//     an incremental, resumable Sim for streaming workloads;
+//   - a steady-state open-loop traffic engine (Bernoulli / Poisson /
+//     bursty injection × uniform / transpose / bit-reverse / hotspot
+//     patterns, warmup/measurement/drain windows, saturation search);
 //   - the Theorem 2.1.6 LLL scheduler and its verification;
 //   - the Section 3.1 randomized two-pass butterfly algorithm;
 //   - baselines: store-and-forward, virtual cut-through, circuit
@@ -43,6 +47,7 @@ import (
 	"wormhole/internal/stats"
 	"wormhole/internal/topology"
 	"wormhole/internal/trace"
+	"wormhole/internal/traffic"
 	"wormhole/internal/vcsim"
 )
 
@@ -182,6 +187,77 @@ func Simulate(s *MessageSet, releases []int, cfg SimConfig) SimResult {
 	return vcsim.Run(s, releases, cfg)
 }
 
+// Sim is the incremental (resumable) simulation engine underlying
+// Simulate: messages are injected while time advances, one flit step at a
+// time, which is what open-loop traffic drivers need. See vcsim.Sim for
+// the lifecycle.
+type Sim = vcsim.Sim
+
+// NewSim returns an empty incremental simulator over g. cfg.MaxSteps must
+// be set explicitly (vcsim.ErrNoHorizon otherwise): an open-loop run has
+// no finite workload to derive a safe bound from.
+func NewSim(g *Graph, cfg SimConfig) (*Sim, error) { return vcsim.NewSim(g, cfg) }
+
+// --- open-loop traffic -------------------------------------------------------
+
+// Open-loop traffic types (steady-state continuous injection; see
+// internal/traffic for the window/process/pattern semantics).
+type (
+	// OpenLoopConfig parameterizes a steady-state open-loop run: network,
+	// injection process × spatial pattern, offered rate, and the
+	// warmup / measurement / drain windows.
+	OpenLoopConfig = traffic.Config
+	// OpenLoopResult reports accepted throughput and streaming latency
+	// statistics (mean, p50/p95/p99) for one open-loop run.
+	OpenLoopResult = traffic.Result
+	// TrafficNetwork adapts a topology (endpoints, routing) for the
+	// open-loop engine.
+	TrafficNetwork = traffic.Network
+	// SaturationOptions tunes the saturation-rate bisection.
+	SaturationOptions = traffic.SearchOptions
+	// SaturationResult reports the located saturation knee and the
+	// bisection probes that found it.
+	SaturationResult = traffic.SearchResult
+)
+
+// Injection processes.
+const (
+	ProcessBernoulli = traffic.Bernoulli
+	ProcessPoisson   = traffic.Poisson
+	ProcessOnOff     = traffic.OnOff
+)
+
+// Spatial destination patterns.
+const (
+	PatternUniform    = traffic.Uniform
+	PatternTranspose  = traffic.Transpose
+	PatternBitReverse = traffic.BitReverse
+	PatternHotspot    = traffic.Hotspot
+)
+
+// NewButterflyTraffic adapts an n-input butterfly for open-loop traffic.
+func NewButterflyTraffic(n int) *TrafficNetwork { return traffic.NewButterflyNet(n) }
+
+// NewMeshTraffic adapts a mesh (dimension-order routed) for open-loop
+// traffic.
+func NewMeshTraffic(dims ...int) *TrafficNetwork { return traffic.NewMeshNet(dims...) }
+
+// NewTorusTraffic adapts a torus (dimension-order routed) for open-loop
+// traffic.
+func NewTorusTraffic(dims ...int) *TrafficNetwork { return traffic.NewTorusNet(dims...) }
+
+// RunOpenLoop executes one steady-state open-loop simulation: continuous
+// stochastic injection through warmup and measurement windows, then a
+// bounded drain. Results are deterministic in OpenLoopConfig.Seed.
+func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) { return traffic.Run(cfg) }
+
+// SaturationRate bisects the offered load to locate the network's
+// saturation knee — the highest rate at which accepted throughput keeps
+// up with offered load. The search is deterministic.
+func SaturationRate(cfg OpenLoopConfig, opts SaturationOptions) (SaturationResult, error) {
+	return traffic.SaturationRate(cfg, opts)
+}
+
 // TraceRecorder reconstructs flit-level space-time diagrams from a run;
 // pass it as SimConfig.Observer, then call Render.
 type TraceRecorder = trace.Recorder
@@ -269,7 +345,7 @@ type ExperimentConfig = core.Config
 type ResultTable = stats.Table
 
 // RunExperiment executes a README.md-catalogued experiment by ID (F1, F2,
-// T1…T11, A1…A5). Set ExperimentConfig.Workers to fan the experiment's
+// T1…T12, A1…A5). Set ExperimentConfig.Workers to fan the experiment's
 // independent jobs across a worker pool; tables are byte-identical for
 // any worker count.
 func RunExperiment(id string, cfg ExperimentConfig) ([]*ResultTable, error) {

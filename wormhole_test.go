@@ -58,6 +58,65 @@ func TestManualNetworkFlow(t *testing.T) {
 	}
 }
 
+func TestOpenLoopFacade(t *testing.T) {
+	cfg := wormhole.OpenLoopConfig{
+		Net:             wormhole.NewButterflyTraffic(16),
+		VirtualChannels: 4,
+		MessageLength:   4,
+		Arbitration:     wormhole.ArbAge,
+		Process:         wormhole.ProcessPoisson,
+		Rate:            0.05,
+		Pattern:         wormhole.PatternUniform,
+		Warmup:          32,
+		Measure:         128,
+		Drain:           512,
+		Seed:            3,
+	}
+	res, err := wormhole.RunOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected == 0 || res.Saturated {
+		t.Fatalf("low-rate open-loop run: %+v", res)
+	}
+	if res.MeanLatency < float64(4+4-1) {
+		t.Errorf("mean latency %g below the physical floor", res.MeanLatency)
+	}
+	cfg.MaxBacklog = 1024
+	sat, err := wormhole.SaturationRate(cfg, wormhole.SaturationOptions{Hi: 1, Iters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.Rate <= 0 || len(sat.Probes) == 0 {
+		t.Fatalf("saturation search: %+v", sat)
+	}
+}
+
+func TestIncrementalSimFacade(t *testing.T) {
+	g := wormhole.NewGraph(3, 2)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	sim, err := wormhole.NewSim(g, wormhole.SimConfig{VirtualChannels: 1, MaxSteps: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := wormhole.ShortestPath(g, a, c)
+	if _, err := sim.Inject(wormhole.Message{Src: a, Dst: c, Length: 2, Path: p}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for sim.Active() > 0 {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := sim.Result(); res.Steps != 2+2-1 || !res.AllDelivered() {
+		t.Fatalf("incremental run: %+v", res)
+	}
+}
+
 func TestTopologyConstructors(t *testing.T) {
 	if wormhole.NewButterfly(16).Levels != 4 {
 		t.Error("butterfly levels")
@@ -152,7 +211,7 @@ func TestScheduleFacade(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
-	if len(wormhole.Experiments()) != 18 {
+	if len(wormhole.Experiments()) != 19 {
 		t.Errorf("%d experiments", len(wormhole.Experiments()))
 	}
 	tables, err := wormhole.RunExperiment("F1", wormhole.ExperimentConfig{Seed: 1, Quick: true})
