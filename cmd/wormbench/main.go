@@ -1,17 +1,25 @@
 // Command wormbench runs the paper-reproduction experiments and prints
-// their result tables.
+// their result tables, and doubles as the benchmark harness behind the
+// CI regression gate.
 //
 // Usage:
 //
 //	wormbench -list
 //	wormbench -run T1 [-seed 42] [-quick] [-trials 5] [-workers 8]
 //	wormbench -all
+//	wormbench -bench [-benchout BENCH.json] [-baseline BENCH_BASELINE.json] [-benchreps 5]
 //
 // Experiment IDs are catalogued in README.md (F1, F2 for the figures;
 // T1–T11 for the theorem/remark reproductions; T12 for the open-loop
 // steady-state traffic study; A1–A5 for the design ablations). -workers
 // fans the experiment's independent jobs across a worker pool
 // (0 = GOMAXPROCS); tables are byte-identical for any value.
+//
+// -bench runs the fixed benchmark suite (see internal/bench) and writes
+// ns/step and allocs/step per workload to -benchout. With -baseline it
+// additionally compares against a committed report and exits nonzero on
+// a >15% calibration-normalized ns/step regression or any allocs/step
+// regression — the CI perf gate.
 package main
 
 import (
@@ -20,25 +28,32 @@ import (
 	"os"
 	"time"
 
+	"wormhole/internal/bench"
 	"wormhole/internal/core"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		run     = flag.String("run", "", "experiment ID to run (e.g. T1)")
-		all     = flag.Bool("all", false, "run every experiment")
-		seed    = flag.Uint64("seed", 42, "experiment seed")
-		quick   = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
-		trials  = flag.Int("trials", 0, "override trial count (0 = default)")
-		workers = flag.Int("workers", 0, "parallel harness workers (0 = GOMAXPROCS)")
-		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list      = flag.Bool("list", false, "list available experiments")
+		run       = flag.String("run", "", "experiment ID to run (e.g. T1)")
+		all       = flag.Bool("all", false, "run every experiment")
+		seed      = flag.Uint64("seed", 42, "experiment seed")
+		quick     = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
+		trials    = flag.Int("trials", 0, "override trial count (0 = default)")
+		workers   = flag.Int("workers", 0, "parallel harness workers (0 = GOMAXPROCS)")
+		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		doBench   = flag.Bool("bench", false, "run the benchmark suite instead of experiments")
+		benchOut  = flag.String("benchout", "BENCH.json", "benchmark report output path")
+		baseline  = flag.String("baseline", "", "baseline report to gate against (e.g. BENCH_BASELINE.json)")
+		benchReps = flag.Int("benchreps", 5, "benchmark repeats (best-of)")
 	)
 	flag.Parse()
 
 	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers}
 
 	switch {
+	case *doBench:
+		runBench(*benchOut, *baseline, *benchReps)
 	case *list:
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
@@ -53,6 +68,41 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func runBench(out, baselinePath string, reps int) {
+	start := time.Now()
+	rep, err := bench.Collect(reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormbench: bench:", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Entries {
+		fmt.Printf("%-28s %12.0f ns/%s %10.3f allocs/%s\n",
+			e.Name, e.NsPerStep, e.Unit, e.AllocsPerStep, e.Unit)
+	}
+	fmt.Printf("[calibration %.0f ns; %d repeats; done in %v]\n",
+		rep.CalibrationNs, reps, time.Since(start).Round(time.Millisecond))
+	if err := rep.WriteFile(out); err != nil {
+		fmt.Fprintln(os.Stderr, "wormbench: bench:", err)
+		os.Exit(1)
+	}
+	if baselinePath == "" {
+		return
+	}
+	base, err := bench.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormbench: bench:", err)
+		os.Exit(1)
+	}
+	if bad := bench.Compare(base, rep, bench.NsTolerance); len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "wormbench: benchmark regressions against", baselinePath)
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, "  REGRESSION:", msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("bench gate: no regressions against %s\n", baselinePath)
 }
 
 func runOne(id string, cfg core.Config, csvOut bool) {

@@ -1,0 +1,278 @@
+// Package bench is the reproducible benchmark suite behind the wormbench
+// -bench flag and the CI benchmark-regression gate.
+//
+// Collect runs a fixed set of workloads — the open-loop stepping path at
+// a light and a near-saturation operating point, the batch greedy
+// simulator, and the parallel experiment harness — at fixed seeds and
+// sizes, and reports ns/step and allocs/step for each. The repo commits
+// the post-change numbers as BENCH_BASELINE.json; CI re-collects on every
+// push and fails when ns/step regresses beyond a tolerance or allocs/step
+// regresses at all.
+//
+// Wall-clock numbers are not portable across machines, so every report
+// carries a calibration measurement: the time of a fixed pure-CPU loop on
+// the same machine, taken in the same process. Compare scales the
+// baseline's ns/step by the calibration ratio before applying the
+// tolerance, which turns the gate into a same-machine comparison even
+// when the baseline was collected elsewhere. Alloc counts come from the
+// runtime's exact mallocs counter and are machine-independent (they can
+// shift across Go releases, which is why CI runs the gate on the pinned
+// toolchain leg only).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wormhole/internal/core"
+	"wormhole/internal/traffic"
+	"wormhole/internal/vcsim"
+)
+
+// Entry reports one workload.
+type Entry struct {
+	Name string `json:"name"`
+	// Unit names what a "step" is: a flit step for simulator workloads,
+	// a whole run for the harness workload.
+	Unit          string  `json:"unit"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	Steps         int64   `json:"steps"` // steps per repeat (measurement denominator)
+}
+
+// Report is the -bench output. Entries are ordered; names are stable.
+type Report struct {
+	// CalibrationNs is the best-of-repeats time of calibrate() on the
+	// collecting machine, used to normalize ns/step across machines.
+	CalibrationNs float64 `json:"calibration_ns"`
+	Entries       []Entry `json:"entries"`
+}
+
+// NsTolerance is the default allowed calibration-normalized ns/step
+// regression (the CI gate's 15%).
+const NsTolerance = 0.15
+
+// calibrate times a fixed pure-CPU loop (xorshift mixing, no memory
+// traffic) as a machine-speed probe.
+func calibrate() float64 {
+	best := 1e18
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		x := uint64(0x9E3779B97F4A7C15)
+		var sum uint64
+		for i := 0; i < 1<<24; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			sum += x
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if sum == 0 { // defeat dead-code elimination
+			ns++
+		}
+		if ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// workload is one benchmark: run executes it once and returns the step
+// count the elapsed time is divided by.
+type workload struct {
+	name string
+	unit string
+	run  func() (steps int64, err error)
+}
+
+func openLoop(cfg traffic.Config) func() (int64, error) {
+	return func() (int64, error) {
+		res, err := traffic.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		if res.Saturated {
+			return 0, fmt.Errorf("bench: workload saturated (must run at steady state)")
+		}
+		return int64(res.Steps), nil
+	}
+}
+
+func workloads() []workload {
+	openLight := traffic.Config{
+		Net:             traffic.NewButterflyNet(64),
+		VirtualChannels: 4,
+		MessageLength:   6,
+		Arbitration:     vcsim.ArbAge,
+		Process:         traffic.Poisson,
+		Rate:            0.1,
+		Pattern:         traffic.Uniform,
+		Warmup:          128,
+		Measure:         1024,
+		Drain:           2048,
+		Seed:            17,
+	}
+	openKnee := openLight
+	openKnee.VirtualChannels = 2
+	openKnee.Rate = 0.3
+	openKnee.Warmup = 2048
+	openKnee.Measure = 8192
+	openKnee.Drain = 32768
+	openKnee.MaxBacklog = 65536
+
+	list := []workload{
+		{"OpenLoopStep/light", "step", openLoop(openLight)},
+		{"OpenLoopStep/knee", "step", openLoop(openKnee)},
+	}
+	for _, b := range []int{1, 2, 4} {
+		b := b
+		list = append(list, workload{
+			name: fmt.Sprintf("SimulatorGreedy/B=%d", b),
+			unit: "step",
+			run: func() (int64, error) {
+				prob := core.ButterflyQRelation(128, 8, 16, 7)
+				res := prob.RouteGreedy(core.GreedyOptions{B: b, Policy: vcsim.ArbAge})
+				return int64(res.Steps), nil
+			},
+		})
+	}
+	list = append(list, workload{
+		name: "ParallelHarness/workers=8",
+		unit: "run",
+		run: func() (int64, error) {
+			cfg := core.Config{Seed: 42, Quick: true, Workers: 8}
+			for _, id := range []string{"T1", "T4", "T6"} {
+				if _, err := core.Run(id, cfg); err != nil {
+					return 0, err
+				}
+			}
+			return 1, nil
+		},
+	})
+	return list
+}
+
+// Per-workload repeat policy: at least the requested repeats, and keep
+// going until the workload has run for benchFloor total (short workloads
+// need many repeats before the best-of minimum converges below gate
+// noise), hard-capped at benchCap repeats.
+const (
+	benchFloor = time.Second
+	benchCap   = 64
+)
+
+// Collect runs every workload repeatedly (see the repeat policy above;
+// `repeats` is the per-workload minimum) and reports best-of-repeat
+// ns/step and allocs/step (minimums reject scheduler and GC noise; the
+// workloads themselves are deterministic).
+func Collect(repeats int) (Report, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	rep := Report{CalibrationNs: calibrate()}
+	var ms runtime.MemStats
+	for _, w := range workloads() {
+		bestNs, bestAllocs := 1e18, 1e18
+		var steps int64
+		var total time.Duration
+		for r := 0; r < benchCap && (r < repeats || total < benchFloor); r++ {
+			runtime.ReadMemStats(&ms)
+			m0 := ms.Mallocs
+			start := time.Now()
+			n, err := w.run()
+			elapsed := time.Since(start)
+			ns := float64(elapsed.Nanoseconds())
+			total += elapsed
+			if err != nil {
+				return Report{}, fmt.Errorf("%s: %w", w.name, err)
+			}
+			runtime.ReadMemStats(&ms)
+			allocs := float64(ms.Mallocs - m0)
+			if n <= 0 {
+				return Report{}, fmt.Errorf("%s: reported %d steps", w.name, n)
+			}
+			steps = n
+			if v := ns / float64(n); v < bestNs {
+				bestNs = v
+			}
+			if v := allocs / float64(n); v < bestAllocs {
+				bestAllocs = v
+			}
+		}
+		rep.Entries = append(rep.Entries, Entry{
+			Name: w.name, Unit: w.unit,
+			NsPerStep: bestNs, AllocsPerStep: bestAllocs, Steps: steps,
+		})
+	}
+	return rep, nil
+}
+
+// Compare checks current against baseline and returns one message per
+// regression (empty means the gate passes). ns/step is compared after
+// normalizing by the calibration ratio with the given fractional
+// tolerance; allocs/step regresses on any increase beyond rounding.
+func Compare(baseline, current Report, nsTol float64) []string {
+	var bad []string
+	norm := 1.0
+	if baseline.CalibrationNs > 0 && current.CalibrationNs > 0 {
+		norm = current.CalibrationNs / baseline.CalibrationNs
+	}
+	base := make(map[string]Entry, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		base[e.Name] = e
+	}
+	for _, cur := range current.Entries {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		if allowed := b.NsPerStep * norm * (1 + nsTol); cur.NsPerStep > allowed {
+			bad = append(bad, fmt.Sprintf(
+				"%s: %.0f ns/%s exceeds baseline %.0f × calibration %.2f + %d%% = %.0f",
+				cur.Name, cur.NsPerStep, cur.Unit, b.NsPerStep, norm, int(nsTol*100), allowed))
+		}
+		if cur.AllocsPerStep > b.AllocsPerStep+1e-6 {
+			bad = append(bad, fmt.Sprintf(
+				"%s: %.3f allocs/%s exceeds baseline %.3f (any allocation regression fails)",
+				cur.Name, cur.AllocsPerStep, cur.Unit, b.AllocsPerStep))
+		}
+	}
+	for _, b := range baseline.Entries {
+		found := false
+		for _, cur := range current.Entries {
+			if cur.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+		}
+	}
+	return bad
+}
+
+// WriteFile writes the report as indented JSON.
+func (r Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses a report written by WriteFile.
+func ReadFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return r, nil
+}

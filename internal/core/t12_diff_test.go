@@ -1,0 +1,60 @@
+package core
+
+// Cross-engine differential test at the experiment level: every T12 load
+// point (and one saturation search per B) executed through both the
+// blocked-worm wakeup engine and the retained naive scan must produce
+// identical traffic.Results — which is exactly the property that lets the
+// T12 tables stay byte-identical across the engine swap. Runs at the
+// quick scale the CI smoke uses; the vcsim-level differential tests cover
+// the raw config space.
+
+import (
+	"reflect"
+	"testing"
+
+	"wormhole/internal/traffic"
+)
+
+func TestT12LoadPointsWakeupMatchesNaive(t *testing.T) {
+	p := t12Scale(Config{Quick: true})
+	for _, b := range p.bs {
+		for _, rate := range p.rates {
+			seed := uint64(42) + uint64(b)*1009 + uint64(rate*1e6)
+			cfg := p.traffic(Config{Quick: true}, b, rate, seed)
+			naiveCfg := cfg
+			naiveCfg.NaiveScan = true
+			wake, err := traffic.Run(cfg)
+			if err != nil {
+				t.Fatalf("B=%d rate=%g: %v", b, rate, err)
+			}
+			naive, err := traffic.Run(naiveCfg)
+			if err != nil {
+				t.Fatalf("B=%d rate=%g (naive): %v", b, rate, err)
+			}
+			if !reflect.DeepEqual(wake, naive) {
+				t.Errorf("B=%d rate=%g: engines disagree\nwakeup: %+v\n naive: %+v", b, rate, wake, naive)
+			}
+		}
+	}
+}
+
+func TestT12SaturationSearchWakeupMatchesNaive(t *testing.T) {
+	p := t12Scale(Config{Quick: true})
+	for _, b := range p.bs {
+		cfg := p.traffic(Config{Quick: true}, b, 1, uint64(42)+uint64(b)*7919)
+		naiveCfg := cfg
+		naiveCfg.NaiveScan = true
+		opts := traffic.SearchOptions{Hi: p.searchHi, Iters: p.searchIter}
+		wake, err := traffic.SaturationRate(cfg, opts)
+		if err != nil {
+			t.Fatalf("B=%d: %v", b, err)
+		}
+		naive, err := traffic.SaturationRate(naiveCfg, opts)
+		if err != nil {
+			t.Fatalf("B=%d (naive): %v", b, err)
+		}
+		if !reflect.DeepEqual(wake, naive) {
+			t.Errorf("B=%d: saturation searches disagree\nwakeup: %+v\n naive: %+v", b, wake, naive)
+		}
+	}
+}

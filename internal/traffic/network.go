@@ -32,18 +32,40 @@ type Network struct {
 	Label string
 }
 
+// routeCacheMax bounds the endpoint count for which an adapter memoizes
+// its n² routes (256 endpoints ≈ a few MB of cached paths at most).
+const routeCacheMax = 256
+
 // NewButterflyNet adapts an n-input butterfly: endpoint i injects at
 // input column i and delivers at output column i, routed on the unique
 // bit-fixing path. The leveled DAG structure makes greedy wormhole
 // routing deadlock-free for any B.
+//
+// Bit-fixing routes are pure functions of (src, dst), so small networks
+// memoize them: steady-state injection then stops re-deriving and
+// re-allocating the same log n-hop path for every message. The returned
+// path is shared — callers must treat it as read-only (the simulator
+// copies on Inject).
 func NewButterflyNet(n int) *Network {
 	bf := topology.NewButterfly(n)
+	route := func(src, dst int) graph.Path { return bf.Route(src, dst) }
+	if n <= routeCacheMax {
+		routes := make([]graph.Path, n*n)
+		route = func(src, dst int) graph.Path {
+			p := routes[src*n+dst]
+			if p == nil {
+				p = bf.Route(src, dst)
+				routes[src*n+dst] = p
+			}
+			return p
+		}
+	}
 	return &Network{
 		G:         bf.G,
 		Endpoints: n,
 		Source:    func(i int) graph.NodeID { return bf.Input(i) },
 		Dest:      func(i int) graph.NodeID { return bf.Output(i) },
-		Route:     func(src, dst int) graph.Path { return bf.Route(src, dst) },
+		Route:     route,
 		Label:     fmt.Sprintf("butterfly(n=%d)", n),
 	}
 }
@@ -68,14 +90,32 @@ func NewTorusNet(dims ...int) *Network {
 
 func meshNet(m *topology.Mesh, label string) *Network {
 	n := m.G.NumNodes()
+	route := func(src, dst int) graph.Path {
+		return m.DimensionOrderRoute(graph.NodeID(src), graph.NodeID(dst))
+	}
+	if n <= routeCacheMax {
+		// Dimension-order routes are pure (src, dst) functions too;
+		// memoize them under the same read-only-result contract.
+		routes := make([]graph.Path, n*n)
+		inner := route
+		route = func(src, dst int) graph.Path {
+			p := routes[src*n+dst]
+			if p == nil {
+				p = inner(src, dst)
+				if p == nil {
+					p = graph.Path{} // src == dst: cache a non-nil empty path
+				}
+				routes[src*n+dst] = p
+			}
+			return p
+		}
+	}
 	return &Network{
 		G:         m.G,
 		Endpoints: n,
 		Source:    func(i int) graph.NodeID { return graph.NodeID(i) },
 		Dest:      func(i int) graph.NodeID { return graph.NodeID(i) },
-		Route: func(src, dst int) graph.Path {
-			return m.DimensionOrderRoute(graph.NodeID(src), graph.NodeID(dst))
-		},
-		Label: label,
+		Route:     route,
+		Label:     label,
 	}
 }

@@ -81,6 +81,13 @@ type Config struct {
 
 	// Seed makes the run deterministic.
 	Seed uint64
+
+	// NaiveScan runs the simulator's retained naive stepper instead of
+	// the blocked-worm wakeup engine. Results are byte-identical (that
+	// equivalence is what the differential tests assert with this knob);
+	// the naive scan just re-attempts every blocked worm every step, so
+	// saturated runs cost far more wall clock.
+	NaiveScan bool
 }
 
 func (c *Config) onOffMeans() (on, off float64) {
@@ -217,6 +224,7 @@ func Run(cfg Config) (Result, error) {
 		Seed:                cfg.Seed,
 		MaxSteps:            horizon + cfg.Drain,
 		OnComplete:          onComplete,
+		NaiveScan:           cfg.NaiveScan,
 	})
 	if err != nil {
 		return Result{}, err

@@ -41,7 +41,9 @@ func NewSim(g *graph.Graph, cfg Config) (*Sim, error) {
 	if cfg.MaxSteps <= 0 {
 		return nil, ErrNoHorizon
 	}
-	return emptySim(g.NumEdges(), cfg), nil
+	si := emptySim(g.NumEdges(), cfg)
+	si.recycle = true
+	return si, nil
 }
 
 // Inject adds one message to the simulation with the given release time
@@ -57,7 +59,7 @@ func (si *Sim) Inject(msg message.Message, release int) (message.ID, error) {
 	if msg.Length < 1 {
 		return -1, fmt.Errorf("vcsim: message length %d < 1", msg.Length)
 	}
-	p := make([]int32, len(msg.Path))
+	p := si.newPath(len(msg.Path))
 	for j, e := range msg.Path {
 		if int(e) < 0 || int(e) >= len(si.slotsUsed) {
 			return -1, fmt.Errorf("vcsim: path edge %d out of range [0,%d)", e, len(si.slotsUsed))
@@ -66,12 +68,13 @@ func (si *Sim) Inject(msg message.Message, release int) (message.ID, error) {
 	}
 	id := len(si.worms)
 	si.worms = append(si.worms, worm{
-		id:      id,
-		path:    p,
-		d:       len(p),
-		l:       msg.Length,
-		release: release,
-		stats:   MessageStats{Release: release, InjectTime: -1, DeliverTime: -1, DropTime: -1},
+		id:       id,
+		path:     p,
+		d:        len(p),
+		l:        msg.Length,
+		release:  release,
+		stats:    MessageStats{Release: release, InjectTime: -1, DeliverTime: -1, DropTime: -1},
+		parkedAt: -1,
 	})
 	// Keep pending sorted by (release, id): the new ID is the largest, so
 	// it slots in after every entry with release ≤ its own.

@@ -79,6 +79,12 @@ type Config struct {
 	// CheckInvariants makes every step assert buffer-capacity and
 	// worm-contiguity invariants (for tests; costs time).
 	CheckInvariants bool
+	// NaiveScan disables the blocked-worm wakeup machinery and restores
+	// the original stepper, which re-attempts every active worm every
+	// step. Results are byte-identical either way — the wakeup engine is
+	// pinned to this one by differential tests — so the naive scan
+	// survives purely as the slow, obviously correct oracle.
+	NaiveScan bool
 	// Observer, when non-nil, receives per-event callbacks (advances,
 	// drops, deliveries). Event times match the MessageStats convention:
 	// an event processed in the step from t to t+1 reports time t+1.
@@ -215,6 +221,20 @@ type worm struct {
 	frontier int
 	release  int
 	stats    MessageStats
+
+	// Wakeup-engine state (idle under Config.NaiveScan). A worm whose
+	// header finds its next edge's buffer full is parked on that edge's
+	// wait queue and skipped until a slot event there — the only event
+	// that can change the verdict — wakes it in applyStepEnd. parkedAt
+	// is the step of the failed attempt (-1 when not parked); stall
+	// credit for the parked span is stamped lazily on wake, deadlock, or
+	// result snapshot.
+	parkedAt int
+	waitEdge int32
+	// streak counts consecutive failed steps since the last advance or
+	// wake; parking waits out a short probation (parkStreak) so brief
+	// blocked episodes never pay the park/wake machinery.
+	streak int32
 }
 
 // complete reports whether all flits have been delivered.
@@ -285,15 +305,18 @@ type Sim struct {
 	// active as their release times pass, so steps never scan unreleased
 	// worms (schedules can spread releases over a long horizon).
 	pending []int
-	// active holds released, incomplete worms in (release, id) order —
-	// which is plain ID order when all releases coincide, matching the
-	// ArbByID policy's contract.
+	// active holds released, incomplete, unparked worms. The wakeup
+	// engine keeps it directly in policy order (ID for ArbByID,
+	// (release, id) for ArbAge, admission order — with parked worms left
+	// in place — for ArbRandom). The naive scan keeps it in admission
+	// order, i.e. (release, id).
 	active []int
-	// byID is the active list in plain ID order, materialized lazily the
-	// first time a staggered admission appends a lower ID behind a higher
-	// one. While nil, active itself is ID-ordered and ArbByID uses it
-	// directly; once materialized it is maintained incrementally (binary
-	// insert on admit, filter on reap) so steps never re-sort.
+	// byID is the naive scan's active list in plain ID order,
+	// materialized lazily the first time a staggered admission appends a
+	// lower ID behind a higher one. While nil, active itself is
+	// ID-ordered and ArbByID uses it directly; once materialized it is
+	// maintained incrementally (binary insert on admit, filter on reap)
+	// so steps never re-sort. The wakeup engine never needs it.
 	byID []int
 	now  int
 
@@ -301,7 +324,39 @@ type Sim struct {
 	grants    []int32 // per-step: slots granted this step
 	crossings []int32 // per-step: flits crossing this step
 	releases  []int32 // per-step: slots released this step
-	dirty     []int32 // touched edge IDs this step (for O(touched) reset)
+	dirty     []int32 // touched edge IDs this step, deduped (O(touched) reset)
+	dirtyFlag []bool  // per-edge: already on the dirty list this step
+
+	// Wakeup-engine state (nil/zero under Config.NaiveScan). waitQ[e]
+	// holds the worms parked on edge e as a min-heap in policy order, so
+	// a slot event wakes only the waiters that could actually win the
+	// freed slots. Under the deterministic policies parked worms leave
+	// the active list entirely, so a step costs O(worms that can
+	// plausibly move); under ArbRandom they stay in it — the shuffle must
+	// cover every active worm to keep the RNG stream identical to the
+	// naive scan — and are skipped without an advance attempt.
+	naive  bool
+	waitQ  [][]int
+	parked int // worms currently parked
+
+	// Reused per-step scratch so the hot loop is allocation-free at
+	// steady state: the ArbRandom shuffle copy, the naive scan's blocked
+	// list, and the wakeup engine's woken-worm batch and merge buffer
+	// (woken worms re-enter the active list through one sorted merge per
+	// step — per-worm sorted inserts would make waking a long queue
+	// quadratic in its length).
+	orderScratch   []int
+	blockedScratch []message.ID
+	wokenScratch   []int
+	mergeScratch   []int
+
+	// pathFree recycles completed worms' path buffers into later Injects
+	// (incremental mode only — batch runs load everything up front, so
+	// recycling would just pin the whole workload's paths in memory).
+	// At steady state this makes injection allocation-free for the
+	// near-uniform path lengths open-loop workloads produce.
+	recycle  bool
+	pathFree [][]int32
 
 	shuffler *rng.Source
 
@@ -323,10 +378,12 @@ func emptySim(numEdges int, cfg Config) *Sim {
 		cfg:       cfg,
 		b:         cfg.VirtualChannels,
 		cap:       cfg.VirtualChannels,
+		naive:     cfg.NaiveScan,
 		slotsUsed: make([]int32, numEdges),
 		grants:    make([]int32, numEdges),
 		crossings: make([]int32, numEdges),
 		releases:  make([]int32, numEdges),
+		dirtyFlag: make([]bool, numEdges),
 		maxSteps:  cfg.MaxSteps,
 	}
 	if cfg.RestrictedBandwidth {
@@ -334,6 +391,9 @@ func emptySim(numEdges int, cfg Config) *Sim {
 	}
 	if cfg.Arbitration == ArbRandom {
 		si.shuffler = rng.New(cfg.Seed)
+	}
+	if !si.naive {
+		si.waitQ = make([][]int, numEdges)
 	}
 	return si
 }
@@ -372,12 +432,13 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 			p[j] = int32(e)
 		}
 		si.worms[i] = worm{
-			id:      i,
-			path:    p,
-			d:       len(p),
-			l:       msg.Length,
-			release: rel,
-			stats:   MessageStats{Release: rel, InjectTime: -1, DeliverTime: -1, DropTime: -1},
+			id:       i,
+			path:     p,
+			d:        len(p),
+			l:        msg.Length,
+			release:  rel,
+			stats:    MessageStats{Release: rel, InjectTime: -1, DeliverTime: -1, DropTime: -1},
+			parkedAt: -1,
 		}
 		work += len(p) + msg.Length
 		si.pending = append(si.pending, i)
@@ -406,12 +467,12 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 // across gaps where no message is eligible, so idle time costs nothing;
 // batch Run is exactly load-everything-then-Drain.
 func (si *Sim) Drain() {
-	for len(si.active) > 0 || len(si.pending) > 0 {
+	for si.inFlight() > 0 || len(si.pending) > 0 {
 		// Fast-forward across gaps where nothing is eligible — but never
 		// past the horizon: a release beyond MaxSteps truncates the run
 		// at the horizon instead of executing steps past the bound that
 		// Step() enforces.
-		if len(si.active) == 0 && si.worms[si.pending[0]].release > si.now {
+		if si.inFlight() == 0 && si.worms[si.pending[0]].release > si.now {
 			si.now = si.worms[si.pending[0]].release
 			if si.now > si.maxSteps {
 				si.now = si.maxSteps
@@ -426,34 +487,71 @@ func (si *Sim) Drain() {
 	}
 }
 
+// inFlight counts released, incomplete worms the stepper still owes work
+// to: the active list plus — for the policies that remove them from it —
+// parked worms. (Under ArbRandom and the naive scan, parked worms never
+// leave the active list, so the list length alone is the count.)
+func (si *Sim) inFlight() int {
+	n := len(si.active)
+	if !si.naive && si.cfg.Arbitration != ArbRandom {
+		n += si.parked
+	}
+	return n
+}
+
 // admit moves pending worms whose release has arrived onto the active list.
 func (si *Sim) admit() {
 	for len(si.pending) > 0 && si.worms[si.pending[0]].release <= si.now {
 		idx := si.pending[0]
 		si.pending = si.pending[1:]
-		if si.cfg.Arbitration == ArbByID {
-			if n := len(si.active); si.byID == nil && n > 0 && idx < si.active[n-1] {
-				// First out-of-order admission: active is still ID-sorted,
-				// so it seeds the ID-ordered view (worm indices are IDs).
-				si.byID = append(make([]int, 0, cap(si.active)), si.active...)
-			}
-			if si.byID != nil {
-				pos := sort.SearchInts(si.byID, idx)
-				si.byID = append(si.byID, 0)
-				copy(si.byID[pos+1:], si.byID[pos:])
-				si.byID[pos] = idx
-			}
-		}
-		si.active = append(si.active, idx)
+		si.enqueue(idx)
 	}
+}
+
+// enqueue places a newly released worm into the active-order structures.
+// The wakeup engine keeps the active list directly in policy order (ID
+// for ArbByID, (release, id) for ArbAge); the naive scan and ArbRandom
+// append in admission order, with ArbByID's lazily materialized ID view
+// maintained on the side exactly as before.
+func (si *Sim) enqueue(idx int) {
+	if !si.naive && si.cfg.Arbitration != ArbRandom {
+		si.insertActive(idx)
+		return
+	}
+	if si.cfg.Arbitration == ArbByID {
+		if n := len(si.active); si.byID == nil && n > 0 && idx < si.active[n-1] {
+			// First out-of-order admission: active is still ID-sorted,
+			// so it seeds the ID-ordered view (worm indices are IDs).
+			si.byID = append(make([]int, 0, cap(si.active)), si.active...)
+		}
+		if si.byID != nil {
+			pos := sort.SearchInts(si.byID, idx)
+			si.byID = append(si.byID, 0)
+			copy(si.byID[pos+1:], si.byID[pos:])
+			si.byID[pos] = idx
+		}
+	}
+	si.active = append(si.active, idx)
 }
 
 // step advances the simulation by one flit step.
 func (si *Sim) step() {
+	if si.naive {
+		si.stepNaive()
+	} else {
+		si.stepWakeup()
+	}
+}
+
+// stepNaive is the retained original stepper — the differential oracle
+// for the wakeup engine: every active worm is re-attempted every step,
+// stalls are stamped eagerly, and nothing is ever parked.
+func (si *Sim) stepNaive() {
 	order := si.active
 	switch {
 	case si.cfg.Arbitration == ArbRandom:
-		order = append([]int(nil), si.active...)
+		si.orderScratch = append(si.orderScratch[:0], si.active...)
+		order = si.orderScratch
 		si.shuffler.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	case si.cfg.Arbitration == ArbByID && si.byID != nil:
 		// Staggered releases broke the active list's ID order; use the
@@ -464,11 +562,11 @@ func (si *Sim) step() {
 	moved := false
 	droppedAny := false
 	anyEligible := len(order) > 0
-	var blocked []message.ID
+	blocked := si.blockedScratch[:0]
 
 	for _, idx := range order {
 		w := &si.worms[idx]
-		if si.tryAdvance(w) {
+		if ok, _ := si.tryAdvance(w); ok {
 			moved = true
 			continue
 		}
@@ -482,6 +580,7 @@ func (si *Sim) step() {
 		si.totalStalls++
 		blocked = append(blocked, message.ID(w.id))
 	}
+	si.blockedScratch = blocked
 
 	si.applyStepEnd()
 	si.now++
@@ -495,14 +594,18 @@ func (si *Sim) step() {
 		// Every eligible worm is slot-blocked and slots free only when
 		// worms move; future releases cannot free slots. Frozen forever.
 		si.deadlocked = true
-		si.blockedIDs = blocked
+		si.blockedIDs = append([]message.ID(nil), blocked...)
 		si.finishAsDeadlocked()
 	}
 }
 
 // tryAdvance attempts to move worm w one step, honoring buffer and
-// bandwidth constraints. On success it performs the move and returns true.
-func (si *Sim) tryAdvance(w *worm) bool {
+// bandwidth constraints. On success it performs the move and returns
+// true. A slot failure returns the full edge, telling the wakeup engine
+// where to park the worm (only a slot event on that edge can change the
+// verdict). A bandwidth failure returns -1: crossing capacity resets
+// every step, so the block is transient and the worm must simply retry.
+func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 	if w.d == 0 {
 		// Source equals destination: delivered in the step after release.
 		// Event times follow the Config.Observer convention — an event
@@ -519,7 +622,7 @@ func (si *Sim) tryAdvance(w *worm) bool {
 		if cb := si.cfg.OnComplete; cb != nil {
 			cb(message.ID(w.id), w.stats)
 		}
-		return true
+		return true, -1
 	}
 	// Buffer constraint: crossing edge path[frontier] requires a free slot
 	// unless it is the final edge (delivery buffer is external).
@@ -527,7 +630,7 @@ func (si *Sim) tryAdvance(w *worm) bool {
 	if w.frontier < w.d-1 {
 		e := w.path[w.frontier]
 		if si.slotsUsed[e]+si.grants[e] >= int32(si.b) {
-			return false
+			return false, e
 		}
 		needSlot = e
 	}
@@ -536,7 +639,7 @@ func (si *Sim) tryAdvance(w *worm) bool {
 	lo, hi := w.crossed()
 	for i := lo; i <= hi; i++ {
 		if si.crossings[w.path[i]] >= int32(si.cap) {
-			return false
+			return false, -1
 		}
 	}
 	// Commit.
@@ -568,6 +671,12 @@ func (si *Sim) tryAdvance(w *worm) bool {
 		w.stats.Status = StatusDelivered
 		w.stats.DeliverTime = si.now + 1
 		si.delivered++
+		// The path is never consulted again; freeing it shrinks a
+		// completed worm to its fixed-size struct and stats. (The struct
+		// itself is retained so IDs keep indexing worms and Result can
+		// report per-message stats; a long-lived open-loop Sim therefore
+		// still grows by ~one small struct per message.)
+		si.freePath(w)
 		if obs := si.cfg.Observer; obs != nil {
 			obs.OnDeliver(si.now+1, message.ID(w.id))
 		}
@@ -577,7 +686,7 @@ func (si *Sim) tryAdvance(w *worm) bool {
 	} else {
 		w.stats.Status = StatusActive
 	}
-	return true
+	return true, -1
 }
 
 // drop discards worm w, releasing all buffer slots it occupies (visible
@@ -592,6 +701,7 @@ func (si *Sim) drop(w *worm) {
 	}
 	w.stats.Status = StatusDropped
 	w.stats.DropTime = si.now + 1
+	si.freePath(w)
 	si.dropped++
 	if obs := si.cfg.Observer; obs != nil {
 		obs.OnDrop(si.now+1, message.ID(w.id))
@@ -601,15 +711,48 @@ func (si *Sim) drop(w *worm) {
 	}
 }
 
-// touch records an edge index for end-of-step cleanup.
-func (si *Sim) touch(e int32) {
-	si.dirty = append(si.dirty, e)
+// freePath retires a finished worm's path buffer: recycled through the
+// freelist in incremental mode, dropped for the garbage collector in
+// batch mode.
+func (si *Sim) freePath(w *worm) {
+	if si.recycle && cap(w.path) > 0 {
+		si.pathFree = append(si.pathFree, w.path[:0])
+	}
+	w.path = nil
 }
 
-// applyStepEnd folds grants and releases into persistent occupancy and
-// clears the per-step scratch arrays.
+// newPath returns a buffer for n path edges, reusing a retired buffer
+// when one fits.
+func (si *Sim) newPath(n int) []int32 {
+	if k := len(si.pathFree); k > 0 && n > 0 && cap(si.pathFree[k-1]) >= n {
+		p := si.pathFree[k-1][:n]
+		si.pathFree = si.pathFree[:k-1]
+		return p
+	}
+	return make([]int32, n)
+}
+
+// touch records an edge index for end-of-step cleanup, once per edge per
+// step (a contended edge is touched by many worms; folding and wakeup
+// want it exactly once).
+func (si *Sim) touch(e int32) {
+	if !si.dirtyFlag[e] {
+		si.dirtyFlag[e] = true
+		si.dirty = append(si.dirty, e)
+	}
+}
+
+// applyStepEnd folds grants and releases into persistent occupancy,
+// clears the per-step scratch arrays, and — in the wakeup engine — wakes
+// every worm parked on an edge that saw a slot event (grant or release)
+// this step. Those are exactly the events that can unblock a slot-parked
+// worm: occupancy only falls through releases, and a within-step grant
+// (which could consume headroom ahead of a later-ordered contender) can
+// only exist in the very step the worm parked. Body-flit crossings don't
+// move slot state, so a worm queue is not re-scanned on every transit.
 func (si *Sim) applyStepEnd() {
 	for _, e := range si.dirty {
+		si.dirtyFlag[e] = false
 		if si.grants[e] != 0 || si.releases[e] != 0 {
 			si.slotsUsed[e] += si.grants[e] - si.releases[e]
 			if int(si.slotsUsed[e]) > si.maxOccupied {
@@ -617,14 +760,19 @@ func (si *Sim) applyStepEnd() {
 			}
 			si.grants[e] = 0
 			si.releases[e] = 0
+			if si.waitQ != nil && len(si.waitQ[e]) > 0 {
+				si.wakeEdge(e)
+			}
 		}
 		si.crossings[e] = 0
 	}
 	si.dirty = si.dirty[:0]
+	si.mergeWoken()
 }
 
 // reap removes completed and dropped worms from the active list (and the
-// ID-ordered view, when materialized), preserving order.
+// ID-ordered view, when materialized), preserving order. Only the naive
+// scan needs it; the wakeup stepper filters inline.
 func (si *Sim) reap() {
 	si.active = reapList(si.worms, si.active)
 	if si.byID != nil {
@@ -637,12 +785,6 @@ func reapList(worms []worm, list []int) []int {
 	for _, idx := range list {
 		st := worms[idx].stats.Status
 		if st == StatusDelivered || st == StatusDropped {
-			// The path is never consulted again; freeing it shrinks a
-			// completed worm to its fixed-size struct and stats. (The
-			// struct itself is retained so IDs keep indexing worms and
-			// Result can report per-message stats; a long-lived open-loop
-			// Sim therefore still grows by ~one small struct per message.)
-			worms[idx].path = nil
 			continue
 		}
 		keep = append(keep, idx)
@@ -704,6 +846,13 @@ func (si *Sim) Result() Result {
 	last := 0
 	for i := range si.worms {
 		st := si.worms[i].stats
+		// A parked worm's stall credit is stamped lazily; fold the span
+		// it has sat parked (it would have failed every one of those
+		// steps) into the snapshot without mutating engine state.
+		if p := si.worms[i].parkedAt; p >= 0 {
+			st.Stalls += si.now - p
+			res.TotalStalls += si.now - p
+		}
 		res.PerMessage[i] = st
 		if st.DeliverTime > last {
 			last = st.DeliverTime

@@ -1,0 +1,370 @@
+package vcsim
+
+// This file is the event-driven stepper: the default engine since the
+// blocked-worm wakeup refactor. The naive scan (stepNaive in vcsim.go)
+// re-attempts every active worm every step, which makes the saturated
+// regime — the interesting one for virtual-channel studies — pay for the
+// whole backlog on every step: the more worms are slot-blocked, the more
+// futile tryAdvance calls each step performs. The wakeup engine instead
+// parks a slot-blocked worm on the wait list of the full edge and skips
+// it until that edge sees a slot event (grant or release), the only
+// events that can change the verdict:
+//
+//   - persistent occupancy only falls when a release on e folds in at a
+//     step end, and
+//   - a within-step grant on e (which could consume headroom ahead of a
+//     later-ordered contender) requires slotsUsed[e]+grants[e] < B, so
+//     once e is full — which it is from the parking step onward, unless
+//     the parking step itself saw a grant or release — no further grant
+//     can occur before a release.
+//
+// Hence a parked worm would have failed, with no side effects, on every
+// step it sits on the wait list, and the first slot event on its edge is
+// the earliest step after which the verdict can differ. Body-flit
+// crossings move no slot state, so a queue of parked worms is *not*
+// re-scanned while a worm transits its edge. Bandwidth blocks (the
+// RestrictedBandwidth model's per-step crossing cap) are transient —
+// crossing capacity resets every step — so a bandwidth-blocked worm is
+// never parked; it stays in the active list and retries, exactly like
+// the naive scan.
+//
+// Stall accounting turns lazy under parking: a parked worm is charged
+// one stall for every step in its parked span, stamped in bulk at
+// wake/deadlock/snapshot time. Every observable — MessageStats,
+// arbitration order, deadlock detection, Result — is byte-identical to
+// the naive scan under all three policies; the differential tests in
+// wakeup_test.go and the retained oracle behind Config.NaiveScan pin
+// that equivalence.
+//
+// ArbRandom is the one policy whose per-step cost keeps an O(active)
+// term: the naive scan shuffles the full active list, so the wakeup
+// engine must shuffle the identical list (parked worms included) to
+// consume the identical RNG stream. Parked worms are still skipped
+// without an advance attempt, which is where the time goes.
+
+import (
+	"slices"
+	"sort"
+
+	"wormhole/internal/message"
+)
+
+// parkStreak is the probation length: a worm parks only after this many
+// consecutive failed steps. Short blocked episodes — the common case away
+// from deep saturation — then cost exactly what they cost the naive scan
+// (one cheap failed attempt per step), while long episodes pay the
+// park/wake machinery once and are skipped for their whole remainder.
+const parkStreak = 8
+
+// stepWakeup advances the simulation by one flit step, attempting only
+// worms that can plausibly move.
+func (si *Sim) stepWakeup() {
+	random := si.cfg.Arbitration == ArbRandom
+	order := si.active
+	if random {
+		si.orderScratch = append(si.orderScratch[:0], si.active...)
+		order = si.orderScratch
+		si.shuffler.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	moved := false
+	droppedAny := false
+	// Parked worms are eligible-but-blocked: they count for deadlock
+	// detection exactly as their futile attempts did in the naive scan.
+	anyEligible := len(order) > 0 || si.parked > 0
+
+	if random {
+		needCompact := false
+		for _, idx := range order {
+			w := &si.worms[idx]
+			if w.parkedAt >= 0 {
+				continue // would fail; charged lazily
+			}
+			ok, slotEdge := si.tryAdvance(w)
+			switch {
+			case ok:
+				moved = true
+				w.streak = 0
+				if w.stats.Status == StatusDelivered {
+					needCompact = true
+				}
+			case si.cfg.DropOnDelay:
+				si.drop(w)
+				droppedAny = true
+				needCompact = true
+			case slotEdge >= 0 && w.streak >= parkStreak-1:
+				w.streak = 0
+				si.park(idx, slotEdge)
+			default:
+				// Probation, or a transient bandwidth block (crossing
+				// capacity resets every step): retry next step.
+				w.streak++
+				w.stats.Stalls++
+				si.totalStalls++
+			}
+		}
+		if needCompact {
+			si.active = reapList(si.worms, si.active)
+		}
+	} else {
+		// The active list is maintained directly in policy order, so it
+		// is the order; compact it in place as worms complete or park
+		// (the write cursor never passes the read position).
+		keep := si.active[:0]
+		for _, idx := range order {
+			w := &si.worms[idx]
+			ok, slotEdge := si.tryAdvance(w)
+			switch {
+			case ok:
+				moved = true
+				w.streak = 0
+				if w.stats.Status != StatusDelivered {
+					keep = append(keep, idx)
+				}
+			case si.cfg.DropOnDelay:
+				si.drop(w)
+				droppedAny = true
+			case slotEdge >= 0 && w.streak >= parkStreak-1:
+				w.streak = 0
+				si.park(idx, slotEdge)
+			default:
+				// Probation, or a transient bandwidth block (crossing
+				// capacity resets every step): retry next step.
+				w.streak++
+				w.stats.Stalls++
+				si.totalStalls++
+				keep = append(keep, idx)
+			}
+		}
+		si.active = keep
+	}
+
+	si.applyStepEnd() // folds occupancy, wakes parked worms on slot events
+	si.now++
+
+	if si.cfg.CheckInvariants {
+		si.checkInvariants()
+	}
+
+	if !moved && !droppedAny && anyEligible {
+		// Every eligible worm is slot-blocked and slots free only when
+		// worms move; future releases cannot free slots. Frozen forever.
+		// (No wake can have fired this step: wakes need slot events, and
+		// slot events need an advance or a drop.)
+		si.deadlocked = true
+		si.stampDeadlock(order)
+		si.finishAsDeadlocked()
+	}
+}
+
+// park puts worm idx on edge e's wait queue. Its stall meter starts at
+// the failed attempt just made (step si.now).
+func (si *Sim) park(idx int, e int32) {
+	w := &si.worms[idx]
+	w.parkedAt = si.now
+	w.waitEdge = e
+	si.heapPush(&si.waitQ[e], idx)
+	si.parked++
+}
+
+// wakeEdge runs after a slot event on edge e folded into occupancy. It
+// wakes the free-slot count of best-priority waiters — the only ones
+// that could win a grant next step. Any lower-priority waiter would
+// still fail: the woken worms and the rest of the active list are all
+// ahead of it in arbitration order, so by its turn either every free
+// slot on e is granted or e's crossing capacity is exhausted, both of
+// which fail its attempt exactly as parking assumes. The missing case —
+// a higher-priority contender declining its slot by failing bandwidth on
+// some *other* edge of its crossed interval — cannot happen when
+// cap == B: a worm holds a buffer slot on every body edge it would
+// cross, so at most B−1 rivals can cross such an edge and its body
+// flits never fail. Under RestrictedBandwidth (cap < B) that argument
+// breaks, so the whole queue wakes instead; likewise under ArbRandom,
+// whose per-step shuffle gives every waiter a shot at any arbitration
+// position (its waiters never left the active list, so waking is just
+// unparking). When the event leaves the edge full — grants outweighed
+// releases — nobody can grant next step and nobody wakes.
+//
+// Stalls accrued through the current step are stamped on wake: the worm
+// would have failed this step too, since slot events fold in only at
+// step end. Under the deterministic policies woken worms are batched for
+// one sorted merge back into the active list.
+func (si *Sim) wakeEdge(e int32) {
+	q := &si.waitQ[e]
+	if si.cfg.Arbitration == ArbRandom {
+		for _, idx := range *q {
+			si.stampParked(idx, si.now)
+		}
+		*q = (*q)[:0]
+		return
+	}
+	if si.cap < si.b {
+		for _, idx := range *q {
+			si.stampParked(idx, si.now)
+			si.wokenScratch = append(si.wokenScratch, idx)
+		}
+		*q = (*q)[:0]
+		return
+	}
+	for free := si.b - int(si.slotsUsed[e]); free > 0 && len(*q) > 0; free-- {
+		idx := si.heapPop(q)
+		si.stampParked(idx, si.now)
+		si.wokenScratch = append(si.wokenScratch, idx)
+	}
+}
+
+// heapPush and heapPop maintain waitQ[e] as a binary min-heap under
+// orderBefore, keeping park at O(log queue) and a slot event at
+// O(slots·log queue) instead of O(queue).
+func (si *Sim) heapPush(q *[]int, idx int) {
+	h := append(*q, idx)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !si.orderBefore(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	*q = h
+}
+
+func (si *Sim) heapPop(q *[]int) int {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && si.orderBefore(h[r], h[l]) {
+			m = r
+		}
+		if !si.orderBefore(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	*q = h
+	return top
+}
+
+// stampParked credits worm idx with one stall for every step in
+// [parkedAt, through] — the steps its advance attempt would have failed —
+// and unparks it.
+func (si *Sim) stampParked(idx, through int) {
+	w := &si.worms[idx]
+	stall := through - w.parkedAt + 1
+	w.stats.Stalls += stall
+	si.totalStalls += stall
+	w.parkedAt = -1
+	si.parked--
+}
+
+// mergeWoken folds this step's woken worms back into the active list
+// with one sorted merge: O(woken·log woken + active), versus the
+// quadratic cost of inserting a long wait queue one worm at a time.
+func (si *Sim) mergeWoken() {
+	woken := si.wokenScratch
+	if len(woken) == 0 {
+		return
+	}
+	slices.SortFunc(woken, func(a, b int) int {
+		if si.orderBefore(a, b) {
+			return -1
+		}
+		return 1
+	})
+	a := si.active
+	merged := si.mergeScratch[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(woken) {
+		if si.orderBefore(a[i], woken[j]) {
+			merged = append(merged, a[i])
+			i++
+		} else {
+			merged = append(merged, woken[j])
+			j++
+		}
+	}
+	merged = append(merged, a[i:]...)
+	merged = append(merged, woken[j:]...)
+	// Swap buffers: the old active backing becomes the next merge buffer.
+	si.active, si.mergeScratch = merged, a[:0]
+	si.wokenScratch = woken[:0]
+}
+
+// insertActive inserts worm idx into the active list at its policy
+// position; the common case — idx belongs at the end — is O(1). Used for
+// admissions; wakes go through mergeWoken in batches.
+func (si *Sim) insertActive(idx int) {
+	a := si.active
+	if n := len(a); n == 0 || si.orderBefore(a[n-1], idx) {
+		si.active = append(a, idx)
+		return
+	}
+	pos := sort.Search(len(a), func(i int) bool { return si.orderBefore(idx, a[i]) })
+	a = append(a, 0)
+	copy(a[pos+1:], a[pos:])
+	a[pos] = idx
+	si.active = a
+}
+
+// orderBefore reports whether worm a precedes worm b under the configured
+// deterministic policy: plain ID order for ArbByID, (release, id) for
+// ArbAge. (ArbRandom keeps admission order and never calls this.)
+func (si *Sim) orderBefore(a, b int) bool {
+	if si.cfg.Arbitration == ArbAge {
+		ra, rb := si.worms[a].release, si.worms[b].release
+		if ra != rb {
+			return ra < rb
+		}
+	}
+	return a < b
+}
+
+// stampDeadlock finalizes a detected deadlock. Every in-flight worm is
+// blocked — parked on a full edge, or bandwidth-stalled in the active
+// list — so parked worms' accrued stalls are stamped (through the
+// detecting step, si.now-1 post-increment) and the blocked set is
+// reported in the detecting step's arbitration order, matching the list
+// the naive scan builds as its worms fail one by one.
+func (si *Sim) stampDeadlock(order []int) {
+	if si.cfg.Arbitration == ArbRandom {
+		// order is this step's shuffle over the full active list; with
+		// nothing moved or dropped, every entry is blocked.
+		si.blockedIDs = make([]message.ID, len(order))
+		for i, idx := range order {
+			si.blockedIDs[i] = message.ID(idx)
+			if si.worms[idx].parkedAt >= 0 {
+				si.waitQ[si.worms[idx].waitEdge] = si.waitQ[si.worms[idx].waitEdge][:0]
+				si.stampParked(idx, si.now-1)
+			}
+		}
+		return
+	}
+	// Blocked set = bandwidth-stalled survivors still on the active list
+	// plus every parked worm, in policy order.
+	blocked := make([]int, 0, len(si.active)+si.parked)
+	blocked = append(blocked, si.active...)
+	for i := range si.worms {
+		if si.worms[i].parkedAt >= 0 {
+			blocked = append(blocked, i)
+		}
+	}
+	sort.Slice(blocked, func(i, j int) bool { return si.orderBefore(blocked[i], blocked[j]) })
+	si.blockedIDs = make([]message.ID, len(blocked))
+	for i, idx := range blocked {
+		si.blockedIDs[i] = message.ID(idx)
+		if si.worms[idx].parkedAt >= 0 {
+			si.waitQ[si.worms[idx].waitEdge] = si.waitQ[si.worms[idx].waitEdge][:0]
+			si.stampParked(idx, si.now-1)
+		}
+	}
+}
