@@ -54,6 +54,7 @@ func BenchmarkT9Waksman(b *testing.B)          { runExperiment(b, "T9") }
 func BenchmarkT10Continuous(b *testing.B)      { runExperiment(b, "T10") }
 func BenchmarkT11DallySeitz(b *testing.B)      { runExperiment(b, "T11") }
 func BenchmarkT12OpenLoop(b *testing.B)        { runExperiment(b, "T12") }
+func BenchmarkT13BufferArch(b *testing.B)      { runExperiment(b, "T13") }
 
 func BenchmarkAblationArbitration(b *testing.B) { runExperiment(b, "A1") }
 func BenchmarkAblationResample(b *testing.B)    { runExperiment(b, "A2") }
@@ -148,6 +149,39 @@ func BenchmarkOpenLoopStep(b *testing.B) {
 		{"knee", traffic.Config{
 			Net:             traffic.NewButterflyNet(64),
 			VirtualChannels: 2,
+			MessageLength:   6,
+			Arbitration:     vcsim.ArbAge,
+			Process:         traffic.Poisson,
+			Rate:            0.3,
+			Pattern:         traffic.Uniform,
+			Warmup:          2048,
+			Measure:         8192,
+			Drain:           32768,
+			MaxBacklog:      65536,
+			Seed:            17,
+		}},
+		// The same knee, on 4-flit lanes: the deep engine's per-flit
+		// stepping and credit wakeups under sustained backlog.
+		{"deepknee-static", traffic.Config{
+			Net:             traffic.NewButterflyNet(64),
+			VirtualChannels: 2,
+			LaneDepth:       4,
+			MessageLength:   6,
+			Arbitration:     vcsim.ArbAge,
+			Process:         traffic.Poisson,
+			Rate:            0.3,
+			Pattern:         traffic.Uniform,
+			Warmup:          2048,
+			Measure:         8192,
+			Drain:           32768,
+			MaxBacklog:      65536,
+			Seed:            17,
+		}},
+		{"deepknee-shared", traffic.Config{
+			Net:             traffic.NewButterflyNet(64),
+			VirtualChannels: 2,
+			LaneDepth:       4,
+			SharedPool:      true,
 			MessageLength:   6,
 			Arbitration:     vcsim.ArbAge,
 			Process:         traffic.Poisson,

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"wormhole/internal/graph"
@@ -23,15 +25,28 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes output to
+// stdout/stderr, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		topo = flag.String("topo", "butterfly", "butterfly|twopass|mesh|torus|hypercube|linear|adversary")
-		n    = flag.Int("n", 8, "size parameter (inputs, side, or nodes)")
-		b    = flag.Int("b", 2, "virtual channels (adversary topology)")
-		d    = flag.Int("d", 16, "target dilation (adversary topology)")
-		c    = flag.Int("c", 6, "target congestion (adversary topology)")
-		dot  = flag.Bool("dot", false, "emit Graphviz DOT instead of a summary")
+		topo = fs.String("topo", "butterfly", "butterfly|twopass|mesh|torus|hypercube|linear|adversary")
+		n    = fs.Int("n", 8, "size parameter (inputs, side, or nodes)")
+		b    = fs.Int("b", 2, "virtual channels (adversary topology)")
+		d    = fs.Int("d", 16, "target dilation (adversary topology)")
+		c    = fs.Int("c", 6, "target congestion (adversary topology)")
+		dot  = fs.Bool("dot", false, "emit Graphviz DOT instead of a summary")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // match flag.ExitOnError: -h prints usage and succeeds
+		}
+		return 2
+	}
 
 	var g *graph.Graph
 	name := *topo
@@ -51,17 +66,18 @@ func main() {
 	case "adversary":
 		con := lowerbound.Build(lowerbound.Params{B: *b, TargetD: *d, TargetC: *c, L: 2 * *d})
 		g = con.G
-		fmt.Printf("adversary: M'=%d replicas=%d C=%d D=%d primary-edges=%d\n",
+		fmt.Fprintf(stdout, "adversary: M'=%d replicas=%d C=%d D=%d primary-edges=%d\n",
 			con.MPrime, con.Replicas, con.C, con.D, len(con.Primary))
 	default:
-		fmt.Fprintf(os.Stderr, "netviz: unknown topology %q\n", *topo)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "netviz: unknown topology %q\n", *topo)
+		return 2
 	}
 
 	if *dot {
-		fmt.Print(g.DOT(name))
-		return
+		fmt.Fprint(stdout, g.DOT(name))
+		return 0
 	}
-	fmt.Printf("%s: %d nodes, %d edges, max degree %d, DAG=%v, diameter=%d\n",
+	fmt.Fprintf(stdout, "%s: %d nodes, %d edges, max degree %d, DAG=%v, diameter=%d\n",
 		name, g.NumNodes(), g.NumEdges(), g.MaxDegree(), graph.IsDAG(g), graph.Diameter(g))
+	return 0
 }

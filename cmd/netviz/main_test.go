@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func TestSummariesGolden(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-topo", "butterfly", "-n", "8"},
+			"butterfly: 32 nodes, 48 edges, max degree 2, DAG=true, diameter=3\n"},
+		{[]string{"-topo", "mesh", "-n", "4"},
+			"mesh: 16 nodes, 48 edges, max degree 4, DAG=false, diameter=6\n"},
+		{[]string{"-topo", "linear", "-n", "5"},
+			"linear: 5 nodes, 8 edges, max degree 2, DAG=false, diameter=4\n"},
+	} {
+		out, _, code := runCLI(t, tc.args...)
+		if code != 0 {
+			t.Fatalf("%v: exit code %d", tc.args, code)
+		}
+		if out != tc.want {
+			t.Errorf("%v:\n got %q\nwant %q", tc.args, out, tc.want)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out, _, code := runCLI(t, "-topo", "butterfly", "-n", "4", "-dot")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.HasPrefix(out, "digraph \"butterfly\" {") || !strings.Contains(out, "->") {
+		t.Errorf("not a DOT digraph:\n%.200s", out)
+	}
+}
+
+func TestAdversarySummary(t *testing.T) {
+	out, _, code := runCLI(t, "-topo", "adversary", "-b", "2", "-d", "16", "-c", "6")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "adversary: M'=") {
+		t.Errorf("missing adversary construction summary:\n%s", out)
+	}
+}
+
+func TestUnknownTopologyFails(t *testing.T) {
+	_, stderr, code := runCLI(t, "-topo", "bogus")
+	if code != 2 || !strings.Contains(stderr, "unknown topology") {
+		t.Errorf("code=%d stderr=%q, want exit 2 with unknown-topology error", code, stderr)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	_, stderr, code := runCLI(t, "-h")
+	if code != 0 || !strings.Contains(stderr, "Usage") {
+		t.Errorf("-h: code=%d stderr=%q, want exit 0 with usage text", code, stderr)
+	}
+}

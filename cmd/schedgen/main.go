@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"wormhole/internal/core"
@@ -19,19 +21,32 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes output to
+// stdout/stderr, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n     = flag.Int("n", 256, "butterfly inputs")
-		q     = flag.Int("q", 8, "messages per input (q-relation)")
-		l     = flag.Int("l", 32, "flits per message")
-		b     = flag.Int("b", 2, "virtual channels")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		scale = flag.Float64("scale", core.DefaultConstantScale, "refinement constant scale (1.0 = paper)")
-		whole = flag.Bool("whole", false, "resample whole refinements instead of violated classes")
+		n     = fs.Int("n", 256, "butterfly inputs")
+		q     = fs.Int("q", 8, "messages per input (q-relation)")
+		l     = fs.Int("l", 32, "flits per message")
+		b     = fs.Int("b", 2, "virtual channels")
+		seed  = fs.Uint64("seed", 42, "random seed")
+		scale = fs.Float64("scale", core.DefaultConstantScale, "refinement constant scale (1.0 = paper)")
+		whole = fs.Bool("whole", false, "resample whole refinements instead of violated classes")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // match flag.ExitOnError: -h prints usage and succeeds
+		}
+		return 2
+	}
 
 	prob := core.ButterflyQRelation(*n, *q, *l, *seed)
-	fmt.Printf("workload: %s  C=%d D=%d L=%d B=%d\n", prob.Label, prob.C, prob.D, prob.L, *b)
+	fmt.Fprintf(stdout, "workload: %s  C=%d D=%d L=%d B=%d\n", prob.Label, prob.C, prob.D, prob.L, *b)
 
 	sched, err := schedule.Build(prob.Set, schedule.Options{
 		B:             *b,
@@ -39,26 +54,27 @@ func main() {
 		ResampleWhole: *whole,
 	}, rng.New(*seed))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "schedgen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "schedgen:", err)
+		return 1
 	}
 
-	fmt.Printf("plan: %d refinement step(s)\n", len(sched.Planned))
+	fmt.Fprintf(stdout, "plan: %d refinement step(s)\n", len(sched.Planned))
 	for i, st := range sched.Steps {
-		fmt.Printf("  step %d: %v ms=%d→mf=%d r=%d (final r=%d, %d attempt(s), escalated=%v, classes=%d)\n",
+		fmt.Fprintf(stdout, "  step %d: %v ms=%d→mf=%d r=%d (final r=%d, %d attempt(s), escalated=%v, classes=%d)\n",
 			i+1, st.Spec.Case, st.Spec.Ms, st.Spec.Mf, st.Spec.R,
 			st.FinalR, st.Attempts, st.Escalated, st.NumClasses)
 	}
-	fmt.Printf("classes: %d  spacing: %d  guaranteed length: %d flit steps\n",
+	fmt.Fprintf(stdout, "classes: %d  spacing: %d  guaranteed length: %d flit steps\n",
 		sched.NumClasses, sched.Spacing, sched.LengthUB)
 
 	res, err := schedule.Verify(prob.Set, sched)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "schedgen: verification failed:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "schedgen: verification failed:", err)
+		return 1
 	}
-	fmt.Printf("verified: %d/%d delivered, makespan %d flit steps, %d stalls\n",
+	fmt.Fprintf(stdout, "verified: %d/%d delivered, makespan %d flit steps, %d stalls\n",
 		res.Delivered, prob.Set.Len(), res.Steps, res.TotalStalls)
-	fmt.Printf("theorem bound (no constants): %.0f flit steps\n",
+	fmt.Fprintf(stdout, "theorem bound (no constants): %.0f flit steps\n",
 		schedule.UpperBound216(prob.L, prob.C, prob.D, *b))
+	return 0
 }

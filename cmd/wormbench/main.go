@@ -11,7 +11,8 @@
 //
 // Experiment IDs are catalogued in README.md (F1, F2 for the figures;
 // T1–T11 for the theorem/remark reproductions; T12 for the open-loop
-// steady-state traffic study; A1–A5 for the design ablations). -workers
+// steady-state traffic study; T13 for the buffer-architecture study —
+// lane depth and shared pools; A1–A5 for the design ablations). -workers
 // fans the experiment's independent jobs across a worker pool
 // (0 = GOMAXPROCS); tables are byte-identical for any value.
 //

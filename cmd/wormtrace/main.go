@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"wormhole/internal/deadlock"
@@ -27,17 +29,30 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes output to
+// stdout/stderr, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wormtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scenario = flag.String("scenario", "line", "line|ring|butterfly")
-		msgs     = flag.Int("msgs", 2, "number of worms")
-		span     = flag.Int("span", 5, "path length (line scenario)")
-		l        = flag.Int("l", 4, "flits per worm")
-		b        = flag.Int("b", 1, "virtual channels")
-		drop     = flag.Bool("drop", false, "drop-on-delay mode")
-		n        = flag.Int("n", 8, "butterfly inputs / ring nodes")
-		seed     = flag.Uint64("seed", 7, "random seed")
+		scenario = fs.String("scenario", "line", "line|ring|butterfly")
+		msgs     = fs.Int("msgs", 2, "number of worms")
+		span     = fs.Int("span", 5, "path length (line scenario)")
+		l        = fs.Int("l", 4, "flits per worm")
+		b        = fs.Int("b", 1, "virtual channels")
+		drop     = fs.Bool("drop", false, "drop-on-delay mode")
+		n        = fs.Int("n", 8, "butterfly inputs / ring nodes")
+		seed     = fs.Uint64("seed", 7, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // match flag.ExitOnError: -h prints usage and succeeds
+		}
+		return 2
+	}
 
 	var set *message.Set
 	switch *scenario {
@@ -64,8 +79,8 @@ func main() {
 			set.Add(bf.Input(src), bf.Output(dst), *l, bf.Route(src, dst))
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "wormtrace: unknown scenario %q\n", *scenario)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "wormtrace: unknown scenario %q\n", *scenario)
+		return 2
 	}
 
 	rec := trace.NewRecorder(set)
@@ -74,7 +89,8 @@ func main() {
 		DropOnDelay:     *drop,
 		Observer:        rec,
 	})
-	fmt.Printf("scenario=%s msgs=%d B=%d L=%d: steps=%d delivered=%d dropped=%d stalls=%d deadlocked=%v\n\n",
+	fmt.Fprintf(stdout, "scenario=%s msgs=%d B=%d L=%d: steps=%d delivered=%d dropped=%d stalls=%d deadlocked=%v\n\n",
 		*scenario, set.Len(), *b, *l, res.Steps, res.Delivered, res.Dropped, res.TotalStalls, res.Deadlocked)
-	fmt.Print(rec.Render())
+	fmt.Fprint(stdout, rec.Render())
+	return 0
 }

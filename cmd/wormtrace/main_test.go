@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Golden-output smoke tests: every scenario is fully deterministic, so
+// the rendered space-time diagram is pinned exactly where stable and by
+// key lines elsewhere.
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func TestLineScenarioGolden(t *testing.T) {
+	out, _, code := runCLI(t, "-scenario", "line", "-msgs", "2", "-span", "3", "-l", "2", "-b", "1")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	const want = `scenario=line msgs=2 B=1 L=2: steps=7 delivered=2 dropped=0 stalls=3 deadlocked=false
+
+     time 0..7 (one column per flit step)
+0>1  .aa.bb..
+1>2  ..aa.bb.
+2>3  ........
+worms: a=0(delivered@4), b=1(delivered@7)
+`
+	if out != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}
+
+func TestRingDeadlockScenario(t *testing.T) {
+	out, _, code := runCLI(t, "-scenario", "ring", "-msgs", "2", "-b", "1", "-n", "6")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "deadlocked=true") {
+		t.Errorf("B=1 ring should deadlock; output:\n%s", out)
+	}
+	out, _, code = runCLI(t, "-scenario", "ring", "-msgs", "2", "-b", "2", "-n", "6")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "deadlocked=false") || !strings.Contains(out, "delivered=2") {
+		t.Errorf("B=2 ring should deliver both worms; output:\n%s", out)
+	}
+}
+
+func TestButterflyScenarioSmoke(t *testing.T) {
+	out, _, code := runCLI(t, "-scenario", "butterfly", "-msgs", "4", "-n", "8", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "scenario=butterfly msgs=4") || !strings.Contains(out, "worms:") {
+		t.Errorf("missing summary or trace body:\n%s", out)
+	}
+}
+
+func TestUnknownScenarioFails(t *testing.T) {
+	_, stderr, code := runCLI(t, "-scenario", "bogus")
+	if code != 2 || !strings.Contains(stderr, "unknown scenario") {
+		t.Errorf("code=%d stderr=%q, want exit 2 with unknown-scenario error", code, stderr)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	_, stderr, code := runCLI(t, "-h")
+	if code != 0 || !strings.Contains(stderr, "Usage") {
+		t.Errorf("-h: code=%d stderr=%q, want exit 0 with usage text", code, stderr)
+	}
+}

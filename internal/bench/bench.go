@@ -123,9 +123,21 @@ func workloads() []workload {
 	openKnee.Drain = 32768
 	openKnee.MaxBacklog = 65536
 
+	// Deep-buffer knee workloads: the same B=2 near-saturation operating
+	// point, but with 4-flit lanes (static and shared pool) — the deep
+	// engine's per-flit stepping, compression, and credit wakeups under
+	// sustained backlog. d=1's knee is ~0.306, so 0.3 keeps the deep
+	// architectures busy but safely unsaturated.
+	deepKneeStatic := openKnee
+	deepKneeStatic.LaneDepth = 4
+	deepKneeShared := deepKneeStatic
+	deepKneeShared.SharedPool = true
+
 	list := []workload{
 		{"OpenLoopStep/light", "step", openLoop(openLight)},
 		{"OpenLoopStep/knee", "step", openLoop(openKnee)},
+		{"OpenLoopStep/deepknee-static", "step", openLoop(deepKneeStatic)},
+		{"OpenLoopStep/deepknee-shared", "step", openLoop(deepKneeShared)},
 	}
 	for _, b := range []int{1, 2, 4} {
 		b := b

@@ -92,6 +92,7 @@ func TestCollectSmoke(t *testing.T) {
 	}
 	want := []string{
 		"OpenLoopStep/light", "OpenLoopStep/knee",
+		"OpenLoopStep/deepknee-static", "OpenLoopStep/deepknee-shared",
 		"SimulatorGreedy/B=1", "SimulatorGreedy/B=2", "SimulatorGreedy/B=4",
 		"ParallelHarness/workers=8",
 	}

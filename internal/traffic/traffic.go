@@ -44,6 +44,12 @@ type Config struct {
 	Net *Network
 	// VirtualChannels is B ≥ 1, as in vcsim.Config.
 	VirtualChannels int
+	// LaneDepth is the flit capacity d of each virtual-channel lane
+	// (0 means 1, the paper's single-flit buffers), as in vcsim.Config.
+	LaneDepth int
+	// SharedPool pools each edge's B·d flit credits dynamically across
+	// its lanes, as in vcsim.Config.
+	SharedPool bool
 	// MessageLength is the worm length L in flits (required ≥ 1).
 	MessageLength int
 	// Arbitration orders contending messages; default ArbByID.
@@ -138,6 +144,9 @@ func (c *Config) validate() error {
 	if c.VirtualChannels < 1 {
 		return fmt.Errorf("traffic: VirtualChannels %d < 1", c.VirtualChannels)
 	}
+	if c.LaneDepth < 0 {
+		return fmt.Errorf("traffic: LaneDepth %d < 0", c.LaneDepth)
+	}
 	if c.MessageLength < 1 {
 		return fmt.Errorf("traffic: MessageLength %d < 1", c.MessageLength)
 	}
@@ -219,6 +228,8 @@ func Run(cfg Config) (Result, error) {
 
 	sim, err := vcsim.NewSim(net.G, vcsim.Config{
 		VirtualChannels:     cfg.VirtualChannels,
+		LaneDepth:           cfg.LaneDepth,
+		SharedPool:          cfg.SharedPool,
 		RestrictedBandwidth: cfg.RestrictedBandwidth,
 		Arbitration:         cfg.Arbitration,
 		Seed:                cfg.Seed,

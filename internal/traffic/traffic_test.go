@@ -285,6 +285,58 @@ func TestMeshAndTorusNetworks(t *testing.T) {
 }
 
 // TestConfigValidation exercises the error paths.
+// TestBufferArchitecturePlumbing drives the open-loop engine across the
+// (LaneDepth, SharedPool) grid: every architecture must run, stay
+// deterministic, and sustain a load the shallowest buffers already
+// sustain. (Accepted throughput below the knee tracks offered for every
+// depth, so point-wise comparisons only see window-edge noise; the
+// monotone quantity — the saturation rate — is pinned by the T13 tests.)
+func TestBufferArchitecturePlumbing(t *testing.T) {
+	base := smallCfg()
+	base.Rate = 0.3
+	for _, depth := range []int{1, 2, 4} {
+		for _, shared := range []bool{false, true} {
+			cfg := base
+			cfg.LaneDepth = depth
+			cfg.SharedPool = shared
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("d=%d shared=%v: %v", depth, shared, err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("d=%d shared=%v: %v", depth, shared, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("d=%d shared=%v: nondeterministic", depth, shared)
+			}
+			if a.Injected == 0 || a.TrackedDone == 0 {
+				t.Errorf("d=%d shared=%v: no traffic flowed: %+v", depth, shared, a)
+			}
+			if a.Saturated {
+				t.Errorf("d=%d shared=%v: saturated at a load d=1 sustains: %+v", depth, shared, a)
+			}
+		}
+	}
+	// NaiveScan must stay byte-identical on the deep engine through the
+	// traffic layer too, not just in vcsim's own differential tests.
+	cfg := base
+	cfg.LaneDepth = 4
+	cfg.SharedPool = true
+	wake, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NaiveScan = true
+	naive, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wake, naive) {
+		t.Errorf("deep traffic run differs between steppers:\nwakeup: %+v\n naive: %+v", wake, naive)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	bad := []func(*Config){
 		func(c *Config) { c.Net = nil },
@@ -295,6 +347,7 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Rate = 1.5; c.Process = Bernoulli },
 		func(c *Config) { c.Drain = -1 },
 		func(c *Config) { c.Pattern = Transpose; c.Net = NewMeshNet(3, 3) },
+		func(c *Config) { c.LaneDepth = -1 },
 	}
 	for i, mutate := range bad {
 		cfg := smallCfg()

@@ -1,0 +1,375 @@
+package vcsim
+
+// This file is the buffer-architecture layer: the flit-level "deep" engine
+// that models multi-flit virtual-channel lanes (Config.LaneDepth d > 1)
+// and dynamically shared per-edge flit pools (Config.SharedPool). The
+// paper's model — exactly one flit of buffering per virtual channel — is
+// the d = 1 static special case and keeps running on the original rigid
+// engine in vcsim.go, bit for bit; the deep engine takes over only when a
+// config asks for an architecture the rigid engine cannot express.
+//
+// Model. Every edge still multiplexes B lanes (virtual channels), and a
+// worm holds at most one lane per edge — a lane belongs to a worm from the
+// step its first flit is buffered on the edge until the step its last flit
+// leaves. What changes is flit capacity:
+//
+//   - static lanes (SharedPool == false): each lane is a private d-flit
+//     FIFO, so a worm can pile up to d of its own flits on one edge and an
+//     edge buffers at most B·d flits, at most d per worm;
+//   - shared pool (SharedPool == true): the edge owns a single pool of B·d
+//     flit credits allocated dynamically across its lanes — one hot lane
+//     can absorb the entire pool, but the lane count stays capped at B, so
+//     at most B distinct worms are ever buffered per edge.
+//
+// With more than one flit of lane storage a blocked worm no longer stalls
+// rigidly: trailing flits keep advancing into free lane space behind the
+// blocked header ("compression"), draining the upstream edges they leave.
+// That breaks the single-counter worm representation, so the deep engine
+// tracks per-flit progress: prog[j] = edges flit j has crossed, a
+// non-increasing sequence (FIFO order is structural). Flit j with progress
+// 1 ≤ c ≤ D−1 occupies the buffer at the head of path[c−1]; progress D
+// means delivered, progress 0 means still in the unbounded injection
+// buffer.
+//
+// One flit step moves every movable flit once, under the same conservative
+// two-phase discipline as the rigid engine (credits released during a step
+// become visible at the next step). Flit j advances from progress c iff
+//
+//  1. FIFO: j == 0, or flit j−1 started the step strictly ahead
+//     (prog[j] < prog[j−1]);
+//  2. buffer capacity on the target edge path[c] (skipped for the final
+//     edge, whose delivery buffer is external):
+//     - shift-through: when flit j−1 advances out of path[c] this very
+//       step, flit j inherits the vacated slot — no credit changes hands.
+//       This is the intra-worm FIFO shift of the rigid engine (which only
+//       ever grants at the header and releases at the tail) and is what
+//       makes an unobstructed deep worm advance exactly like a rigid one;
+//     - joining its own lane: needs own-lane room (static: fewer than d
+//       own flits there; shared: a pool credit);
+//     - acquiring a lane (first flit of the worm on that edge): needs a
+//       free lane (< B in use) and, in shared mode, a pool credit;
+//  3. bandwidth: the crossing cap on path[c] (B, or 1 under
+//     RestrictedBandwidth) has headroom — identical to the rigid rule.
+//
+// A worm "advances" when any of its flits moves; a step in which no flit
+// moves is a stall, which keeps MessageStats.Stalls, drop-on-delay, and
+// deadlock detection on the same definitions as the rigid engine. The
+// wakeup stepper parks a deep worm only when its failed step was blocked
+// on exactly one foreign edge (a lane or pool credit held by other worms)
+// and nothing was bandwidth-blocked: FIFO and own-lane blocks resolve only
+// through the worm's own movement, so the single foreign edge is provably
+// the only place whose credit events can change the verdict. Waits on that
+// edge wake on any credit event — lane or flit — and, because the
+// free-slot-count argument of the rigid wake rule does not survive pooled
+// credits, a deep-mode slot event always wakes the whole queue (the same
+// conservative rule the restricted-bandwidth model uses).
+
+import (
+	"fmt"
+
+	"wormhole/internal/message"
+)
+
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+// deepWorm is the deep engine's per-worm flit state, held in a parallel
+// array (Sim.deepWorms) rather than in worm itself so the rigid engine's
+// hot array keeps its original size. prog[j] is the number of edges flit
+// j has crossed — non-increasing in j, with D meaning delivered and 0
+// meaning not yet injected. fHead is the first undelivered flit; lastInj
+// the last injected one (−1 before the header enters the network).
+type deepWorm struct {
+	prog    []int32
+	fHead   int32
+	lastInj int32
+}
+
+// tryAdvanceDeep attempts to move every movable flit of worm w one edge
+// and reports whether any flit moved. On a fully blocked step it returns
+// the single foreign-blocked edge the worm may be parked on, or −1 when
+// no such edge exists (multiple foreign edges, or a transient bandwidth
+// block that resets next step).
+func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
+	if w.d == 0 {
+		// Source equals destination: the rigid delivery rule applies
+		// verbatim (no buffers are involved).
+		return si.tryAdvance(w)
+	}
+	dw := &si.deepWorms[w.id]
+	var (
+		moved    bool
+		parkEdge int32 = -1   // the one foreign-blocked edge, if unique
+		parkable       = true // false on bandwidth or multi-edge blocks
+		// Predecessor state, in start-of-step (old) values: the deep rules
+		// only ever consult the previous flit and its buffered group, so a
+		// single left-to-right pass needs no second array.
+		prevOld    = int32(w.d) // flit fHead−1 is delivered (progress D)
+		prevMoved  bool
+		groupProg  int32 = -1 // old progress of the predecessor's group
+		groupCount int32      // its size (own flits at that progress)
+		// pendingRel defers the predecessor's source-buffer release until
+		// this flit's verdict is known: if it shifts through, the slot
+		// passes inside the worm and no credit moves at all.
+		pendingRel int32 = -1
+	)
+	// Flits beyond lastInj+1 are uninjected and FIFO-blocked behind an
+	// uninjected flit; they cannot move and are skipped wholesale.
+	limit := int(dw.lastInj) + 1
+	if limit > w.l-1 {
+		limit = w.l - 1
+	}
+	for j := int(dw.fHead); j <= limit; j++ {
+		c := dw.prog[j]
+		adv := false
+		foreign := int32(-1)
+		if c < prevOld { // FIFO: strictly behind the predecessor at step start
+			e := w.path[c]
+			shift := prevMoved && prevOld == c+1
+			fits := true
+			if c <= int32(w.d)-2 && !shift {
+				if groupProg == c+1 {
+					// Joining the lane the predecessor group occupies.
+					if si.shared {
+						if si.flitsUsed[e]+si.flitGrants[e] >= si.poolCap {
+							fits = false
+							foreign = e
+						}
+					} else if groupCount >= si.depth {
+						fits = false // own lane full: only own movement frees it
+					}
+				} else {
+					// First flit of the worm on this edge: acquire a lane.
+					if si.slotsUsed[e]+si.grants[e] >= int32(si.b) {
+						fits = false
+						foreign = e
+					} else if si.shared && si.flitsUsed[e]+si.flitGrants[e] >= si.poolCap {
+						fits = false
+						foreign = e
+					}
+				}
+			}
+			if fits && si.crossings[e] >= int32(si.cap) {
+				fits = false
+				parkable = false // bandwidth resets every step: transient
+			}
+			if fits {
+				adv = true
+				si.crossings[e]++
+				si.touch(e)
+				si.flitHops++
+				if c <= int32(w.d)-2 && !shift {
+					si.flitGrants[e]++
+					if groupProg != c+1 {
+						si.grants[e]++ // lane acquisition
+					}
+				}
+			} else if foreign >= 0 {
+				if parkEdge < 0 {
+					parkEdge = foreign
+				} else if parkEdge != foreign {
+					parkable = false // blocked on two different edges
+				}
+			}
+		}
+		// Resolve the predecessor's deferred source release now that this
+		// flit's verdict is in: a shift-through consumes the slot silently;
+		// anything else frees the flit credit and the (now empty) lane.
+		if pendingRel >= 0 {
+			if !adv {
+				si.flitReleases[pendingRel]++
+				si.releases[pendingRel]++
+				si.touch(pendingRel)
+			}
+			pendingRel = -1
+		}
+		if adv {
+			if c >= 1 {
+				// The flit leaves the buffer at the head of path[c−1].
+				s := w.path[c-1]
+				switch {
+				case j < w.l-1 && dw.prog[j+1] == c:
+					// A groupmate stays behind: credit frees, lane is kept.
+					si.flitReleases[s]++
+					si.touch(s)
+				case j < w.l-1 && dw.prog[j+1] == c-1:
+					// The successor may shift through this very slot.
+					pendingRel = s
+				default:
+					si.flitReleases[s]++
+					si.releases[s]++
+					si.touch(s)
+				}
+			} else {
+				dw.lastInj = int32(j)
+				if w.stats.InjectTime < 0 {
+					w.stats.InjectTime = si.now + 1
+				}
+			}
+			if c == int32(w.d)-1 {
+				dw.fHead++ // crossed the final edge: delivered
+			}
+			dw.prog[j] = c + 1
+			moved = true
+		}
+		// Slide the predecessor window (old values) for the next flit.
+		if c == groupProg {
+			groupCount++
+		} else {
+			groupProg, groupCount = c, 1
+		}
+		prevOld, prevMoved = c, adv
+	}
+	if pendingRel >= 0 {
+		// The tail flit advanced with no successor to shift through.
+		si.flitReleases[pendingRel]++
+		si.releases[pendingRel]++
+		si.touch(pendingRel)
+	}
+	if !moved {
+		if parkable && parkEdge >= 0 {
+			return false, parkEdge
+		}
+		return false, -1
+	}
+	if obs := si.cfg.Observer; obs != nil {
+		obs.OnAdvance(si.now+1, message.ID(w.id), int(dw.prog[0]))
+	}
+	if int(dw.fHead) >= w.l {
+		w.stats.Status = StatusDelivered
+		w.stats.DeliverTime = si.now + 1
+		si.delivered++
+		si.freePath(w)
+		si.freeProg(w)
+		if obs := si.cfg.Observer; obs != nil {
+			obs.OnDeliver(si.now+1, message.ID(w.id))
+		}
+		if cb := si.cfg.OnComplete; cb != nil {
+			cb(message.ID(w.id), w.stats)
+		}
+	} else {
+		w.stats.Status = StatusActive
+	}
+	return true, -1
+}
+
+// releaseDeepWorm frees every buffer credit a dropped deep worm holds:
+// one flit credit per buffered flit, one lane per occupied edge (visible
+// next step, like any other release).
+func (si *Sim) releaseDeepWorm(w *worm) {
+	dw := &si.deepWorms[w.id]
+	for j := int(dw.fHead); j <= int(dw.lastInj); j++ {
+		c := dw.prog[j]
+		if c < 1 || c > int32(w.d)-1 {
+			continue
+		}
+		s := w.path[c-1]
+		si.flitReleases[s]++
+		if j == int(dw.lastInj) || dw.prog[j+1] != c {
+			si.releases[s]++ // last own flit on the edge: lane frees too
+		}
+		si.touch(s)
+	}
+}
+
+// freeProg retires a finished deep worm's progress buffer, mirroring
+// freePath's recycle policy. A no-op on the rigid path, which has no
+// deep state at all.
+func (si *Sim) freeProg(w *worm) {
+	if si.deepWorms == nil {
+		return
+	}
+	dw := &si.deepWorms[w.id]
+	if si.recycle && cap(dw.prog) > 0 {
+		si.progFree = append(si.progFree, dw.prog[:0])
+	}
+	dw.prog = nil
+}
+
+// newProg returns a zeroed buffer for l flit-progress counters, reusing a
+// retired buffer when one fits.
+func (si *Sim) newProg(l int) []int32 {
+	if k := len(si.progFree); k > 0 && l > 0 && cap(si.progFree[k-1]) >= l {
+		p := si.progFree[k-1][:l]
+		si.progFree = si.progFree[:k-1]
+		for i := range p {
+			p[i] = 0
+		}
+		return p
+	}
+	return make([]int32, l)
+}
+
+// checkInvariantsDeep asserts the deep model's invariants: per-edge flit
+// occupancy and lane counts derived from every worm's prog array must
+// match the persistent accounting, and no capacity may be exceeded —
+// flits ≤ B·d per edge, lanes ≤ B per edge, and (static mode) at most d
+// flits per worm per edge. FIFO monotonicity of each prog array rides
+// along. Panics on violation so tests pinpoint the first bad step.
+func (si *Sim) checkInvariantsDeep() {
+	flitOcc := make(map[int32]int32, 64)
+	laneOcc := make(map[int32]int32, 64)
+	for i := range si.worms {
+		w := &si.worms[i]
+		if w.stats.Status == StatusDropped || w.stats.Status == StatusDelivered {
+			continue
+		}
+		dw := &si.deepWorms[i]
+		prev := int32(w.d)
+		for j := 0; j < w.l; j++ {
+			c := dw.prog[j]
+			if c > prev {
+				panicf("vcsim: step %d: worm %d flit %d progress %d ahead of flit %d (%d)", si.now, i, j, c, j-1, prev)
+			}
+			if c < 0 || c > int32(w.d) {
+				panicf("vcsim: step %d: worm %d flit %d progress %d out of range [0,%d]", si.now, i, j, c, w.d)
+			}
+			if c >= 1 && c <= int32(w.d)-1 {
+				e := w.path[c-1]
+				flitOcc[e]++
+				if j == 0 || dw.prog[j-1] != c {
+					laneOcc[e]++ // first flit of this worm's group on e
+				}
+				if !si.shared {
+					// Group size = own flits at this progress; count via the
+					// run of equal values ending here.
+					run := int32(1)
+					for k := j - 1; k >= 0 && dw.prog[k] == c; k-- {
+						run++
+					}
+					if run > si.depth {
+						panicf("vcsim: step %d: worm %d holds %d > d=%d flits on edge %d", si.now, i, run, si.depth, e)
+					}
+				}
+			}
+			prev = c
+		}
+	}
+	for e, c := range flitOcc {
+		if c != si.flitsUsed[e] {
+			panicf("vcsim: step %d: edge %d flit occupancy %d but flitsUsed %d", si.now, e, c, si.flitsUsed[e])
+		}
+		if c > si.poolCap {
+			panicf("vcsim: step %d: edge %d holds %d > B·d=%d flits", si.now, e, c, si.poolCap)
+		}
+	}
+	for e, c := range laneOcc {
+		if c != si.slotsUsed[e] {
+			panicf("vcsim: step %d: edge %d lane occupancy %d but lanes in use %d", si.now, e, c, si.slotsUsed[e])
+		}
+		if c > int32(si.b) {
+			panicf("vcsim: step %d: edge %d holds %d > B=%d lanes", si.now, e, c, si.b)
+		}
+	}
+	for e, used := range si.flitsUsed {
+		if used != 0 && flitOcc[int32(e)] == 0 {
+			panicf("vcsim: step %d: edge %d has stale flit occupancy %d", si.now, e, used)
+		}
+	}
+	for e, used := range si.slotsUsed {
+		if used != 0 && laneOcc[int32(e)] == 0 {
+			panicf("vcsim: step %d: edge %d has stale lane occupancy %d", si.now, e, used)
+		}
+	}
+}

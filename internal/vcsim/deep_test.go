@@ -1,0 +1,462 @@
+package vcsim
+
+// Tests for the buffer-architecture layer (deep.go): directed semantic
+// checks of the multi-flit-lane and shared-pool models, the gating
+// guarantee that LaneDepth=1 static is the untouched rigid engine, and
+// differential NaiveScan-vs-wakeup sweeps across the whole
+// (LaneDepth, SharedPool) grid — the deep analogue of wakeup_test.go.
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/topology"
+)
+
+// deepGrid is the buffer-architecture sweep the differential tests cover;
+// the first entry is the rigid gate (covered elsewhere but kept here so
+// grid loops also pin it).
+var deepGrid = []struct {
+	depth  int
+	shared bool
+}{
+	{1, false},
+	{1, true},
+	{2, false},
+	{2, true},
+	{4, false},
+	{4, true},
+}
+
+// TestDeepGateMatchesDefault pins the acceptance criterion that
+// LaneDepth=1 && !SharedPool is the pre-existing simulator, byte for
+// byte: an explicit {LaneDepth: 1} config must produce a Result deeply
+// equal to the zero-value default on randomized workloads.
+func TestDeepGateMatchesDefault(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		bf := topology.NewButterfly(8)
+		set := message.NewSet(bf.G)
+		var releases []int
+		for i := 0; i < 2+r.Intn(24); i++ {
+			src, dst := r.Intn(8), r.Intn(8)
+			set.Add(bf.Input(src), bf.Output(dst), 1+r.Intn(6), bf.Route(src, dst))
+			releases = append(releases, r.Intn(20))
+		}
+		cfg := Config{
+			VirtualChannels: 1 + r.Intn(3),
+			Arbitration:     Policy(r.Intn(3)),
+			Seed:            seed,
+			CheckInvariants: true,
+		}
+		explicit := cfg
+		explicit.LaneDepth = 1
+		return reflect.DeepEqual(Run(set, releases, cfg), Run(set, releases, explicit))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeepSingleMessageLatency checks that buffer depth is invisible to
+// an unobstructed worm: with nothing to compress against, every flit
+// advances every step and latency stays D+L-1 under every architecture.
+func TestDeepSingleMessageLatency(t *testing.T) {
+	for _, arch := range deepGrid {
+		for _, tc := range []struct{ d, l int }{{1, 1}, {1, 5}, {4, 4}, {5, 9}, {9, 3}} {
+			set := lineSet(t, 1, tc.d, tc.l)
+			res := Run(set, nil, Config{
+				VirtualChannels: 2,
+				LaneDepth:       arch.depth,
+				SharedPool:      arch.shared,
+				CheckInvariants: true,
+			})
+			want := tc.d + tc.l - 1
+			if res.Steps != want || !res.AllDelivered() {
+				t.Errorf("d=%d shared=%v D=%d L=%d: steps=%d delivered=%v, want %d steps",
+					arch.depth, arch.shared, tc.d, tc.l, res.Steps, res.AllDelivered(), want)
+			}
+			if st := res.PerMessage[0]; st.Stalls != 0 {
+				t.Errorf("d=%d shared=%v: lone worm stalled %d times", arch.depth, arch.shared, st.Stalls)
+			}
+		}
+	}
+}
+
+// blockedLineSet builds the compression fixture: worm W spans a 5-edge
+// line; blocker Z is a long worm whose single-edge path is W's final
+// edge, so Z's flits monopolize that edge's bandwidth (B=1) while W's
+// header waits — exactly the situation lane depth exists for. Z gets the
+// lower message ID so it wins the contested edge under ArbByID; W's
+// trailing flits should then pile into the deep lane behind the header.
+func blockedLineSet(zLen int) *message.Set {
+	g := topology.NewLinearArray(6)
+	set := message.NewSet(g)
+	route := message.ShortestPathRouter(g)
+	set.Add(4, 5, zLen, graph.Path{route(0, 5)[4]}) // Z (id 0): e4 only
+	set.Add(0, 5, 6, route(0, 5))                   // W (id 1): edges e0..e4
+	return set
+}
+
+// TestDeepCompression drives the fixture above and asserts the deep
+// model's defining behaviors: (a) MaxOccupied reaches the lane depth in
+// static mode — the blocked worm genuinely compresses — while the rigid
+// model never exceeds one flit per edge per worm; (b) a shared pool lets
+// one worm absorb more than d flits on one edge; (c) makespan is
+// monotone non-increasing in lane depth (compression only helps).
+func TestDeepCompression(t *testing.T) {
+	run := func(depth int, shared bool) Result {
+		return Run(blockedLineSet(12), nil, Config{
+			VirtualChannels: 1,
+			LaneDepth:       depth,
+			SharedPool:      shared,
+			CheckInvariants: true,
+		})
+	}
+	rigid := run(1, false)
+	if rigid.MaxOccupied != 1 {
+		t.Fatalf("rigid MaxOccupied = %d, want 1", rigid.MaxOccupied)
+	}
+	prev := rigid.Steps
+	for _, depth := range []int{2, 3, 4} {
+		res := run(depth, false)
+		if !res.AllDelivered() {
+			t.Fatalf("d=%d: not all delivered: %+v", depth, res)
+		}
+		if res.MaxOccupied != depth {
+			t.Errorf("d=%d static: MaxOccupied = %d, want %d (compression should fill the lane)",
+				depth, res.MaxOccupied, depth)
+		}
+		if res.Steps > prev {
+			t.Errorf("d=%d static: makespan %d regressed over shallower %d", depth, res.Steps, prev)
+		}
+		prev = res.Steps
+	}
+	// Shared pool, B=2, d=2: pool is 4 flits; the single blocked worm W
+	// can absorb more than d=2 of them on one edge.
+	shared := Run(blockedLineSet(12), nil, Config{
+		VirtualChannels:     2,
+		LaneDepth:           2,
+		SharedPool:          true,
+		RestrictedBandwidth: true, // keep e4's bandwidth at 1 so Z still blocks W
+		CheckInvariants:     true,
+	})
+	if !shared.AllDelivered() {
+		t.Fatalf("shared: not all delivered: %+v", shared)
+	}
+	if shared.MaxOccupied <= 2 {
+		t.Errorf("shared B=2 d=2: MaxOccupied = %d, want > d=2 (one lane absorbing the pool)", shared.MaxOccupied)
+	}
+	if shared.MaxOccupied > 4 {
+		t.Errorf("shared B=2 d=2: MaxOccupied = %d exceeds the B·d=4 pool", shared.MaxOccupied)
+	}
+}
+
+// TestDeepWakeupMatchesNaiveRandomized is the broad differential
+// property check over the buffer-architecture grid: every policy, both
+// models, drop-on-delay, staggered releases — wakeup and naive must stay
+// byte-identical, exactly as the rigid engine's tests demand.
+func TestDeepWakeupMatchesNaiveRandomized(t *testing.T) {
+	for _, pol := range []Policy{ArbByID, ArbRandom, ArbAge} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			f := func(seed uint64) bool {
+				r := rng.New(seed)
+				n := 8 << (seed % 2)
+				bf := topology.NewButterfly(n)
+				set := message.NewSet(bf.G)
+				var releases []int
+				m := 2 + r.Intn(4*n)
+				for i := 0; i < m; i++ {
+					src, dst := r.Intn(n), r.Intn(n)
+					set.Add(bf.Input(src), bf.Output(dst), 1+r.Intn(8), bf.Route(src, dst))
+					releases = append(releases, r.Intn(30))
+				}
+				arch := deepGrid[1:][seed%uint64(len(deepGrid)-1)] // skip the rigid gate
+				for _, restricted := range []bool{false, true} {
+					for _, drop := range []bool{false, true} {
+						cfg := Config{
+							VirtualChannels:     1 + r.Intn(3),
+							LaneDepth:           arch.depth,
+							SharedPool:          arch.shared,
+							RestrictedBandwidth: restricted,
+							DropOnDelay:         drop,
+							Arbitration:         pol,
+							Seed:                seed,
+							CheckInvariants:     true,
+						}
+						naiveCfg := cfg
+						naiveCfg.NaiveScan = true
+						wake := Run(set, releases, cfg)
+						naive := Run(set, releases, naiveCfg)
+						if !reflect.DeepEqual(wake, naive) {
+							t.Logf("seed %d d=%d shared=%v restricted=%v drop=%v:\nwakeup %+v\n naive %+v",
+								seed, arch.depth, arch.shared, restricted, drop, wake, naive)
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDeepWakeupMatchesNaiveContention drives the deep engine's parking
+// path hard — far more worms than lanes on a shared line, parked spans
+// much longer than the probation streak — across the grid and all
+// policies.
+func TestDeepWakeupMatchesNaiveContention(t *testing.T) {
+	for _, arch := range deepGrid {
+		for _, b := range []int{1, 2} {
+			for _, restricted := range []bool{false, true} {
+				for _, pol := range []Policy{ArbByID, ArbRandom, ArbAge} {
+					set := lineSet(t, 30, 5, 7)
+					runBoth(t, pol.String(), set, nil, Config{
+						VirtualChannels:     b,
+						LaneDepth:           arch.depth,
+						SharedPool:          arch.shared,
+						RestrictedBandwidth: restricted,
+						Arbitration:         pol,
+						Seed:                11,
+						CheckInvariants:     true,
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDeepWakeupMatchesNaiveRestrictedDecline replays the directed
+// restricted-bandwidth decline construction under every deep
+// architecture: a woken worm whose body edge is saturated declines its
+// credit, which the whole-queue deep wake rule must survive with
+// byte-identical results.
+func TestDeepWakeupMatchesNaiveRestrictedDecline(t *testing.T) {
+	set, releases := restrictedBodyBlockSet()
+	for _, arch := range deepGrid {
+		for _, pol := range []Policy{ArbByID, ArbAge, ArbRandom} {
+			runBoth(t, pol.String(), set, releases, Config{
+				VirtualChannels:     2,
+				LaneDepth:           arch.depth,
+				SharedPool:          arch.shared,
+				RestrictedBandwidth: true,
+				Arbitration:         pol,
+				Seed:                3,
+				CheckInvariants:     true,
+			})
+		}
+	}
+}
+
+// TestDeepWakeupMatchesNaiveDeadlock pins the terminal path under deep
+// buffers: ring workloads that deadlock at low B must freeze both
+// engines at the same step with the same blocked set and stalls.
+// Deeper buffers delay the freeze (worms compress before wedging) but
+// cannot prevent it — the cyclic wait is structural.
+func TestDeepWakeupMatchesNaiveDeadlock(t *testing.T) {
+	set := deadlockSet()
+	for _, arch := range deepGrid {
+		for _, pol := range []Policy{ArbByID, ArbRandom, ArbAge} {
+			cfg := Config{
+				VirtualChannels: 1,
+				LaneDepth:       arch.depth,
+				SharedPool:      arch.shared,
+				Arbitration:     pol,
+				Seed:            5,
+				CheckInvariants: true,
+			}
+			runBoth(t, pol.String(), set, nil, cfg)
+			naive := cfg
+			naive.NaiveScan = true
+			if res := Run(set, nil, naive); !res.Deadlocked {
+				t.Errorf("d=%d shared=%v %s: ring did not deadlock (steps=%d)",
+					arch.depth, arch.shared, pol, res.Steps)
+			}
+		}
+	}
+}
+
+// TestDeepLockstepSnapshots steps the two engines side by side through
+// the incremental API under a deep architecture and compares Result
+// snapshots — which must fold in lazily stamped stall credit — after
+// every single step.
+func TestDeepLockstepSnapshots(t *testing.T) {
+	r := rng.New(29)
+	bf := topology.NewButterfly(8)
+	msgs := make([]message.Message, 0, 30)
+	releases := make([]int, 0, 30)
+	for i := 0; i < 30; i++ {
+		src, dst := r.Intn(8), r.Intn(8)
+		msgs = append(msgs, message.Message{
+			Src: bf.Input(src), Dst: bf.Output(dst), Length: 3 + r.Intn(4), Path: bf.Route(src, dst),
+		})
+		releases = append(releases, r.Intn(40))
+	}
+	for _, arch := range deepGrid[1:] {
+		for _, pol := range []Policy{ArbByID, ArbRandom, ArbAge} {
+			cfg := Config{
+				VirtualChannels: 1,
+				LaneDepth:       arch.depth,
+				SharedPool:      arch.shared,
+				Arbitration:     pol,
+				Seed:            5,
+				MaxSteps:        4096,
+				CheckInvariants: true,
+			}
+			naiveCfg := cfg
+			naiveCfg.NaiveScan = true
+			wake, err := NewSim(bf.G, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := NewSim(bf.G, naiveCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, m := range msgs {
+				if _, err := wake.Inject(m, releases[i]); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := naive.Inject(m, releases[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for step := 0; wake.Active() > 0 && step < 4096; step++ {
+				errW := wake.Step()
+				errN := naive.Step()
+				if (errW == nil) != (errN == nil) {
+					t.Fatalf("d=%d shared=%v %s step %d: error mismatch: wakeup %v, naive %v",
+						arch.depth, arch.shared, pol, step, errW, errN)
+				}
+				rw, rn := wake.Result(), naive.Result()
+				if !reflect.DeepEqual(rw, rn) {
+					t.Fatalf("d=%d shared=%v %s step %d: snapshots differ\nwakeup: %+v\n naive: %+v",
+						arch.depth, arch.shared, pol, step, rw, rn)
+				}
+				if errW != nil {
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestDeepConfigValidation pins the constructor contracts for the new
+// Config fields on both lifecycles: the incremental constructor returns
+// an error, the batch wrapper panics.
+func TestDeepConfigValidation(t *testing.T) {
+	g := topology.NewLinearArray(3)
+	for _, cfg := range []Config{
+		{VirtualChannels: 1, LaneDepth: -1, MaxSteps: 16},
+		{VirtualChannels: 1, ParkStreak: -2, MaxSteps: 16},
+	} {
+		if _, err := NewSim(g, cfg); err == nil {
+			t.Errorf("NewSim accepted %+v", cfg)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("batch Run accepted %+v", cfg)
+				}
+			}()
+			Run(message.NewSet(g), nil, cfg)
+		}()
+	}
+	if panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		panicf("boom %d", 7)
+		return
+	}(); !panicked {
+		t.Error("panicf did not panic")
+	}
+}
+
+// TestDeepInjectRecycles drives the incremental deep lifecycle through
+// completion and re-injection: retired path and prog buffers must be
+// recycled into later Injects, and the second generation must behave
+// exactly like the first.
+func TestDeepInjectRecycles(t *testing.T) {
+	g := topology.NewLinearArray(5)
+	route := message.ShortestPathRouter(g)
+	sim, err := NewSim(g, Config{
+		VirtualChannels: 1, LaneDepth: 2, SharedPool: true, MaxSteps: 1 << 20, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := message.Message{Src: 0, Dst: graph.NodeID(4), Length: 3, Path: route(0, graph.NodeID(4))}
+	deliver := func() {
+		t.Helper()
+		for sim.Active() > 0 {
+			if err := sim.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := sim.Inject(msg, sim.Now()); err != nil {
+		t.Fatal(err)
+	}
+	deliver()
+	first := sim.Result().PerMessage[0]
+	// The second inject draws from the freelists the first delivery fed.
+	if _, err := sim.Inject(msg, sim.Now()); err != nil {
+		t.Fatal(err)
+	}
+	deliver()
+	second := sim.Result().PerMessage[1]
+	if sim.Delivered() != 2 || sim.Dropped() != 0 {
+		t.Fatalf("delivered %d dropped %d, want 2/0", sim.Delivered(), sim.Dropped())
+	}
+	if got, want := second.Latency(), first.Latency(); got != want {
+		t.Errorf("recycled-buffer worm latency %d differs from fresh worm %d", got, want)
+	}
+}
+
+// TestDeepStepZeroAllocSteadyState is the deep-engine analogue of
+// TestStepZeroAllocSteadyState: stepping a contended deep-buffer network
+// (compression, parked worms, credit wakes, re-parks) must not allocate
+// once the scratch buffers are warm.
+func TestDeepStepZeroAllocSteadyState(t *testing.T) {
+	for _, arch := range deepGrid[1:] {
+		g := topology.NewLinearArray(7)
+		route := message.ShortestPathRouter(g)
+		sim, err := NewSim(g, Config{
+			VirtualChannels: 2,
+			LaneDepth:       arch.depth,
+			SharedPool:      arch.shared,
+			Arbitration:     ArbAge,
+			MaxSteps:        1 << 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := message.Message{Src: 0, Dst: graph.NodeID(6), Length: 5, Path: route(0, graph.NodeID(6))}
+		for i := 0; i < 600; i++ {
+			if _, err := sim.Inject(msg, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			if err := sim.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(400, func() {
+			if err := sim.Step(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("d=%d shared=%v: steady-state Step allocates %.2f times per step, want 0",
+				arch.depth, arch.shared, allocs)
+		}
+	}
+}

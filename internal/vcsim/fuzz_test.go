@@ -1,0 +1,249 @@
+package vcsim
+
+// Native Go fuzz harness over the simulator's whole configuration space:
+// random (topology, schedule, Config) tuples — including the buffer-
+// architecture axes — executed under both steppers with per-step
+// invariant checking. Four properties are asserted on every input:
+//
+//  1. model invariants hold at every step (flit conservation between the
+//     worms' configurations and the per-edge credit accounting, occupancy
+//     never above capacity) — enforced by Config.CheckInvariants, which
+//     panics at the first bad step;
+//  2. the wakeup engine and the naive scan are byte-identical;
+//  3. a drained simulator leaks nothing: no worm left parked, no wait
+//     queue entry, no buffer credit still held once every message is
+//     delivered or dropped (deadlocks strand credits by design and are
+//     exempted);
+//  4. replay determinism: the same input run twice gives deeply equal
+//     Results.
+//
+// CI runs this as a short -fuzztime smoke on every push; `go test` always
+// replays the seed corpus below.
+
+import (
+	"reflect"
+	"testing"
+
+	"wormhole/internal/deadlock"
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/topology"
+)
+
+// fuzzWorkload decodes (seed, topoSel, msgs) into a message set with
+// staggered releases on one of three topology families: the butterfly
+// (DAG, deadlock-free), a contended linear array, and a unidirectional
+// ring (deadlock-prone at low B — the terminal path gets fuzzed too).
+func fuzzWorkload(seed uint64, topoSel uint8, msgs int) (*message.Set, []int) {
+	r := rng.New(seed)
+	var set *message.Set
+	switch topoSel % 3 {
+	case 0:
+		bf := topology.NewButterfly(8)
+		set = message.NewSet(bf.G)
+		for i := 0; i < msgs; i++ {
+			src, dst := r.Intn(8), r.Intn(8)
+			set.Add(bf.Input(src), bf.Output(dst), 1+r.Intn(8), bf.Route(src, dst))
+		}
+	case 1:
+		g := topology.NewLinearArray(7)
+		set = message.NewSet(g)
+		route := message.ShortestPathRouter(g)
+		for i := 0; i < msgs; i++ {
+			src := graph.NodeID(r.Intn(6))
+			dst := src + graph.NodeID(1+r.Intn(6-int(src)))
+			set.Add(src, dst, 1+r.Intn(8), route(src, dst))
+		}
+	default:
+		ring := deadlock.NewRing(6, 1)
+		set = message.NewSet(ring.G)
+		for i := 0; i < msgs; i++ {
+			src := r.Intn(6)
+			dst := (src + 1 + r.Intn(5)) % 6
+			set.Add(graph.NodeID(src), graph.NodeID(dst), 1+r.Intn(6), ring.Route(src, dst))
+		}
+	}
+	releases := make([]int, msgs)
+	for i := range releases {
+		releases[i] = r.Intn(24)
+	}
+	return set, releases
+}
+
+// TestWakeupMixedFinalBodyDecline is the directed regression for a bug
+// this fuzz harness found: on networks where one message's *final* edge
+// is another message's *body* edge (rings, meshes — never the butterfly,
+// whose output edges are final for every path through them), a
+// final-edge crossing consumes bandwidth without holding a buffer slot.
+// A woken top-priority waiter can then decline its freed slot by failing
+// bandwidth on a body edge even when cap == B — the case the free-slot-
+// count wake rule assumed impossible — while the naive scan advances a
+// lower-priority waiter the wakeup engine never woke. The fix classifies
+// edges by role and falls back to whole-queue wakes the moment any edge
+// is used in both roles.
+func TestWakeupMixedFinalBodyDecline(t *testing.T) {
+	for seed := uint64(100); seed < 140; seed++ {
+		set, releases := fuzzWorkload(seed, 2, 9)
+		for _, ps := range []int{1, 3, 8} {
+			for _, pol := range []Policy{ArbByID, ArbAge, ArbRandom} {
+				runBoth(t, pol.String(), set, releases, Config{
+					VirtualChannels: 1,
+					Arbitration:     pol,
+					Seed:            seed,
+					ParkStreak:      ps,
+					CheckInvariants: true,
+				})
+			}
+		}
+	}
+}
+
+// TestMixedFinalFlipFlushesParked pins the incremental-mode corner of the
+// same bug: a streaming Inject can deliver the first mixed-role path
+// *after* worms have parked under the free-slot-count rule. The flip must
+// flush every parked worm (their park decisions assumed declines were
+// impossible) and downgrade later wakes — verified by lockstep snapshot
+// comparison against the naive scan across the flip.
+func TestMixedFinalFlipFlushesParked(t *testing.T) {
+	g := topology.NewLinearArray(7)
+	route := message.ShortestPathRouter(g)
+	long := message.Message{Src: 0, Dst: 6, Length: 5, Path: route(0, 6)}
+	// Final edge e4 of this message is a body edge of `long`: the flip.
+	flip := message.Message{Src: 0, Dst: 5, Length: 2, Path: route(0, 5)}
+	for _, pol := range []Policy{ArbByID, ArbAge, ArbRandom} {
+		cfg := Config{VirtualChannels: 1, Arbitration: pol, Seed: 9, MaxSteps: 4096, CheckInvariants: true}
+		naiveCfg := cfg
+		naiveCfg.NaiveScan = true
+		wake, err := NewSim(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := NewSim(g, naiveCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inject := func(m message.Message, rel int) {
+			t.Helper()
+			if _, err := wake.Inject(m, rel); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := naive.Inject(m, rel); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			inject(long, 0)
+		}
+		// Let the backlog park (probation is 8 steps), then flip mid-run.
+		for step := 0; step < 30; step++ {
+			if err := wake.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if err := naive.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if wake.mixedFinal {
+			t.Fatal("classification mixed before the flip message")
+		}
+		if pol != ArbRandom && wake.parked == 0 {
+			t.Fatal("fixture never parked a worm; the flush path is untested")
+		}
+		inject(flip, wake.Now())
+		if !wake.mixedFinal {
+			t.Fatal("flip message did not mix the classification")
+		}
+		if wake.parked != 0 {
+			t.Fatalf("%d worms still parked after the flip flush", wake.parked)
+		}
+		for wake.Active() > 0 {
+			errW := wake.Step()
+			errN := naive.Step()
+			if (errW == nil) != (errN == nil) {
+				t.Fatalf("%s: error mismatch: wakeup %v, naive %v", pol, errW, errN)
+			}
+			rw, rn := wake.Result(), naive.Result()
+			if !reflect.DeepEqual(rw, rn) {
+				t.Fatalf("%s: snapshots differ after flip\nwakeup: %+v\n naive: %+v", pol, rw, rn)
+			}
+			if errW != nil {
+				break
+			}
+		}
+	}
+}
+
+func FuzzSimInvariants(f *testing.F) {
+	// Seed corpus: one entry per topology family crossed with the
+	// interesting config corners (deep lanes, shared pool, restricted
+	// bandwidth, drop-on-delay, every policy).
+	f.Add(uint64(1), uint8(0), uint8(12), uint8(1), uint8(1), false, false, false, uint8(0))
+	f.Add(uint64(2), uint8(0), uint8(20), uint8(2), uint8(2), false, true, false, uint8(1))
+	f.Add(uint64(3), uint8(1), uint8(16), uint8(1), uint8(3), true, false, false, uint8(2))
+	f.Add(uint64(4), uint8(1), uint8(24), uint8(3), uint8(1), true, true, true, uint8(0))
+	f.Add(uint64(5), uint8(2), uint8(8), uint8(1), uint8(2), false, false, false, uint8(2))
+	f.Add(uint64(6), uint8(2), uint8(10), uint8(2), uint8(4), true, true, false, uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, topoSel, msgs, b, depth uint8, shared, restricted, drop bool, pol uint8) {
+		m := 1 + int(msgs)%32
+		set, releases := fuzzWorkload(seed, topoSel, m)
+		cfg := Config{
+			VirtualChannels:     1 + int(b)%4,
+			LaneDepth:           1 + int(depth)%4,
+			SharedPool:          shared,
+			RestrictedBandwidth: restricted,
+			DropOnDelay:         drop,
+			Arbitration:         Policy(pol % 3),
+			Seed:                seed,
+			ParkStreak:          1 + int(seed%11),
+			CheckInvariants:     true, // property 1: per-step invariants
+		}
+
+		// Property 2: wakeup ≡ naive, with internals inspectable.
+		wake := newBatchSim(set, releases, cfg)
+		wake.Drain()
+		wakeRes := wake.Result()
+		naiveCfg := cfg
+		naiveCfg.NaiveScan = true
+		naiveRes := Run(set, releases, naiveCfg)
+		if !reflect.DeepEqual(wakeRes, naiveRes) {
+			t.Fatalf("wakeup and naive results differ\nwakeup: %+v\n naive: %+v", wakeRes, naiveRes)
+		}
+
+		// Property 3: nothing leaks after a drain. A deadlocked network
+		// strands worms and credits by definition; everything else must
+		// come back to zero.
+		if wake.parked != 0 {
+			t.Fatalf("drained sim still has %d parked worms", wake.parked)
+		}
+		for e, q := range wake.waitQ {
+			if len(q) != 0 {
+				t.Fatalf("drained sim leaks %d wait-queue entries on edge %d", len(q), e)
+			}
+		}
+		if len(wake.wokenScratch) != 0 {
+			t.Fatalf("drained sim leaks %d woken-scratch entries", len(wake.wokenScratch))
+		}
+		if !wakeRes.Deadlocked && !wakeRes.Truncated {
+			if wakeRes.Delivered+wakeRes.Dropped != m {
+				t.Fatalf("conservation: %d delivered + %d dropped ≠ %d messages",
+					wakeRes.Delivered, wakeRes.Dropped, m)
+			}
+			for e, used := range wake.slotsUsed {
+				if used != 0 {
+					t.Fatalf("edge %d still holds %d lanes after completion", e, used)
+				}
+			}
+			for e, used := range wake.flitsUsed {
+				if used != 0 {
+					t.Fatalf("edge %d still holds %d flit credits after completion", e, used)
+				}
+			}
+		}
+
+		// Property 4: replay determinism.
+		if again := Run(set, releases, cfg); !reflect.DeepEqual(wakeRes, again) {
+			t.Fatalf("replay diverged\nfirst: %+v\nsecond: %+v", wakeRes, again)
+		}
+	})
+}

@@ -38,6 +38,9 @@ func NewSim(g *graph.Graph, cfg Config) (*Sim, error) {
 	if cfg.VirtualChannels < 1 {
 		return nil, fmt.Errorf("vcsim: VirtualChannels %d < 1", cfg.VirtualChannels)
 	}
+	if err := validateArch(cfg); err != nil {
+		return nil, err
+	}
 	if cfg.MaxSteps <= 0 {
 		return nil, ErrNoHorizon
 	}
@@ -76,6 +79,13 @@ func (si *Sim) Inject(msg message.Message, release int) (message.ID, error) {
 		stats:    MessageStats{Release: release, InjectTime: -1, DeliverTime: -1, DropTime: -1},
 		parkedAt: -1,
 	})
+	if si.deepMode {
+		si.deepWorms = append(si.deepWorms, deepWorm{
+			prog:    si.newProg(msg.Length),
+			lastInj: -1,
+		})
+	}
+	si.markPathRoles(p)
 	// Keep pending sorted by (release, id): the new ID is the largest, so
 	// it slots in after every entry with release ≤ its own.
 	pos := sort.Search(len(si.pending), func(i int) bool {

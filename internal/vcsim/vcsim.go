@@ -60,11 +60,23 @@ func (p Policy) String() string {
 
 // Config parameterizes a simulation run.
 type Config struct {
-	// VirtualChannels is B ≥ 1: buffer slots per edge and, unless
+	// VirtualChannels is B ≥ 1: buffer lanes per edge and, unless
 	// RestrictedBandwidth is set, also the per-edge flit bandwidth.
 	VirtualChannels int
+	// LaneDepth is d ≥ 1, the flit capacity of each virtual-channel lane
+	// (0 means 1). The paper's model is d = 1 — one flit of buffering per
+	// lane — and runs on the original rigid-worm engine, byte for byte.
+	// Deeper lanes (or SharedPool) switch to the flit-level deep engine in
+	// deep.go, under which a blocked worm compresses into its lane storage
+	// instead of stalling rigidly.
+	LaneDepth int
+	// SharedPool pools the edge's B·d flit credits across its B lanes:
+	// credits are allocated dynamically, so one hot lane can absorb the
+	// whole pool, while the lane count (distinct worms buffered per edge)
+	// stays capped at B. False keeps each lane a private d-flit FIFO.
+	SharedPool bool
 	// RestrictedBandwidth enables the Section 1.4 remark model: B buffer
-	// slots but at most one flit crosses each physical edge per step.
+	// lanes but at most one flit crosses each physical edge per step.
 	RestrictedBandwidth bool
 	// DropOnDelay discards a worm the first time it fails to advance
 	// (used by the Section 3.1 butterfly algorithm).
@@ -85,6 +97,12 @@ type Config struct {
 	// pinned to this one by differential tests — so the naive scan
 	// survives purely as the slow, obviously correct oracle.
 	NaiveScan bool
+	// ParkStreak is the wakeup engine's park hysteresis: a slot-blocked
+	// worm parks on a wait queue only after this many consecutive failed
+	// steps, so brief blocked episodes never pay the park/wake machinery.
+	// 0 means the default of 8. The value is pure mechanism — results are
+	// byte-identical for every setting (pinned by regression tests).
+	ParkStreak int
 	// Observer, when non-nil, receives per-event callbacks (advances,
 	// drops, deliveries). Event times match the MessageStats convention:
 	// an event processed in the step from t to t+1 reports time t+1.
@@ -297,10 +315,25 @@ func Run(s *message.Set, release []int, cfg Config) Result {
 // uses. Completion of individual messages is observable through
 // Config.OnComplete. A Sim must not be shared across goroutines.
 type Sim struct {
-	cfg   Config
-	b     int
-	cap   int // per-edge flit crossings per step
-	worms []worm
+	cfg Config
+	b   int
+	cap int // per-edge flit crossings per step
+	// Buffer architecture (see deep.go): lane depth d, the shared-pool
+	// flag, and their derived switches. deepMode selects the flit-level
+	// engine; the d = 1 static configuration keeps the rigid engine and
+	// its exact pre-existing behavior.
+	depth    int32
+	shared   bool
+	deepMode bool
+	poolCap  int32 // B·d flit credits per edge (deep mode)
+	worms    []worm
+	// deepWorms is the deep engine's per-worm flit state, parallel to
+	// worms and allocated only in deep mode: keeping it out of the worm
+	// struct keeps the rigid engine's hottest array exactly its original
+	// size (the knee benchmark is ~18% slower with these three fields
+	// inlined into worm — pure cache pressure, the code never touches
+	// them there).
+	deepWorms []deepWorm
 	// pending holds worm indices sorted by (release, id); worms move to
 	// active as their release times pass, so steps never scan unreleased
 	// worms (schedules can spread releases over a long horizon).
@@ -320,12 +353,21 @@ type Sim struct {
 	byID []int
 	now  int
 
-	slotsUsed []int32 // persistent per-edge buffer occupancy
-	grants    []int32 // per-step: slots granted this step
+	// slotsUsed/grants/releases track the per-edge *lane* occupancy: in
+	// the rigid engine a lane holds exactly one flit, so they are also the
+	// flit accounting; in deep mode they count lanes (distinct worms
+	// buffered) and the flit arrays below count the flits themselves.
+	slotsUsed []int32 // persistent per-edge lane occupancy
+	grants    []int32 // per-step: lanes granted this step
 	crossings []int32 // per-step: flits crossing this step
-	releases  []int32 // per-step: slots released this step
+	releases  []int32 // per-step: lanes released this step
 	dirty     []int32 // touched edge IDs this step, deduped (O(touched) reset)
 	dirtyFlag []bool  // per-edge: already on the dirty list this step
+
+	// Flit-credit accounting, allocated in deep mode only.
+	flitsUsed    []int32 // persistent per-edge flit occupancy
+	flitGrants   []int32 // per-step: flit credits granted this step
+	flitReleases []int32 // per-step: flit credits released this step
 
 	// Wakeup-engine state (nil/zero under Config.NaiveScan). waitQ[e]
 	// holds the worms parked on edge e as a min-heap in policy order, so
@@ -335,9 +377,24 @@ type Sim struct {
 	// plausibly move); under ArbRandom they stay in it — the shuffle must
 	// cover every active worm to keep the RNG stream identical to the
 	// naive scan — and are skipped without an advance attempt.
-	naive  bool
-	waitQ  [][]int
-	parked int // worms currently parked
+	naive      bool
+	waitQ      [][]int
+	parked     int   // worms currently parked
+	parkStreak int32 // park hysteresis (Config.ParkStreak; default 8)
+
+	// Edge-role classification behind the free-slot-count wake rule (see
+	// wakeEdge). A final-edge crossing consumes bandwidth without holding
+	// a buffer slot, so on workloads where some edge is one message's
+	// final edge and another's body edge, a woken worm can decline its
+	// freed slot by failing bandwidth on a body edge even when cap == B.
+	// finalSeen/bodySeen record the roles each edge has appeared in;
+	// mixedFinal flips — permanently — the first time an edge is seen in
+	// both, downgrading slot events to whole-queue wakes. Butterfly
+	// workloads (every edge into an output is final for all paths through
+	// it) never flip and keep the optimized wake. Rigid wakeup mode only.
+	finalSeen  []bool
+	bodySeen   []bool
+	mixedFinal bool
 
 	// Reused per-step scratch so the hot loop is allocation-free at
 	// steady state: the ArbRandom shuffle copy, the naive scan's blocked
@@ -354,9 +411,11 @@ type Sim struct {
 	// (incremental mode only — batch runs load everything up front, so
 	// recycling would just pin the whole workload's paths in memory).
 	// At steady state this makes injection allocation-free for the
-	// near-uniform path lengths open-loop workloads produce.
+	// near-uniform path lengths open-loop workloads produce. progFree
+	// does the same for deep-mode flit-progress buffers.
 	recycle  bool
 	pathFree [][]int32
+	progFree [][]int32
 
 	shuffler *rng.Source
 
@@ -374,28 +433,89 @@ type Sim struct {
 // emptySim builds a Sim with no messages over a network of numEdges
 // physical channels. Both constructors (batch and incremental) share it.
 func emptySim(numEdges int, cfg Config) *Sim {
+	depth := cfg.LaneDepth
+	if depth == 0 {
+		depth = 1
+	}
+	parkStreak := cfg.ParkStreak
+	if parkStreak == 0 {
+		parkStreak = defaultParkStreak
+	}
 	si := &Sim{
-		cfg:       cfg,
-		b:         cfg.VirtualChannels,
-		cap:       cfg.VirtualChannels,
-		naive:     cfg.NaiveScan,
-		slotsUsed: make([]int32, numEdges),
-		grants:    make([]int32, numEdges),
-		crossings: make([]int32, numEdges),
-		releases:  make([]int32, numEdges),
-		dirtyFlag: make([]bool, numEdges),
-		maxSteps:  cfg.MaxSteps,
+		cfg:        cfg,
+		b:          cfg.VirtualChannels,
+		cap:        cfg.VirtualChannels,
+		depth:      int32(depth),
+		shared:     cfg.SharedPool,
+		deepMode:   depth > 1 || cfg.SharedPool,
+		poolCap:    int32(cfg.VirtualChannels * depth),
+		naive:      cfg.NaiveScan,
+		parkStreak: int32(parkStreak),
+		slotsUsed:  make([]int32, numEdges),
+		grants:     make([]int32, numEdges),
+		crossings:  make([]int32, numEdges),
+		releases:   make([]int32, numEdges),
+		dirtyFlag:  make([]bool, numEdges),
+		maxSteps:   cfg.MaxSteps,
 	}
 	if cfg.RestrictedBandwidth {
 		si.cap = 1
+	}
+	if si.deepMode {
+		si.flitsUsed = make([]int32, numEdges)
+		si.flitGrants = make([]int32, numEdges)
+		si.flitReleases = make([]int32, numEdges)
 	}
 	if cfg.Arbitration == ArbRandom {
 		si.shuffler = rng.New(cfg.Seed)
 	}
 	if !si.naive {
 		si.waitQ = make([][]int, numEdges)
+		if !si.deepMode {
+			si.finalSeen = make([]bool, numEdges)
+			si.bodySeen = make([]bool, numEdges)
+		}
 	}
 	return si
+}
+
+// markPathRoles folds one message's path into the edge-role
+// classification. When the classification turns mixed with worms already
+// parked (only possible in incremental mode — batch loads classify
+// everything before the first step), the free-slot-count decisions behind
+// those parks are stale, so every parked worm is flushed back to the
+// active list; all later wakes use the whole-queue rule.
+func (si *Sim) markPathRoles(p []int32) {
+	if si.finalSeen == nil || si.mixedFinal || len(p) == 0 {
+		return
+	}
+	last := p[len(p)-1]
+	si.finalSeen[last] = true
+	if si.bodySeen[last] {
+		si.mixedFinal = true
+	}
+	for _, e := range p[:len(p)-1] {
+		si.bodySeen[e] = true
+		if si.finalSeen[e] {
+			si.mixedFinal = true
+		}
+	}
+	if si.mixedFinal && si.parked > 0 {
+		si.flushParked()
+	}
+}
+
+// validateArch rejects nonsensical buffer-architecture and hysteresis
+// settings; both constructors share it (the batch path panics on the
+// returned error, the incremental path returns it).
+func validateArch(cfg Config) error {
+	if cfg.LaneDepth < 0 {
+		return fmt.Errorf("vcsim: LaneDepth %d < 0", cfg.LaneDepth)
+	}
+	if cfg.ParkStreak < 0 {
+		return fmt.Errorf("vcsim: ParkStreak %d < 0", cfg.ParkStreak)
+	}
+	return nil
 }
 
 // newBatchSim loads a complete message set, deriving the MaxSteps safety
@@ -404,6 +524,9 @@ func emptySim(numEdges int, cfg Config) *Sim {
 func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 	if cfg.VirtualChannels < 1 {
 		panic(fmt.Sprintf("vcsim: VirtualChannels %d < 1", cfg.VirtualChannels))
+	}
+	if err := validateArch(cfg); err != nil {
+		panic(err.Error())
 	}
 	if release != nil && len(release) != s.Len() {
 		panic(fmt.Sprintf("vcsim: %d release times for %d messages", len(release), s.Len()))
@@ -440,7 +563,18 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 			stats:    MessageStats{Release: rel, InjectTime: -1, DeliverTime: -1, DropTime: -1},
 			parkedAt: -1,
 		}
-		work += len(p) + msg.Length
+		if si.deepMode {
+			si.deepWorms = append(si.deepWorms, deepWorm{
+				prog:    make([]int32, msg.Length),
+				lastInj: -1,
+			})
+			// A deep step may move as little as one flit, so the safety
+			// bound counts flit moves (L·D per worm), not worm moves.
+			work += len(p)*msg.Length + msg.Length
+		} else {
+			work += len(p) + msg.Length
+		}
+		si.markPathRoles(p)
 		si.pending = append(si.pending, i)
 	}
 	if si.maxSteps == 0 {
@@ -566,7 +700,7 @@ func (si *Sim) stepNaive() {
 
 	for _, idx := range order {
 		w := &si.worms[idx]
-		if ok, _ := si.tryAdvance(w); ok {
+		if ok, _ := si.tryMove(w); ok {
 			moved = true
 			continue
 		}
@@ -599,6 +733,16 @@ func (si *Sim) stepNaive() {
 	}
 }
 
+// tryMove dispatches a worm's advance attempt to the engine the buffer
+// architecture selects: the rigid single-counter engine for the paper's
+// d = 1 static model, the flit-level deep engine otherwise.
+func (si *Sim) tryMove(w *worm) (bool, int32) {
+	if si.deepMode {
+		return si.tryAdvanceDeep(w)
+	}
+	return si.tryAdvance(w)
+}
+
 // tryAdvance attempts to move worm w one step, honoring buffer and
 // bandwidth constraints. On success it performs the move and returns
 // true. A slot failure returns the full edge, telling the wakeup engine
@@ -616,6 +760,7 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 		w.stats.InjectTime = si.now + 1
 		w.stats.DeliverTime = si.now + 1
 		si.delivered++
+		si.freeProg(w)
 		if obs := si.cfg.Observer; obs != nil {
 			obs.OnDeliver(si.now+1, message.ID(w.id))
 		}
@@ -689,10 +834,12 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 	return true, -1
 }
 
-// drop discards worm w, releasing all buffer slots it occupies (visible
+// drop discards worm w, releasing all buffer credits it occupies (visible
 // next step, like any other release).
 func (si *Sim) drop(w *worm) {
-	if lo, hi, ok := w.span(); ok {
+	if si.deepMode {
+		si.releaseDeepWorm(w)
+	} else if lo, hi, ok := w.span(); ok {
 		for i := lo; i <= hi; i++ {
 			e := w.path[i]
 			si.releases[e]++
@@ -702,6 +849,7 @@ func (si *Sim) drop(w *worm) {
 	w.stats.Status = StatusDropped
 	w.stats.DropTime = si.now + 1
 	si.freePath(w)
+	si.freeProg(w)
 	si.dropped++
 	if obs := si.cfg.Observer; obs != nil {
 		obs.OnDrop(si.now+1, message.ID(w.id))
@@ -744,25 +892,37 @@ func (si *Sim) touch(e int32) {
 
 // applyStepEnd folds grants and releases into persistent occupancy,
 // clears the per-step scratch arrays, and — in the wakeup engine — wakes
-// every worm parked on an edge that saw a slot event (grant or release)
-// this step. Those are exactly the events that can unblock a slot-parked
-// worm: occupancy only falls through releases, and a within-step grant
-// (which could consume headroom ahead of a later-ordered contender) can
-// only exist in the very step the worm parked. Body-flit crossings don't
-// move slot state, so a worm queue is not re-scanned on every transit.
+// every worm parked on an edge that saw a credit event (lane or, in deep
+// mode, flit grant/release) this step. Those are exactly the events that
+// can unblock a credit-parked worm: occupancy only falls through
+// releases, and a within-step grant (which could consume headroom ahead
+// of a later-ordered contender) can only exist in the very step the worm
+// parked. Body-flit crossings don't move credit state, so a worm queue is
+// not re-scanned on every transit.
 func (si *Sim) applyStepEnd() {
 	for _, e := range si.dirty {
 		si.dirtyFlag[e] = false
+		event := false
 		if si.grants[e] != 0 || si.releases[e] != 0 {
 			si.slotsUsed[e] += si.grants[e] - si.releases[e]
-			if int(si.slotsUsed[e]) > si.maxOccupied {
+			if !si.deepMode && int(si.slotsUsed[e]) > si.maxOccupied {
 				si.maxOccupied = int(si.slotsUsed[e])
 			}
 			si.grants[e] = 0
 			si.releases[e] = 0
-			if si.waitQ != nil && len(si.waitQ[e]) > 0 {
-				si.wakeEdge(e)
+			event = true
+		}
+		if si.deepMode && (si.flitGrants[e] != 0 || si.flitReleases[e] != 0) {
+			si.flitsUsed[e] += si.flitGrants[e] - si.flitReleases[e]
+			if int(si.flitsUsed[e]) > si.maxOccupied {
+				si.maxOccupied = int(si.flitsUsed[e])
 			}
+			si.flitGrants[e] = 0
+			si.flitReleases[e] = 0
+			event = true
+		}
+		if event && si.waitQ != nil && len(si.waitQ[e]) > 0 {
+			si.wakeEdge(e)
 		}
 		si.crossings[e] = 0
 	}
@@ -801,6 +961,10 @@ func (si *Sim) finishAsDeadlocked() {
 // checkInvariants asserts model invariants; it panics on violation so test
 // failures pinpoint the first bad step.
 func (si *Sim) checkInvariants() {
+	if si.deepMode {
+		si.checkInvariantsDeep()
+		return
+	}
 	occ := make(map[int32]int32, 64)
 	for i := range si.worms {
 		w := &si.worms[i]

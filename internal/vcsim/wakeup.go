@@ -49,12 +49,15 @@ import (
 	"wormhole/internal/message"
 )
 
-// parkStreak is the probation length: a worm parks only after this many
-// consecutive failed steps. Short blocked episodes — the common case away
-// from deep saturation — then cost exactly what they cost the naive scan
-// (one cheap failed attempt per step), while long episodes pay the
-// park/wake machinery once and are skipped for their whole remainder.
-const parkStreak = 8
+// defaultParkStreak is the probation length when Config.ParkStreak is
+// zero: a worm parks only after this many consecutive failed steps. Short
+// blocked episodes — the common case away from deep saturation — then
+// cost exactly what they cost the naive scan (one cheap failed attempt
+// per step), while long episodes pay the park/wake machinery once and are
+// skipped for their whole remainder. The setting is pure mechanism:
+// results are byte-identical for every value (see park hysteresis
+// regression tests).
+const defaultParkStreak = 8
 
 // stepWakeup advances the simulation by one flit step, attempting only
 // worms that can plausibly move.
@@ -80,7 +83,7 @@ func (si *Sim) stepWakeup() {
 			if w.parkedAt >= 0 {
 				continue // would fail; charged lazily
 			}
-			ok, slotEdge := si.tryAdvance(w)
+			ok, slotEdge := si.tryMove(w)
 			switch {
 			case ok:
 				moved = true
@@ -92,7 +95,7 @@ func (si *Sim) stepWakeup() {
 				si.drop(w)
 				droppedAny = true
 				needCompact = true
-			case slotEdge >= 0 && w.streak >= parkStreak-1:
+			case slotEdge >= 0 && w.streak >= si.parkStreak-1:
 				w.streak = 0
 				si.park(idx, slotEdge)
 			default:
@@ -113,7 +116,7 @@ func (si *Sim) stepWakeup() {
 		keep := si.active[:0]
 		for _, idx := range order {
 			w := &si.worms[idx]
-			ok, slotEdge := si.tryAdvance(w)
+			ok, slotEdge := si.tryMove(w)
 			switch {
 			case ok:
 				moved = true
@@ -124,7 +127,7 @@ func (si *Sim) stepWakeup() {
 			case si.cfg.DropOnDelay:
 				si.drop(w)
 				droppedAny = true
-			case slotEdge >= 0 && w.streak >= parkStreak-1:
+			case slotEdge >= 0 && w.streak >= si.parkStreak-1:
 				w.streak = 0
 				si.park(idx, slotEdge)
 			default:
@@ -198,7 +201,15 @@ func (si *Sim) wakeEdge(e int32) {
 		*q = (*q)[:0]
 		return
 	}
-	if si.cap < si.b {
+	if si.deepMode || si.cap < si.b || si.mixedFinal {
+		// Whole-queue wake, for the configurations where a woken worm can
+		// decline its credit. Deep mode: with pooled flit credits and
+		// partial (per-flit) advances, the free-slot-count argument above
+		// has no analogue — a woken worm can consume any number of credits
+		// or decline them all. mixedFinal: some edge serves as one
+		// message's final edge and another's body edge, so a final-edge
+		// crossing (which holds no slot) can saturate a woken worm's body
+		// edge and fail it on bandwidth even at cap == B.
 		for _, idx := range *q {
 			si.stampParked(idx, si.now)
 			si.wokenScratch = append(si.wokenScratch, idx)
@@ -210,6 +221,31 @@ func (si *Sim) wakeEdge(e int32) {
 		idx := si.heapPop(q)
 		si.stampParked(idx, si.now)
 		si.wokenScratch = append(si.wokenScratch, idx)
+	}
+}
+
+// flushParked returns every parked worm to the active list. It runs
+// exactly once per Sim, between steps, when an injection flips the
+// edge-role classification to mixed: the free-slot-count reasoning that
+// justified leaving lower-priority waiters parked no longer holds, so
+// all of them get their attempt back. Stalls are stamped through the
+// last completed step (si.now already names the upcoming one); each
+// worm re-fails and re-parks naturally if it is still blocked.
+func (si *Sim) flushParked() {
+	for e := range si.waitQ {
+		q := si.waitQ[e]
+		if len(q) == 0 {
+			continue
+		}
+		for _, idx := range q {
+			si.stampParked(idx, si.now-1)
+			if si.cfg.Arbitration != ArbRandom {
+				// ArbRandom waiters never left the active list; the
+				// deterministic policies re-insert at policy position.
+				si.insertActive(idx)
+			}
+		}
+		si.waitQ[e] = q[:0]
 	}
 }
 

@@ -269,6 +269,20 @@ func TestStepZeroAllocSteadyState(t *testing.T) {
 // through the still-free slot. The wakeup engine must therefore wake the
 // whole queue when cap < B.
 func TestWakeupMatchesNaiveRestrictedBodyBlock(t *testing.T) {
+	set, releases := restrictedBodyBlockSet()
+	runBoth(t, "restricted-body-block", set, releases, Config{
+		VirtualChannels:     2,
+		RestrictedBandwidth: true,
+		Arbitration:         ArbByID,
+		CheckInvariants:     true,
+	})
+}
+
+// restrictedBodyBlockSet builds the decline-scenario workload described
+// above TestWakeupMatchesNaiveRestrictedBodyBlock. The deep-buffer
+// differential tests reuse it across the (LaneDepth, SharedPool) grid,
+// where a woken worm can decline its credit the same way.
+func restrictedBodyBlockSet() (*message.Set, []int) {
 	g := graph.New(0, 0)
 	u := g.AddNode("u")
 	v := g.AddNode("v")
@@ -312,12 +326,5 @@ func TestWakeupMatchesNaiveRestrictedBodyBlock(t *testing.T) {
 	set.Add(xs, xt, 25, graph.Path{eXin, ePU, eXout})       // X  (id 3)
 	set.Add(w1s, w1t, 3, graph.Path{eW1in, ePU, e, eW1out}) // W1 (id 4)
 	set.Add(w2s, w2t, 3, graph.Path{eW2in, eQU, e, eW2out}) // W2 (id 5)
-	releases := []int{0, 0, 0, 20, 0, 0}
-
-	runBoth(t, "restricted-body-block", set, releases, Config{
-		VirtualChannels:     2,
-		RestrictedBandwidth: true,
-		Arbitration:         ArbByID,
-		CheckInvariants:     true,
-	})
+	return set, []int{0, 0, 0, 20, 0, 0}
 }
