@@ -8,6 +8,7 @@
 //	wormbench -run T1 [-seed 42] [-quick] [-trials 5] [-workers 8]
 //	wormbench -all
 //	wormbench -bench [-benchout BENCH.json] [-baseline BENCH_BASELINE.json] [-benchreps 5]
+//	wormbench ... [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // Experiment IDs are catalogued in README.md (F1, F2 for the figures;
 // T1–T11 for the theorem/remark reproductions; T12 for the open-loop
@@ -21,12 +22,21 @@
 // additionally compares against a committed report and exits nonzero on
 // a >15% calibration-normalized ns/step regression or any allocs/step
 // regression — the CI perf gate.
+//
+// -cpuprofile and -memprofile write pprof profiles covering whatever the
+// invocation ran — an experiment or the benchmark suite — so performance
+// work reproduces from the committed harness instead of ad-hoc patches:
+//
+//	go run ./cmd/wormbench -bench -cpuprofile cpu.prof
+//	go tool pprof -top cpu.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wormhole/internal/bench"
@@ -34,6 +44,13 @@ import (
 )
 
 func main() {
+	// Defers (the profile writers below) must run before the process
+	// exits, including on gate failures — os.Exit skips them — so the
+	// real work happens in run() and main only converts its code.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		list      = flag.Bool("list", false, "list available experiments")
 		run       = flag.String("run", "", "experiment ID to run (e.g. T1)")
@@ -42,41 +59,77 @@ func main() {
 		quick     = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
 		trials    = flag.Int("trials", 0, "override trial count (0 = default)")
 		workers   = flag.Int("workers", 0, "parallel harness workers (0 = GOMAXPROCS)")
+		scale     = flag.Int("scale", 0, "network-size override for scale experiments (T14; 0 = default)")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		doBench   = flag.Bool("bench", false, "run the benchmark suite instead of experiments")
 		benchOut  = flag.String("benchout", "BENCH.json", "benchmark report output path")
 		baseline  = flag.String("baseline", "", "baseline report to gate against (e.g. BENCH_BASELINE.json)")
 		benchReps = flag.Int("benchreps", 5, "benchmark repeats (best-of)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	flag.Parse()
 
-	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wormbench: cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wormbench: cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wormbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation state
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "wormbench: memprofile:", err)
+			}
+		}()
+	}
+
+	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers, Scale: *scale}
 
 	switch {
 	case *doBench:
-		runBench(*benchOut, *baseline, *benchReps)
+		return runBench(*benchOut, *baseline, *benchReps)
 	case *list:
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 	case *all:
 		for _, e := range core.Experiments() {
-			runOne(e.ID, cfg, *csvOut)
+			if code := runOne(e.ID, cfg, *csvOut); code != 0 {
+				return code
+			}
 		}
 	case *run != "":
-		runOne(*run, cfg, *csvOut)
+		return runOne(*run, cfg, *csvOut)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
-func runBench(out, baselinePath string, reps int) {
+func runBench(out, baselinePath string, reps int) int {
 	start := time.Now()
 	rep, err := bench.Collect(reps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wormbench: bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	for _, e := range rep.Entries {
 		fmt.Printf("%-28s %12.0f ns/%s %10.3f allocs/%s\n",
@@ -86,39 +139,41 @@ func runBench(out, baselinePath string, reps int) {
 		rep.CalibrationNs, reps, time.Since(start).Round(time.Millisecond))
 	if err := rep.WriteFile(out); err != nil {
 		fmt.Fprintln(os.Stderr, "wormbench: bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if baselinePath == "" {
-		return
+		return 0
 	}
 	base, err := bench.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wormbench: bench:", err)
-		os.Exit(1)
+		return 1
 	}
+	fmt.Print(bench.DeltaTable(base, rep))
 	if bad := bench.Compare(base, rep, bench.NsTolerance); len(bad) > 0 {
 		fmt.Fprintln(os.Stderr, "wormbench: benchmark regressions against", baselinePath)
 		for _, msg := range bad {
 			fmt.Fprintln(os.Stderr, "  REGRESSION:", msg)
 		}
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("bench gate: no regressions against %s\n", baselinePath)
+	return 0
 }
 
-func runOne(id string, cfg core.Config, csvOut bool) {
+func runOne(id string, cfg core.Config, csvOut bool) int {
 	start := time.Now()
 	tables, err := core.Run(id, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wormbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	for _, t := range tables {
 		if csvOut {
 			fmt.Printf("# %s\n", t.Title())
 			if err := t.WriteCSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "wormbench: csv:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println()
 			continue
@@ -128,4 +183,5 @@ func runOne(id string, cfg core.Config, csvOut bool) {
 	if !csvOut {
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -112,3 +112,25 @@ func TestCollectSmoke(t *testing.T) {
 		t.Errorf("self-comparison regressed: %v", bad)
 	}
 }
+
+func TestDeltaTable(t *testing.T) {
+	base := Report{
+		CalibrationNs: 100,
+		Entries: []Entry{
+			{Name: "w1", Unit: "step", NsPerStep: 1000, AllocsPerStep: 2, Steps: 10},
+		},
+	}
+	cur := Report{
+		CalibrationNs: 200, // current machine half as fast: baseline scales ×2
+		Entries: []Entry{
+			{Name: "w1", Unit: "step", NsPerStep: 1500, AllocsPerStep: 0, Steps: 10},
+			{Name: "w2", Unit: "step", NsPerStep: 50, AllocsPerStep: 1, Steps: 5},
+		},
+	}
+	out := DeltaTable(base, cur)
+	for _, want := range []string{"w1", "w2", "new", "-25.0%", "2000", "calibration ratio 2.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+}

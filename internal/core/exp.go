@@ -20,6 +20,11 @@ type Config struct {
 	// Workers bounds the harness's job-runner fan-out (0 = GOMAXPROCS).
 	// Tables are byte-identical for every worker count; see parallel.go.
 	Workers int
+	// Scale overrides the network size of the experiments that sweep it
+	// (currently T14's butterfly input count; 0 = the experiment's
+	// default). CI runs the default; larger scales — the documented
+	// offline 1024-input T14 — are opt-in via wormbench -scale.
+	Scale int
 }
 
 func (c Config) trials(def int) int {

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestT14QuickShape runs the quick-scale T14 sweep and pins the claims
+// the experiment exists to make: every grid point produces a row, the
+// light load point is unsaturated for every architecture, and at fixed B
+// the bisected saturation rate is monotone non-decreasing in lane depth
+// (the depths share arrival sample paths by seed construction, so the
+// comparison is like-for-like).
+func TestT14QuickShape(t *testing.T) {
+	cfg := Config{Seed: 42, Quick: true}
+	p := t14Scale(cfg)
+
+	rows := T14OpenLoop(cfg)
+	if len(rows) != len(p.archs)*len(p.rates) {
+		t.Fatalf("T14 curve rows = %d, want %d", len(rows), len(p.archs)*len(p.rates))
+	}
+	for _, r := range rows {
+		if r.Offered == p.rates[0] && r.Saturated {
+			t.Errorf("%s: light load %.2f reported saturated", r.Arch.label(), r.Offered)
+		}
+		if r.Messages == 0 {
+			t.Errorf("%s at %.2f: no messages injected", r.Arch.label(), r.Offered)
+		}
+	}
+
+	if got := (T14Arch{2, 4}).label(); got != "B=2 d=4" {
+		t.Errorf("arch label = %q", got)
+	}
+
+	sat := T14Saturation(cfg)
+	if len(sat) != len(p.archs) {
+		t.Fatalf("T14 saturation rows = %d, want %d", len(sat), len(p.archs))
+	}
+	byArch := map[T14Arch]float64{}
+	for _, r := range sat {
+		if r.SatRate <= 0 {
+			t.Errorf("%s: saturation rate %.4f not positive", r.Arch.label(), r.SatRate)
+		}
+		byArch[r.Arch] = r.SatRate
+	}
+	for _, b := range []int{2, 4} {
+		if byArch[T14Arch{b, 4}] < byArch[T14Arch{b, 1}] {
+			t.Errorf("B=%d: sat rate decreased with depth: d=1 %.4f → d=4 %.4f",
+				b, byArch[T14Arch{b, 1}], byArch[T14Arch{b, 4}])
+		}
+	}
+}
+
+// TestT14WorkerByteIdentity pins that the job-runner fan-out does not
+// leak into results: the full T14 tables are byte-identical for every
+// worker count.
+func TestT14WorkerByteIdentity(t *testing.T) {
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		tables, err := Run("T14", Config{Seed: 42, Quick: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tb := range tables {
+			buf.WriteString(tb.String())
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	for _, w := range []int{4, 8} {
+		if got := render(w); !bytes.Equal(got, want) {
+			t.Fatalf("T14 tables differ between workers=1 and workers=%d", w)
+		}
+	}
+}

@@ -31,11 +31,27 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// Reseed resets the source to the stream New(seed) would produce,
+// reusing the allocation. Engines that are Reset for reuse (vcsim.Sim,
+// the traffic Runner) reseed their sources in place so a reused run
+// replays the exact stream of a fresh one without allocating.
+func (s *Source) Reseed(seed uint64) { s.state = seed }
+
 // Split derives an independent child source. The parent's stream advances by
 // one step; the child is seeded from that output, so repeated Split calls
 // yield distinct, independent children.
 func (s *Source) Split() *Source {
-	return &Source{state: s.Uint64() ^ 0xA5A5A5A5A5A5A5A5}
+	child := &Source{}
+	s.SplitInto(child)
+	return child
+}
+
+// SplitInto is Split writing into caller-owned storage: child is reseeded
+// to exactly the stream Split would have returned, with no allocation.
+// Reusable engines keep their per-endpoint sources in a flat slice and
+// re-derive them in place each run.
+func (s *Source) SplitInto(child *Source) {
+	child.state = s.Uint64() ^ 0xA5A5A5A5A5A5A5A5
 }
 
 // Uint64 returns the next 64 bits of the stream.

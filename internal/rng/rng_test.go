@@ -232,3 +232,31 @@ func TestZeroValueUsable(t *testing.T) {
 	_ = s.Uint64()
 	_ = s.Intn(10)
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10; i++ {
+		s.Uint64()
+	}
+	s.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 16; i++ {
+		if a, b := s.Uint64(), fresh.Uint64(); a != b {
+			t.Fatalf("draw %d: reseeded %x != fresh %x", i, a, b)
+		}
+	}
+}
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	a, b := New(7), New(7)
+	var child Source
+	for i := 0; i < 8; i++ {
+		want := a.Split()
+		b.SplitInto(&child)
+		for j := 0; j < 4; j++ {
+			if x, y := want.Uint64(), child.Uint64(); x != y {
+				t.Fatalf("split %d draw %d: %x != %x", i, j, x, y)
+			}
+		}
+	}
+}

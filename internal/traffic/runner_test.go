@@ -1,0 +1,106 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"wormhole/internal/vcsim"
+)
+
+// TestRunnerReplayByteIdentical pins the Runner's reuse contract: every
+// Run() of one Runner — and the one-shot Run wrapper — produces deeply
+// equal Results, across processes, patterns, buffer architectures, and
+// both steppers. Reset hygiene bugs (leaked credits, stale queues, RNG
+// drift) show up here as run-to-run divergence.
+func TestRunnerReplayByteIdentical(t *testing.T) {
+	base := Config{
+		Net:             NewButterflyNet(16),
+		VirtualChannels: 2,
+		MessageLength:   4,
+		Arbitration:     vcsim.ArbAge,
+		Process:         Poisson,
+		Rate:            0.25,
+		Pattern:         Uniform,
+		Warmup:          32,
+		Measure:         128,
+		Drain:           512,
+		MaxBacklog:      4096,
+		Seed:            99,
+	}
+	configs := map[string]func(*Config){
+		"poisson-uniform": func(c *Config) {},
+		"bernoulli-transpose": func(c *Config) {
+			c.Process = Bernoulli
+			c.Pattern = Transpose
+		},
+		"onoff-hotspot": func(c *Config) {
+			c.Process = OnOff
+			c.Pattern = Hotspot
+			c.Rate = 0.1
+		},
+		"deep-shared": func(c *Config) {
+			c.LaneDepth = 4
+			c.SharedPool = true
+		},
+		"naive-oracle": func(c *Config) {
+			c.NaiveScan = true
+			c.Arbitration = vcsim.ArbRandom
+		},
+	}
+	for name, mutate := range configs {
+		cfg := base
+		mutate(&cfg)
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < 3; i++ {
+			got, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s run %d: %v", name, i, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: reused run %d differs from fresh run\nfresh: %+v\nreuse: %+v", name, i, want, got)
+			}
+		}
+	}
+}
+
+// TestRunnerSteadyStateZeroAlloc asserts the benchmark suite's alloc
+// gate at its source: once a Runner has executed a run and sized its
+// storage, further runs of the same workload allocate nothing.
+func TestRunnerSteadyStateZeroAlloc(t *testing.T) {
+	cfg := Config{
+		Net:             NewButterflyNet(16),
+		VirtualChannels: 2,
+		LaneDepth:       2,
+		MessageLength:   4,
+		Arbitration:     vcsim.ArbAge,
+		Process:         Poisson,
+		Rate:            0.25,
+		Pattern:         Uniform,
+		Warmup:          32,
+		Measure:         128,
+		Drain:           512,
+		MaxBacklog:      4096,
+		Seed:            7,
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(3, func() {
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("reused Runner.Run allocates %.1f times per run, want 0", avg)
+	}
+}

@@ -31,6 +31,16 @@ package vcsim
 // means delivered, progress 0 means still in the unbounded injection
 // buffer.
 //
+// Storage. The flit state lives inline in the worm struct — the arena-
+// backed prog buffer plus the fHead/lastInj cursors — so an advance
+// attempt touches exactly one worm record; the pre-overhaul engine kept a
+// parallel deepWorms array whose extra cache miss per attempt was a
+// measurable slice of deep-knee step cost. Edge credits are the shared
+// in-place counters of vcsim.go: laneFree (lanes = distinct worms
+// buffered), flitFree (the B·d flit credits), with releases deferred
+// through relLane/relFlit under the two-phase discipline, and the
+// epoch-stamped crossings meter for bandwidth.
+//
 // One flit step moves every movable flit once, under the same conservative
 // two-phase discipline as the rigid engine (credits released during a step
 // become visible at the next step). Flit j advances from progress c iff
@@ -74,17 +84,14 @@ func panicf(format string, args ...any) {
 	panic(fmt.Sprintf(format, args...))
 }
 
-// deepWorm is the deep engine's per-worm flit state, held in a parallel
-// array (Sim.deepWorms) rather than in worm itself so the rigid engine's
-// hot array keeps its original size. prog[j] is the number of edges flit
-// j has crossed — non-increasing in j, with D meaning delivered and 0
-// meaning not yet injected. fHead is the first undelivered flit; lastInj
-// the last injected one (−1 before the header enters the network).
-type deepWorm struct {
-	prog    []int32
-	fHead   int32
-	lastInj int32
-}
+// parkFlitBit tags a deep park target (the foreign edge a fully blocked
+// worm returns) whose blocked flit was refused a shared-pool credit while
+// joining its own lane — the one deep block whose resume condition is
+// flitFree > 0 alone. An untagged target is a lane acquisition, resumable
+// only when laneFree > 0 (and, shared, flitFree > 0 too). wakeEdge wakes
+// a queue only when its condition actually holds post-fold, so contended
+// edges' constant credit traffic no longer thrashes their parked worms.
+const parkFlitBit = int32(1) << 30
 
 // tryAdvanceDeep attempts to move every movable flit of worm w one edge
 // and reports whether any flit moved. On a fully blocked step it returns
@@ -97,7 +104,32 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 		// verbatim (no buffers are involved).
 		return si.tryAdvance(w)
 	}
-	dw := &si.deepWorms[w.id]
+	if b := w.blockedOn; b >= 0 {
+		// Cached fully-blocked verdict (see worm.blockedOn): while the
+		// blocking credit stays exhausted, nothing else about the verdict
+		// can change — every other flit is FIFO- or own-lane-blocked,
+		// states only the worm's own movement resolves — so the whole
+		// rescan collapses to this resume-condition probe.
+		e := b &^ parkFlitBit
+		if b&parkFlitBit != 0 {
+			if si.flitFree[e] <= 0 {
+				// A cached re-fail is a proven park-eligible verdict: the
+				// block already outlived a step and wakes are precise, so
+				// skip the rest of the probation (pure mechanism — park
+				// timing never changes results; see the park-hysteresis
+				// suite).
+				w.streak = si.parkStreak - 1
+				return false, b
+			}
+		} else if si.laneFree[e] <= 0 || (si.shared && si.flitFree[e] <= 0) {
+			w.streak = si.parkStreak - 1
+			return false, b
+		}
+		w.blockedOn = -1
+	}
+	if w.stretched && si.tryAdvanceStretched(w) {
+		return si.finishDeepMove(w)
+	}
 	var (
 		moved    bool
 		parkEdge int32 = -1   // the one foreign-blocked edge, if unique
@@ -105,7 +137,7 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 		// Predecessor state, in start-of-step (old) values: the deep rules
 		// only ever consult the previous flit and its buffered group, so a
 		// single left-to-right pass needs no second array.
-		prevOld    = int32(w.d) // flit fHead−1 is delivered (progress D)
+		prevOld    = w.d // flit fHead−1 is delivered (progress D)
 		prevMoved  bool
 		groupProg  int32 = -1 // old progress of the predecessor's group
 		groupCount int32      // its size (own flits at that progress)
@@ -113,57 +145,81 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 		// this flit's verdict is known: if it shifts through, the slot
 		// passes inside the worm and no credit moves at all.
 		pendingRel int32 = -1
+
+		// Hot-loop locals: the buffers, per-edge counter arrays, limits,
+		// and this step's crossing epoch, hoisted so the per-flit body
+		// stays load-light (method calls in the loop would otherwise
+		// force the slice headers to reload from si each iteration).
+		prog      = w.prog
+		path      = w.path
+		bodyCap   = w.d - 2
+		lastFlit  = int(w.l) - 1
+		stamp     = si.crossStamp()
+		cap32     = si.capI32
+		depth     = si.depth
+		laneFree  = si.laneFree
+		flitFree  = si.flitFree
+		relLane   = si.relLane
+		relFlit   = si.relFlit
+		crossings = si.crossings
+		shared    = si.shared
 	)
 	// Flits beyond lastInj+1 are uninjected and FIFO-blocked behind an
 	// uninjected flit; they cannot move and are skipped wholesale.
-	limit := int(dw.lastInj) + 1
-	if limit > w.l-1 {
-		limit = w.l - 1
+	limit := int(w.lastInj) + 1
+	if limit > lastFlit {
+		limit = lastFlit
 	}
-	for j := int(dw.fHead); j <= limit; j++ {
-		c := dw.prog[j]
+	for j := int(w.fHead); j <= limit; j++ {
+		c := prog[j]
 		adv := false
 		foreign := int32(-1)
 		if c < prevOld { // FIFO: strictly behind the predecessor at step start
-			e := w.path[c]
+			e := path[c]
 			shift := prevMoved && prevOld == c+1
 			fits := true
-			if c <= int32(w.d)-2 && !shift {
+			if c <= bodyCap && !shift {
 				if groupProg == c+1 {
 					// Joining the lane the predecessor group occupies.
 					if si.shared {
-						if si.flitsUsed[e]+si.flitGrants[e] >= si.poolCap {
+						if flitFree[e] <= 0 {
 							fits = false
-							foreign = e
+							foreign = e | parkFlitBit
 						}
-					} else if groupCount >= si.depth {
+					} else if groupCount >= depth {
 						fits = false // own lane full: only own movement frees it
 					}
 				} else {
 					// First flit of the worm on this edge: acquire a lane.
-					if si.slotsUsed[e]+si.grants[e] >= int32(si.b) {
+					if laneFree[e] <= 0 {
 						fits = false
 						foreign = e
-					} else if si.shared && si.flitsUsed[e]+si.flitGrants[e] >= si.poolCap {
+					} else if shared && flitFree[e] <= 0 {
 						fits = false
 						foreign = e
 					}
 				}
 			}
-			if fits && si.crossings[e] >= int32(si.cap) {
-				fits = false
-				parkable = false // bandwidth resets every step: transient
+			if fits {
+				if cw := crossings[e]; cw >= stamp && int32(cw-stamp) >= cap32 {
+					fits = false
+					parkable = false // bandwidth resets every step: transient
+				}
 			}
 			if fits {
 				adv = true
-				si.crossings[e]++
-				si.touch(e)
+				cw := crossings[e]
+				if cw < stamp {
+					cw = stamp
+				}
+				crossings[e] = cw + 1
 				si.flitHops++
-				if c <= int32(w.d)-2 && !shift {
-					si.flitGrants[e]++
+				if c <= bodyCap && !shift {
+					flitFree[e]--
 					if groupProg != c+1 {
-						si.grants[e]++ // lane acquisition
+						laneFree[e]-- // lane acquisition
 					}
+					si.touchMax(e)
 				}
 			} else if foreign >= 0 {
 				if parkEdge < 0 {
@@ -178,8 +234,8 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 		// anything else frees the flit credit and the (now empty) lane.
 		if pendingRel >= 0 {
 			if !adv {
-				si.flitReleases[pendingRel]++
-				si.releases[pendingRel]++
+				relFlit[pendingRel]++
+				relLane[pendingRel]++
 				si.touch(pendingRel)
 			}
 			pendingRel = -1
@@ -187,30 +243,34 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 		if adv {
 			if c >= 1 {
 				// The flit leaves the buffer at the head of path[c−1].
-				s := w.path[c-1]
-				switch {
-				case j < w.l-1 && dw.prog[j+1] == c:
+				s := path[c-1]
+				nx := c - 2 // no successor: both special cases miss
+				if j < lastFlit {
+					nx = prog[j+1]
+				}
+				switch nx {
+				case c:
 					// A groupmate stays behind: credit frees, lane is kept.
-					si.flitReleases[s]++
+					relFlit[s]++
 					si.touch(s)
-				case j < w.l-1 && dw.prog[j+1] == c-1:
+				case c - 1:
 					// The successor may shift through this very slot.
 					pendingRel = s
 				default:
-					si.flitReleases[s]++
-					si.releases[s]++
+					relFlit[s]++
+					relLane[s]++
 					si.touch(s)
 				}
 			} else {
-				dw.lastInj = int32(j)
-				if w.stats.InjectTime < 0 {
-					w.stats.InjectTime = si.now + 1
+				w.lastInj = int32(j)
+				if w.injectTime < 0 {
+					w.injectTime = int32(si.now + 1)
 				}
 			}
-			if c == int32(w.d)-1 {
-				dw.fHead++ // crossed the final edge: delivered
+			if c == w.d-1 {
+				w.fHead++ // crossed the final edge: delivered
 			}
-			dw.prog[j] = c + 1
+			prog[j] = c + 1
 			moved = true
 		}
 		// Slide the predecessor window (old values) for the next flit.
@@ -223,22 +283,139 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 	}
 	if pendingRel >= 0 {
 		// The tail flit advanced with no successor to shift through.
-		si.flitReleases[pendingRel]++
-		si.releases[pendingRel]++
+		relFlit[pendingRel]++
+		relLane[pendingRel]++
 		si.touch(pendingRel)
 	}
 	if !moved {
 		if parkable && parkEdge >= 0 {
+			w.blockedOn = parkEdge
 			return false, parkEdge
 		}
 		return false, -1
 	}
-	if obs := si.cfg.Observer; obs != nil {
-		obs.OnAdvance(si.now+1, message.ID(w.id), int(dw.prog[0]))
+	// Re-derive the stretch flag from the post-step configuration: the
+	// fast path re-engages as soon as a compressed worm has pulled back
+	// into strictly consecutive progress values.
+	str := true
+	for j := int(w.fHead) + 1; j <= int(w.lastInj); j++ {
+		if prog[j-1]-prog[j] != 1 {
+			str = false
+			break
+		}
 	}
-	if int(dw.fHead) >= w.l {
-		w.stats.Status = StatusDelivered
-		w.stats.DeliverTime = si.now + 1
+	w.stretched = str
+	return si.finishDeepMove(w)
+}
+
+// tryAdvanceStretched is the stretched-worm fast path: with every
+// in-flight flit exactly one edge behind its predecessor, an unobstructed
+// step is the rigid advance — trailing flits shift through vacated slots,
+// the header acquires (at most) one new buffer, the tail frees (at most)
+// one — so the whole verdict reduces to one header credit check plus a
+// bandwidth scan of the contiguous crossed range, and the commit to a
+// handful of counter updates. No group tracking, no deferred releases.
+//
+// It returns true only when it committed that all-flits advance. It
+// returns false — having mutated nothing — when the worm cannot take it:
+// the header is credit-blocked (trailing flits may still compress),
+// bandwidth is short anywhere on the range, or an injection gap means the
+// next uninjected flit cannot shift in behind the tail. The general scan
+// then derives the exact verdict; byte-for-byte equivalence of the two
+// paths on the all-advance case is pinned by the differential and fuzz
+// suites, which drive every (d, shared) × policy corner through both.
+func (si *Sim) tryAdvanceStretched(w *worm) bool {
+	var (
+		prog = w.prog
+		path = w.path
+		h    = int(w.fHead)
+		last = int(w.lastInj)
+		c    int32 // header progress: the header crosses path[c]
+		lo   int32 // lowest crossed path index
+	)
+	injecting := last < int(w.l)-1
+	if last >= 0 {
+		c = prog[h]
+		lo = prog[last]
+		if injecting {
+			if lo != 1 {
+				// The tail sits deeper than the injection edge: the next
+				// flit cannot shift in, a case the fast step cannot take.
+				return false
+			}
+			lo = 0
+		}
+	}
+	// Header credit (skipped on the final edge): always a fresh lane —
+	// in a stretched worm the predecessor group sits one edge ahead.
+	if c <= w.d-2 {
+		e := path[c]
+		if si.laneFree[e] <= 0 || (si.shared && si.flitFree[e] <= 0) {
+			return false
+		}
+	}
+	// Bandwidth over the contiguous crossed range, committing as it
+	// checks: a failure rolls back the crossings already taken, which —
+	// bandwidth being per-step scratch nothing else reads mid-scan —
+	// restores the exact pre-attempt state. The range is conflict-free
+	// at cap == B in the common case, so the single pass saves reloading
+	// every entry for a separate commit loop.
+	stamp := si.crossStamp()
+	cap32 := si.capI32
+	for i := lo; i <= c; i++ {
+		cw := si.crossings[path[i]]
+		if cw < stamp {
+			cw = stamp
+		}
+		if int32(cw-stamp) >= cap32 {
+			for k := lo; k < i; k++ {
+				si.crossings[path[k]]--
+			}
+			return false
+		}
+		si.crossings[path[i]] = cw + 1
+	}
+	si.flitHops += int64(c - lo + 1)
+	if c <= w.d-2 {
+		e := path[c]
+		si.flitFree[e]--
+		si.laneFree[e]--
+		si.touchMax(e)
+	}
+	if !injecting {
+		// Fully injected: the tail abandons its buffer (lo = its old
+		// progress ≥ 1). While injecting, the vacated slot shifts to the
+		// entering flit instead and no credit moves.
+		s := path[lo-1]
+		si.relFlit[s]++
+		si.relLane[s]++
+		si.touch(s)
+	}
+	for j := h; j <= last; j++ {
+		prog[j]++
+	}
+	if injecting {
+		prog[last+1] = 1
+		w.lastInj = int32(last + 1)
+		if w.injectTime < 0 {
+			w.injectTime = int32(si.now + 1)
+		}
+	}
+	if c == w.d-1 {
+		w.fHead++ // the header crossed the final edge: delivered
+	}
+	return true
+}
+
+// finishDeepMove is the shared post-advance epilogue of the deep engine's
+// two paths: observer callback, delivery detection, status update.
+func (si *Sim) finishDeepMove(w *worm) (bool, int32) {
+	if obs := si.cfg.Observer; obs != nil {
+		obs.OnAdvance(si.now+1, message.ID(w.id), int(w.prog[0]))
+	}
+	if w.fHead >= w.l {
+		w.status = StatusDelivered
+		w.deliverTime = int32(si.now + 1)
 		si.delivered++
 		si.freePath(w)
 		si.freeProg(w)
@@ -246,10 +423,10 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 			obs.OnDeliver(si.now+1, message.ID(w.id))
 		}
 		if cb := si.cfg.OnComplete; cb != nil {
-			cb(message.ID(w.id), w.stats)
+			cb(message.ID(w.id), w.messageStats())
 		}
 	} else {
-		w.stats.Status = StatusActive
+		w.status = StatusActive
 	}
 	return true, -1
 }
@@ -258,16 +435,16 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 // one flit credit per buffered flit, one lane per occupied edge (visible
 // next step, like any other release).
 func (si *Sim) releaseDeepWorm(w *worm) {
-	dw := &si.deepWorms[w.id]
-	for j := int(dw.fHead); j <= int(dw.lastInj); j++ {
-		c := dw.prog[j]
-		if c < 1 || c > int32(w.d)-1 {
+	prog := w.prog
+	for j := int(w.fHead); j <= int(w.lastInj); j++ {
+		c := prog[j]
+		if c < 1 || c > w.d-1 {
 			continue
 		}
 		s := w.path[c-1]
-		si.flitReleases[s]++
-		if j == int(dw.lastInj) || dw.prog[j+1] != c {
-			si.releases[s]++ // last own flit on the edge: lane frees too
+		si.relFlit[s]++
+		if j == int(w.lastInj) || prog[j+1] != c {
+			si.relLane[s]++ // last own flit on the edge: lane frees too
 		}
 		si.touch(s)
 	}
@@ -277,28 +454,31 @@ func (si *Sim) releaseDeepWorm(w *worm) {
 // freePath's recycle policy. A no-op on the rigid path, which has no
 // deep state at all.
 func (si *Sim) freeProg(w *worm) {
-	if si.deepWorms == nil {
+	if !si.deepMode {
 		return
 	}
-	dw := &si.deepWorms[w.id]
-	if si.recycle && cap(dw.prog) > 0 {
-		si.progFree = append(si.progFree, dw.prog[:0])
+	if si.recycle && cap(w.prog) > 0 {
+		si.progFree = append(si.progFree, w.prog[:0])
 	}
-	dw.prog = nil
+	w.prog = nil
 }
 
 // newProg returns a zeroed buffer for l flit-progress counters, reusing a
-// retired buffer when one fits.
+// retired buffer when one fits and bumping the arena otherwise. Arena
+// memory is recycled across Reset, so the buffer is zeroed explicitly in
+// every case.
 func (si *Sim) newProg(l int) []int32 {
+	var p []int32
 	if k := len(si.progFree); k > 0 && l > 0 && cap(si.progFree[k-1]) >= l {
-		p := si.progFree[k-1][:l]
+		p = si.progFree[k-1][:l]
 		si.progFree = si.progFree[:k-1]
-		for i := range p {
-			p[i] = 0
-		}
-		return p
+	} else {
+		p = si.arena.alloc(l)
 	}
-	return make([]int32, l)
+	for i := range p {
+		p[i] = 0
+	}
+	return p
 }
 
 // checkInvariantsDeep asserts the deep model's invariants: per-edge flit
@@ -310,32 +490,31 @@ func (si *Sim) newProg(l int) []int32 {
 func (si *Sim) checkInvariantsDeep() {
 	flitOcc := make(map[int32]int32, 64)
 	laneOcc := make(map[int32]int32, 64)
-	for i := range si.worms {
-		w := &si.worms[i]
-		if w.stats.Status == StatusDropped || w.stats.Status == StatusDelivered {
+	for i := 0; i < si.numWorms; i++ {
+		w := si.worm(i)
+		if w.status == StatusDropped || w.status == StatusDelivered {
 			continue
 		}
-		dw := &si.deepWorms[i]
-		prev := int32(w.d)
-		for j := 0; j < w.l; j++ {
-			c := dw.prog[j]
+		prev := w.d
+		for j := 0; j < int(w.l); j++ {
+			c := w.prog[j]
 			if c > prev {
 				panicf("vcsim: step %d: worm %d flit %d progress %d ahead of flit %d (%d)", si.now, i, j, c, j-1, prev)
 			}
-			if c < 0 || c > int32(w.d) {
+			if c < 0 || c > w.d {
 				panicf("vcsim: step %d: worm %d flit %d progress %d out of range [0,%d]", si.now, i, j, c, w.d)
 			}
-			if c >= 1 && c <= int32(w.d)-1 {
+			if c >= 1 && c <= w.d-1 {
 				e := w.path[c-1]
 				flitOcc[e]++
-				if j == 0 || dw.prog[j-1] != c {
+				if j == 0 || w.prog[j-1] != c {
 					laneOcc[e]++ // first flit of this worm's group on e
 				}
 				if !si.shared {
 					// Group size = own flits at this progress; count via the
 					// run of equal values ending here.
 					run := int32(1)
-					for k := j - 1; k >= 0 && dw.prog[k] == c; k-- {
+					for k := j - 1; k >= 0 && w.prog[k] == c; k-- {
 						run++
 					}
 					if run > si.depth {
@@ -347,29 +526,29 @@ func (si *Sim) checkInvariantsDeep() {
 		}
 	}
 	for e, c := range flitOcc {
-		if c != si.flitsUsed[e] {
-			panicf("vcsim: step %d: edge %d flit occupancy %d but flitsUsed %d", si.now, e, c, si.flitsUsed[e])
+		if c != si.flitsInUse(int(e)) {
+			panicf("vcsim: step %d: edge %d flit occupancy %d but flits in use %d", si.now, e, c, si.flitsInUse(int(e)))
 		}
 		if c > si.poolCap {
 			panicf("vcsim: step %d: edge %d holds %d > B·d=%d flits", si.now, e, c, si.poolCap)
 		}
 	}
 	for e, c := range laneOcc {
-		if c != si.slotsUsed[e] {
-			panicf("vcsim: step %d: edge %d lane occupancy %d but lanes in use %d", si.now, e, c, si.slotsUsed[e])
+		if c != si.lanesInUse(int(e)) {
+			panicf("vcsim: step %d: edge %d lane occupancy %d but lanes in use %d", si.now, e, c, si.lanesInUse(int(e)))
 		}
-		if c > int32(si.b) {
+		if c > si.bI32 {
 			panicf("vcsim: step %d: edge %d holds %d > B=%d lanes", si.now, e, c, si.b)
 		}
 	}
-	for e, used := range si.flitsUsed {
-		if used != 0 && flitOcc[int32(e)] == 0 {
-			panicf("vcsim: step %d: edge %d has stale flit occupancy %d", si.now, e, used)
+	for e := range si.flitFree {
+		if si.flitsInUse(e) != 0 && flitOcc[int32(e)] == 0 {
+			panicf("vcsim: step %d: edge %d has stale flit occupancy %d", si.now, e, si.flitsInUse(e))
 		}
 	}
-	for e, used := range si.slotsUsed {
-		if used != 0 && laneOcc[int32(e)] == 0 {
-			panicf("vcsim: step %d: edge %d has stale lane occupancy %d", si.now, e, used)
+	for e := range si.laneFree {
+		if si.lanesInUse(e) != 0 && laneOcc[int32(e)] == 0 {
+			panicf("vcsim: step %d: edge %d has stale lane occupancy %d", si.now, e, si.lanesInUse(e))
 		}
 	}
 }

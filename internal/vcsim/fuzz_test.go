@@ -15,7 +15,12 @@ package vcsim
 //     delivered or dropped (deadlocks strand credits by design and are
 //     exempted);
 //  4. replay determinism: the same input run twice gives deeply equal
-//     Results.
+//     Results;
+//  5. fast-forward equivalence: replaying the workload through an
+//     incremental Sim driven by StepTo jumps — and once more through the
+//     same Sim after Reset — reproduces the batch Result exactly, so
+//     fast-forward never skips a step in which any worm could move and
+//     Reset leaks nothing between runs.
 //
 // CI runs this as a short -fuzztime smoke on every push; `go test` always
 // replays the seed corpus below.
@@ -221,6 +226,11 @@ func FuzzSimInvariants(f *testing.F) {
 				t.Fatalf("drained sim leaks %d wait-queue entries on edge %d", len(q), e)
 			}
 		}
+		for e, q := range wake.waitQFlit {
+			if len(q) != 0 {
+				t.Fatalf("drained sim leaks %d flit-wait-queue entries on edge %d", len(q), e)
+			}
+		}
 		if len(wake.wokenScratch) != 0 {
 			t.Fatalf("drained sim leaks %d woken-scratch entries", len(wake.wokenScratch))
 		}
@@ -229,13 +239,13 @@ func FuzzSimInvariants(f *testing.F) {
 				t.Fatalf("conservation: %d delivered + %d dropped ≠ %d messages",
 					wakeRes.Delivered, wakeRes.Dropped, m)
 			}
-			for e, used := range wake.slotsUsed {
-				if used != 0 {
+			for e := range wake.laneFree {
+				if used := wake.lanesInUse(e); used != 0 {
 					t.Fatalf("edge %d still holds %d lanes after completion", e, used)
 				}
 			}
-			for e, used := range wake.flitsUsed {
-				if used != 0 {
+			for e := range wake.flitFree {
+				if used := wake.flitsInUse(e); used != 0 {
 					t.Fatalf("edge %d still holds %d flit credits after completion", e, used)
 				}
 			}
@@ -244,6 +254,38 @@ func FuzzSimInvariants(f *testing.F) {
 		// Property 4: replay determinism.
 		if again := Run(set, releases, cfg); !reflect.DeepEqual(wakeRes, again) {
 			t.Fatalf("replay diverged\nfirst: %+v\nsecond: %+v", wakeRes, again)
+		}
+
+		// Property 5: fast-forward equivalence and Reset hygiene. The
+		// same workload streams through one incremental Sim twice —
+		// StepTo-jumped, then Reset and replayed — and must match the
+		// batch result both times (modulo the horizon: the batch bound is
+		// workload-derived, so truncated runs are skipped).
+		if !wakeRes.Truncated {
+			ffCfg := cfg
+			ffCfg.MaxSteps = 1 << 20
+			ff, err := NewSim(set.G, ffCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 2; round++ {
+				for i := 0; i < set.Len(); i++ {
+					if _, err := ff.Inject(set.Get(message.ID(i)), releases[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				stride := 1 + int(seed%7)
+				for ff.Active() > 0 {
+					if err := ff.StepTo(ff.Now() + stride); err != nil {
+						break
+					}
+				}
+				ffRes := ff.Result()
+				if !reflect.DeepEqual(wakeRes, ffRes) {
+					t.Fatalf("round %d: fast-forward replay diverged from batch\nbatch: %+v\n   ff: %+v", round, wakeRes, ffRes)
+				}
+				ff.Reset()
+			}
 		}
 	})
 }

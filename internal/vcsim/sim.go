@@ -1,15 +1,14 @@
 package vcsim
 
 // This file is the incremental (open-loop) lifecycle of the Sim engine:
-// construction over a bare network, streaming injection, single-step
-// advancement, and terminal-state inspection. The step machinery itself
-// lives in vcsim.go and is shared verbatim with the batch Run wrapper,
-// so the two modes cannot drift apart.
+// construction over a bare network, streaming injection, single-step and
+// fast-forward advancement, and terminal-state inspection. The step
+// machinery itself lives in vcsim.go and is shared verbatim with the
+// batch Run wrapper, so the two modes cannot drift apart.
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"wormhole/internal/graph"
 	"wormhole/internal/message"
@@ -59,41 +58,40 @@ func (si *Sim) Inject(msg message.Message, release int) (message.ID, error) {
 	if release < si.now {
 		return -1, fmt.Errorf("vcsim: release %d is before the current step %d", release, si.now)
 	}
+	if release > MaxHorizon {
+		return -1, fmt.Errorf("vcsim: release %d exceeds MaxHorizon %d", release, MaxHorizon)
+	}
 	if msg.Length < 1 {
 		return -1, fmt.Errorf("vcsim: message length %d < 1", msg.Length)
 	}
 	p := si.newPath(len(msg.Path))
 	for j, e := range msg.Path {
-		if int(e) < 0 || int(e) >= len(si.slotsUsed) {
-			return -1, fmt.Errorf("vcsim: path edge %d out of range [0,%d)", e, len(si.slotsUsed))
+		if int(e) < 0 || int(e) >= len(si.laneFree) {
+			return -1, fmt.Errorf("vcsim: path edge %d out of range [0,%d)", e, len(si.laneFree))
 		}
 		p[j] = int32(e)
 	}
-	id := len(si.worms)
-	si.worms = append(si.worms, worm{
-		id:       id,
-		path:     p,
-		d:        len(p),
-		l:        msg.Length,
-		release:  release,
-		stats:    MessageStats{Release: release, InjectTime: -1, DeliverTime: -1, DropTime: -1},
-		parkedAt: -1,
-	})
+	w, id := si.addWorm()
+	*w = worm{
+		id:          int32(id),
+		path:        p,
+		d:           int32(len(p)),
+		l:           int32(msg.Length),
+		release:     int32(release),
+		key:         si.policyKey(release, id),
+		injectTime:  -1,
+		deliverTime: -1,
+		dropTime:    -1,
+		parkedAt:    -1,
+		lastInj:     -1,
+		stretched:   true,
+		blockedOn:   -1,
+	}
 	if si.deepMode {
-		si.deepWorms = append(si.deepWorms, deepWorm{
-			prog:    si.newProg(msg.Length),
-			lastInj: -1,
-		})
+		w.prog = si.newProg(msg.Length)
 	}
 	si.markPathRoles(p)
-	// Keep pending sorted by (release, id): the new ID is the largest, so
-	// it slots in after every entry with release ≤ its own.
-	pos := sort.Search(len(si.pending), func(i int) bool {
-		return si.worms[si.pending[i]].release > release
-	})
-	si.pending = append(si.pending, 0)
-	copy(si.pending[pos+1:], si.pending[pos:])
-	si.pending[pos] = id
+	si.pendPush(relKey(release, id))
 	return message.ID(id), nil
 }
 
@@ -120,16 +118,84 @@ func (si *Sim) Step() error {
 	return nil
 }
 
+// NextEventTime returns the earliest flit step at or after Now() whose
+// step can be anything but a pure idle step (one that only advances the
+// clock): Now() itself while any worm is in flight or already admissible,
+// the earliest pending release when the network is otherwise empty, and
+// -1 when nothing is in flight or pending — no future step can do
+// anything until a new message is injected. A deadlocked simulator
+// likewise returns -1: its frozen worms never move again.
+//
+// The contract is exact, not heuristic: a step strictly before the
+// returned time moves no worm, fires no event, and changes nothing but
+// Now() — which is what lets StepTo jump the clock across the gap with
+// byte-identical results (pinned by the fast-forward differential tests
+// and the fuzz harness).
+func (si *Sim) NextEventTime() int {
+	if si.deadlocked {
+		return -1
+	}
+	if si.inFlight() > 0 {
+		return si.now
+	}
+	if si.pendLen() > 0 {
+		if r := int(si.pendFirst() >> 32); r > si.now {
+			return r
+		}
+		return si.now
+	}
+	return -1
+}
+
+// StepTo advances the simulation until Now() == t, executing real steps
+// while work exists and fast-forwarding the clock across idle spans (see
+// NextEventTime) instead of burning a step apiece on them. It is
+// behaviorally identical to calling Step in a loop until Now() reaches t
+// — same results, same errors, byte for byte — just cheaper when the
+// network sits empty for stretches, as open-loop drivers at light load
+// and drain windows do. A t at or before Now() is a no-op.
+func (si *Sim) StepTo(t int) error {
+	for si.now < t {
+		if si.deadlocked {
+			return ErrDeadlocked
+		}
+		if si.now >= si.maxSteps {
+			si.truncated = true
+			return ErrHorizon
+		}
+		next := si.NextEventTime()
+		if next != si.now {
+			// Idle span: every step up to min(next, t) — or all the way
+			// to t when nothing is pending — would be pure clock. Jump,
+			// but never past the horizon Step() enforces step by step.
+			if next < 0 || next > t {
+				next = t
+			}
+			if next > si.maxSteps {
+				next = si.maxSteps
+			}
+			si.now = next
+			continue
+		}
+		si.admit()
+		si.step()
+		if si.deadlocked {
+			return ErrDeadlocked
+		}
+	}
+	return nil
+}
+
 // Now returns the current flit step.
 func (si *Sim) Now() int { return si.now }
 
 // Active returns the number of injected messages that have not yet
 // completed: worms in flight plus worms waiting on their release time.
 // After a deadlock it counts the frozen worms, which never complete.
-func (si *Sim) Active() int { return len(si.worms) - si.delivered - si.dropped }
+func (si *Sim) Active() int { return si.numWorms - si.delivered - si.dropped }
 
 // Injected returns the total number of messages injected so far.
-func (si *Sim) Injected() int { return len(si.worms) }
+func (si *Sim) Injected() int { return si.numWorms }
 
 // Delivered returns the number of fully delivered messages so far.
 func (si *Sim) Delivered() int { return si.delivered }

@@ -1,0 +1,170 @@
+package vcsim
+
+// Differential tests for the event-horizon fast-forward API:
+// Sim.NextEventTime and Sim.StepTo. The contract under test is exact —
+// StepTo is byte-for-byte equivalent to calling Step in a loop, with the
+// idle spans it jumps being provably pure clock — so the tests run a
+// fast-forwarded simulator in lockstep with a Step-driven twin and demand
+// identical Result snapshots at every aligned intermediate time, across
+// all policies, both steppers, and the full buffer-architecture grid.
+// Any fast-forward that skipped a step in which some worm could have
+// moved would desynchronize the twins and fail the snapshot comparison.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"wormhole/internal/message"
+)
+
+// injectAll feeds one fuzz workload into an incremental Sim up front,
+// spreading releases by stretch to carve idle gaps for StepTo to jump.
+func injectAll(t *testing.T, si *Sim, set *message.Set, releases []int, stretch int) {
+	t.Helper()
+	for i := 0; i < set.Len(); i++ {
+		msg := set.Get(message.ID(i))
+		if _, err := si.Inject(msg, releases[i]*stretch); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStepToMatchesStepLockstep(t *testing.T) {
+	// Jump strides cycle through a mix of tiny and idle-gap-crossing
+	// targets so both the real-step and clock-jump paths are exercised.
+	strides := []int{1, 2, 7, 3, 1, 31, 5}
+	for seed := uint64(1); seed <= 6; seed++ {
+		for topo := uint8(0); topo < 3; topo++ {
+			for _, arch := range []struct {
+				depth  int
+				shared bool
+			}{{1, false}, {2, false}, {2, true}} {
+				for _, pol := range []Policy{ArbByID, ArbAge, ArbRandom} {
+					for _, naive := range []bool{false, true} {
+						set, releases := fuzzWorkload(seed, topo, 14)
+						cfg := Config{
+							VirtualChannels: 1 + int(seed%2),
+							LaneDepth:       arch.depth,
+							SharedPool:      arch.shared,
+							Arbitration:     pol,
+							Seed:            seed,
+							NaiveScan:       naive,
+							MaxSteps:        1 << 14,
+							CheckInvariants: true,
+						}
+						stepper, err := NewSim(set.G, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						jumper, err := NewSim(set.G, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						// Stretch 17 spreads the [0, 24) fuzz releases over
+						// ~400 steps: long idle gaps on light prefixes.
+						injectAll(t, stepper, set, releases, 17)
+						injectAll(t, jumper, set, releases, 17)
+
+						for i := 0; jumper.Active() > 0; i++ {
+							target := jumper.Now() + strides[i%len(strides)]
+							errJ := jumper.StepTo(target)
+							var errS error
+							for stepper.Now() < jumper.Now() {
+								if errS = stepper.Step(); errS != nil {
+									break
+								}
+							}
+							if stepper.Now() != jumper.Now() {
+								t.Fatalf("seed %d topo %d d=%d shared=%v %s naive=%v: clocks diverged: step %d vs jump %d",
+									seed, topo, arch.depth, arch.shared, pol, naive, stepper.Now(), jumper.Now())
+							}
+							if (errJ == nil) != (errS == nil) || (errJ != nil && !errors.Is(errS, errJ)) {
+								t.Fatalf("seed %d topo %d d=%d shared=%v %s naive=%v: error mismatch at %d: step %v vs jump %v",
+									seed, topo, arch.depth, arch.shared, pol, naive, jumper.Now(), errS, errJ)
+							}
+							rs, rj := stepper.Result(), jumper.Result()
+							if !reflect.DeepEqual(rs, rj) {
+								t.Fatalf("seed %d topo %d d=%d shared=%v %s naive=%v: snapshots diverged at step %d\nstep: %+v\njump: %+v",
+									seed, topo, arch.depth, arch.shared, pol, naive, jumper.Now(), rs, rj)
+							}
+							if errJ != nil {
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNextEventTimeContract pins the three regimes of NextEventTime on a
+// hand-built scenario: work now, a pending release later, and nothing at
+// all — plus the idle-jump arithmetic of StepTo against each.
+func TestNextEventTimeContract(t *testing.T) {
+	set, releases := fuzzWorkload(3, 0, 4)
+	si, err := NewSim(set.G, Config{VirtualChannels: 2, MaxSteps: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := si.NextEventTime(); got != -1 {
+		t.Fatalf("empty sim NextEventTime = %d, want -1", got)
+	}
+	// StepTo on an empty sim is a pure clock jump.
+	if err := si.StepTo(100); err != nil || si.Now() != 100 {
+		t.Fatalf("empty StepTo(100): err %v, now %d", err, si.Now())
+	}
+	msg := set.Get(0)
+	if _, err := si.Inject(msg, 150); err != nil {
+		t.Fatal(err)
+	}
+	if got := si.NextEventTime(); got != 150 {
+		t.Fatalf("pending-only NextEventTime = %d, want 150", got)
+	}
+	// A jump short of the release stays idle; one past it does real work.
+	if err := si.StepTo(140); err != nil || si.Now() != 140 {
+		t.Fatalf("StepTo(140): err %v, now %d", err, si.Now())
+	}
+	if err := si.StepTo(151); err != nil || si.Now() != 151 {
+		t.Fatalf("StepTo(151): err %v, now %d", err, si.Now())
+	}
+	if got := si.NextEventTime(); got != si.Now() {
+		t.Fatalf("in-flight NextEventTime = %d, want %d", got, si.Now())
+	}
+	_ = releases
+}
+
+// TestStepToHorizon pins truncation parity: a StepTo past MaxSteps stops
+// at the horizon with ErrHorizon and a Truncated result, exactly like a
+// Step loop.
+func TestStepToHorizon(t *testing.T) {
+	set, _ := fuzzWorkload(5, 0, 3)
+	build := func() *Sim {
+		si, err := NewSim(set.G, Config{VirtualChannels: 1, MaxSteps: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := si.Inject(set.Get(0), 200); err != nil { // beyond the horizon
+			t.Fatal(err)
+		}
+		return si
+	}
+	jumper := build()
+	errJ := jumper.StepTo(500)
+	stepper := build()
+	var errS error
+	for errS == nil {
+		errS = stepper.Step()
+	}
+	if !errors.Is(errJ, ErrHorizon) || !errors.Is(errS, ErrHorizon) {
+		t.Fatalf("horizon errors: jump %v, step %v", errJ, errS)
+	}
+	if jumper.Now() != stepper.Now() || !jumper.Truncated() || !stepper.Truncated() {
+		t.Fatalf("horizon state: jump now=%d trunc=%v, step now=%d trunc=%v",
+			jumper.Now(), jumper.Truncated(), stepper.Now(), stepper.Truncated())
+	}
+	if !reflect.DeepEqual(jumper.Result(), stepper.Result()) {
+		t.Fatal("truncated results differ between StepTo and Step loop")
+	}
+}

@@ -26,6 +26,8 @@ package vcsim
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 
 	"wormhole/internal/message"
@@ -86,7 +88,9 @@ type Config struct {
 	// Seed feeds the ArbRandom shuffle; ignored otherwise.
 	Seed uint64
 	// MaxSteps bounds the run; 0 derives a safe bound from the workload.
-	// Exceeding the bound marks the result as truncated.
+	// Exceeding the bound marks the result as truncated. The engine keeps
+	// per-message event times in 32-bit counters, so the horizon is capped
+	// at MaxHorizon.
 	MaxSteps int
 	// CheckInvariants makes every step assert buffer-capacity and
 	// worm-contiguity invariants (for tests; costs time).
@@ -113,6 +117,13 @@ type Config struct {
 	// state; it must not call back into the simulator.
 	OnComplete func(message.ID, MessageStats)
 }
+
+// MaxHorizon is the largest supported MaxSteps / release time: event
+// times are held in 32-bit counters throughout the hot-path storage, so
+// a run can execute at most ~2·10⁹ flit steps. (A run actually reaching
+// the cap would take days of wall clock; the bound exists so overflow is
+// an up-front error instead of silent corruption.)
+const MaxHorizon = math.MaxInt32 - 1
 
 // Observer receives simulation events; the trace package uses it to
 // reconstruct space-time diagrams. Implementations must not call back
@@ -226,19 +237,40 @@ func (r *Result) DroppedIDs() []message.ID {
 	return out
 }
 
-// worm is the per-message simulation state. Because worms are rigid, the
-// entire flit configuration is captured by a single counter: frontier = the
-// number of edges the header has crossed. Flit j has crossed
-// clamp(frontier−j, 0, D) edges; an in-network flit that has crossed c ≥ 1
-// edges occupies the buffer at the head of path[c−1], and a flit with
-// c = D has been removed into the delivery buffer.
+// worm is the per-message simulation state, held in chunked arena storage
+// (see wormChunk) and kept deliberately small: the steppers touch one worm
+// per advance attempt, so the struct's cache footprint is a first-order
+// term in ns/step. All time-valued fields are 32-bit (see MaxHorizon).
+//
+// Because rigid worms cannot stretch, the entire flit configuration is
+// captured by a single counter: frontier = the number of edges the header
+// has crossed. Flit j has crossed clamp(frontier−j, 0, D) edges; an
+// in-network flit that has crossed c ≥ 1 edges occupies the buffer at the
+// head of path[c−1], and a flit with c = D has been removed into the
+// delivery buffer. The deep engine (deep.go) tracks per-flit progress in
+// prog instead; its fHead/lastInj cursors live here too, inline, so a deep
+// advance attempt touches one struct instead of three arrays.
 type worm struct {
-	id       int
-	path     []int32 // edge IDs (widened once at Run start)
-	d, l     int     // path length, message length
-	frontier int
-	release  int
-	stats    MessageStats
+	path []int32 // edge IDs, arena-backed
+	// prog is the deep engine's per-flit progress (nil on the rigid path):
+	// prog[j] = edges flit j has crossed, non-increasing in j.
+	prog []int32
+	// key is the arbitration-order key: id for ArbByID, release<<32 | id
+	// for ArbAge. Sorts, merges, and wait-queue heaps compare keys instead
+	// of chasing (release, id) field pairs through cold worm structs.
+	key      uint64
+	id       int32
+	d, l     int32 // path length, message length
+	frontier int32
+	release  int32
+
+	// Compact per-message stats, assembled into MessageStats on demand
+	// (Result snapshots, OnComplete).
+	injectTime  int32 // -1 if never injected
+	deliverTime int32 // -1 if not delivered
+	dropTime    int32 // -1 if not dropped
+	stalls      int32
+	status      Status
 
 	// Wakeup-engine state (idle under Config.NaiveScan). A worm whose
 	// header finds its next edge's buffer full is parked on that edge's
@@ -247,12 +279,41 @@ type worm struct {
 	// is the step of the failed attempt (-1 when not parked); stall
 	// credit for the parked span is stamped lazily on wake, deadlock, or
 	// result snapshot.
-	parkedAt int
+	parkedAt int32
 	waitEdge int32
 	// streak counts consecutive failed steps since the last advance or
 	// wake; parking waits out a short probation (parkStreak) so brief
 	// blocked episodes never pay the park/wake machinery.
 	streak int32
+
+	// Deep-engine cursors: fHead is the first undelivered flit, lastInj
+	// the last injected one (−1 before the header enters the network).
+	fHead   int32
+	lastInj int32
+	// stretched marks a deep worm whose in-flight flits sit at strictly
+	// consecutive progress values — the rigid-equivalent configuration, in
+	// which an unobstructed step advances every flit via shift-through.
+	// The deep engine takes a one-pass fast path while it holds (see
+	// tryAdvanceStretched) and re-derives it after any compressing step.
+	stretched bool
+	// blockedOn caches a deep worm's fully-blocked verdict (the park
+	// target, kind bit included; -1 when clear). A fully blocked worm's
+	// verdict is stable until the blocking credit frees — the park
+	// invariant — so probation re-attempts re-fail on a two-load check
+	// instead of rescanning every flit (see tryAdvanceDeep).
+	blockedOn int32
+}
+
+// messageStats assembles the public MessageStats view of a worm.
+func (w *worm) messageStats() MessageStats {
+	return MessageStats{
+		Status:      w.status,
+		Release:     int(w.release),
+		InjectTime:  int(w.injectTime),
+		DeliverTime: int(w.deliverTime),
+		DropTime:    int(w.dropTime),
+		Stalls:      int(w.stalls),
+	}
 }
 
 // complete reports whether all flits have been delivered.
@@ -262,7 +323,7 @@ func (w *worm) complete() bool { return w.frontier >= w.d+w.l-1 }
 // this worm currently occupies; ok is false when the worm occupies nothing.
 // Buffers exist only for non-final edges (a flit crossing the last edge is
 // removed immediately), hence the d−2 cap.
-func (w *worm) span() (lo, hi int, ok bool) {
+func (w *worm) span() (lo, hi int32, ok bool) {
 	hi = w.frontier - 1
 	if hi > w.d-2 {
 		hi = w.d - 2
@@ -276,7 +337,7 @@ func (w *worm) span() (lo, hi int, ok bool) {
 
 // crossed returns the closed interval [lo, hi] of path indices whose edges
 // carry one flit of this worm if it advances this step.
-func (w *worm) crossed() (lo, hi int) {
+func (w *worm) crossed() (lo, hi int32) {
 	hi = w.frontier
 	if hi > w.d-1 {
 		hi = w.d - 1
@@ -287,6 +348,78 @@ func (w *worm) crossed() (lo, hi int) {
 	}
 	return lo, hi
 }
+
+// --- arena storage -----------------------------------------------------------
+
+// wormShift sizes worm chunks: 4096 worms ≈ 0.5 MB per chunk. Chunked
+// storage keeps worm addresses stable and append cost O(1): a long
+// open-loop run injects hundreds of thousands of messages, and growing a
+// flat []worm re-copies the whole population every ~25% growth — the
+// single largest allocation cost of the pre-arena engine.
+const (
+	wormShift = 12
+	wormMask  = 1<<wormShift - 1
+)
+
+type wormChunk [1 << wormShift]worm
+
+// worm returns the worm with the given dense id/index.
+func (si *Sim) worm(idx int) *worm {
+	return &si.wormChunks[idx>>wormShift][idx&wormMask]
+}
+
+// addWorm appends a zeroed worm slot and returns it with its id.
+func (si *Sim) addWorm() (*worm, int) {
+	id := si.numWorms
+	if ci := id >> wormShift; ci == len(si.wormChunks) {
+		si.wormChunks = append(si.wormChunks, new(wormChunk))
+	}
+	si.numWorms++
+	return &si.wormChunks[id>>wormShift][id&wormMask], id
+}
+
+// arenaChunk sizes i32Arena chunks (64 Ki int32 = 256 KB).
+const arenaChunk = 1 << 16
+
+// i32Arena is a bump allocator for the int32 buffers worms carry (paths
+// and deep-mode flit progress). Allocations never span chunks, so a
+// returned slice is contiguous; reset rewinds the cursor and reuses every
+// chunk, which is what makes a Reset-reused Sim allocation-free.
+type i32Arena struct {
+	chunks [][]int32
+	cur    int // chunk being filled
+	off    int // fill offset within it
+}
+
+// alloc returns an n-element slice (cap == n) of arena memory. Contents
+// are unspecified — callers overwrite every element or zero it themselves.
+func (a *i32Arena) alloc(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.cur < len(a.chunks) {
+			c := a.chunks[a.cur]
+			if a.off+n <= len(c) {
+				s := c[a.off : a.off+n : a.off+n]
+				a.off += n
+				return s
+			}
+			a.cur++
+			a.off = 0
+			continue
+		}
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		a.chunks = append(a.chunks, make([]int32, size))
+	}
+}
+
+// reset rewinds the arena; previously allocated slices become reusable
+// storage and must no longer be referenced.
+func (a *i32Arena) reset() { a.cur, a.off = 0, 0 }
 
 // Run simulates the message set under the given per-message release times
 // (release[i] is the earliest flit step at which message i may start; nil
@@ -306,18 +439,23 @@ func Run(s *message.Set, release []int, cfg Config) Result {
 //	sim, err := NewSim(g, cfg)        // cfg.MaxSteps must be explicit
 //	id, err := sim.Inject(msg, t)     // any time, for any release ≥ Now()
 //	err = sim.Step()                  // advance exactly one flit step
+//	err = sim.StepTo(t)               // advance to t, skipping idle spans
 //	sim.Drain()                       // run until empty/deadlock/horizon
 //	res := sim.Result()               // snapshot, callable at any point
+//	sim.Reset()                       // back to empty, retaining storage
 //
 // Step advances one flit step even when no message is eligible (idle
-// steps model real time in open-loop workloads); Drain instead
-// fast-forwards across idle gaps, which is what the batch Run wrapper
-// uses. Completion of individual messages is observable through
-// Config.OnComplete. A Sim must not be shared across goroutines.
+// steps model real time in open-loop workloads); StepTo and Drain instead
+// fast-forward across idle gaps (see NextEventTime), which is what the
+// batch Run wrapper and the open-loop traffic driver use. Completion of
+// individual messages is observable through Config.OnComplete. A Sim must
+// not be shared across goroutines.
 type Sim struct {
-	cfg Config
-	b   int
-	cap int // per-edge flit crossings per step
+	cfg    Config
+	b      int
+	cap    int   // per-edge flit crossings per step
+	bI32   int32 // int32 mirrors of b/cap for the hot loops
+	capI32 int32
 	// Buffer architecture (see deep.go): lane depth d, the shared-pool
 	// flag, and their derived switches. deepMode selects the flit-level
 	// engine; the d = 1 static configuration keeps the rigid engine and
@@ -326,59 +464,90 @@ type Sim struct {
 	shared   bool
 	deepMode bool
 	poolCap  int32 // B·d flit credits per edge (deep mode)
-	worms    []worm
-	// deepWorms is the deep engine's per-worm flit state, parallel to
-	// worms and allocated only in deep mode: keeping it out of the worm
-	// struct keeps the rigid engine's hottest array exactly its original
-	// size (the knee benchmark is ~18% slower with these three fields
-	// inlined into worm — pure cache pressure, the code never touches
-	// them there).
-	deepWorms []deepWorm
-	// pending holds worm indices sorted by (release, id); worms move to
-	// active as their release times pass, so steps never scan unreleased
-	// worms (schedules can spread releases over a long horizon).
-	pending []int
-	// active holds released, incomplete, unparked worms. The wakeup
-	// engine keeps it directly in policy order (ID for ArbByID,
+
+	// Worm storage: chunked arena (stable addresses, O(1) growth) plus a
+	// shared int32 arena backing path and flit-progress buffers. worms
+	// are indexed by dense message ID; numWorms is the count.
+	wormChunks []*wormChunk
+	numWorms   int
+	arena      i32Arena
+
+	// pending holds release keys (release<<32 | id, a policy-independent
+	// encoding whose uint64 order IS (release, id) order) for worms whose
+	// release time has not arrived; worms move to active as their release
+	// times pass, so steps never scan unreleased worms (schedules can
+	// spread releases over a long horizon). pendHead is the consume
+	// cursor: admissions advance it instead of re-slicing, and the insert
+	// path compacts the live window back to the front when the backing
+	// array fills — a front-resliced slice would otherwise crawl through
+	// its array and reallocate ~once per wrap for the whole life of an
+	// open-loop run.
+	pending  []uint64
+	pendHead int
+	// active holds the policy keys (worm.key — the worm index rides in
+	// the low 32 bits) of released, incomplete, unparked worms. The
+	// wakeup engine keeps it directly in policy order (ID for ArbByID,
 	// (release, id) for ArbAge, admission order — with parked worms left
-	// in place — for ArbRandom). The naive scan keeps it in admission
-	// order, i.e. (release, id).
-	active []int
+	// in place — for ArbRandom), so ordering operations — merges, heap
+	// sifts, deadlock sorts — compare dense integers and never chase worm
+	// structs. The naive scan keeps it in admission order, i.e.
+	// (release, id).
+	active []uint64
 	// byID is the naive scan's active list in plain ID order,
 	// materialized lazily the first time a staggered admission appends a
 	// lower ID behind a higher one. While nil, active itself is
 	// ID-ordered and ArbByID uses it directly; once materialized it is
 	// maintained incrementally (binary insert on admit, filter on reap)
 	// so steps never re-sort. The wakeup engine never needs it.
-	byID []int
+	byID []uint64
 	now  int
 
-	// slotsUsed/grants/releases track the per-edge *lane* occupancy: in
-	// the rigid engine a lane holds exactly one flit, so they are also the
-	// flit accounting; in deep mode they count lanes (distinct worms
-	// buffered) and the flit arrays below count the flits themselves.
-	slotsUsed []int32 // persistent per-edge lane occupancy
-	grants    []int32 // per-step: lanes granted this step
-	crossings []int32 // per-step: flits crossing this step
-	releases  []int32 // per-step: lanes released this step
-	dirty     []int32 // touched edge IDs this step, deduped (O(touched) reset)
-	dirtyFlag []bool  // per-edge: already on the dirty list this step
-
-	// Flit-credit accounting, allocated in deep mode only.
-	flitsUsed    []int32 // persistent per-edge flit occupancy
-	flitGrants   []int32 // per-step: flit credits granted this step
-	flitReleases []int32 // per-step: flit credits released this step
+	// Per-edge credit state, updated in place. laneFree[e] is the number
+	// of lane grants still available on e this step: B minus persistent
+	// occupancy minus this step's uncommitted grants — the quantity every
+	// capacity check actually wants, maintained as one counter instead of
+	// slotsUsed+grants pairs. Releases stay deferred (two-phase model):
+	// relLane[e] accumulates this step's lane releases and folds into
+	// laneFree at step end. In deep mode laneFree counts lanes (distinct
+	// worms buffered) and flitFree/relFlit do the same for the B·d flit
+	// credits.
+	laneFree []int32
+	relLane  []int32
+	flitFree []int32 // deep mode only
+	relFlit  []int32 // deep mode only
+	// crossings is the per-edge bandwidth meter, epoch-stamped so it
+	// never needs clearing: the upper 32 bits hold step+1, the lower the
+	// crossing count within that step. A stale stamp reads as zero, so
+	// body-flit crossings touch no end-of-step state at all — the dirty
+	// list below carries only credit events, the ones wakeups care about.
+	crossings []uint64
+	// dirty lists the edges with credit releases this step — the only
+	// edges whose counters need folding and whose wait queues can need a
+	// wake (free credit rises exclusively through releases; an edge that
+	// saw only grants this step is at or below the level every parked
+	// worm already failed against). dirtyMax lists grant-only edges,
+	// which owe nothing at step end but a MaxOccupied probe. dirtyFlag
+	// holds both membership bits.
+	dirty     []int32
+	dirtyMax  []int32
+	dirtyFlag []uint8 // bit 1: on dirty; bit 2: on dirtyMax
 
 	// Wakeup-engine state (nil/zero under Config.NaiveScan). waitQ[e]
-	// holds the worms parked on edge e as a min-heap in policy order, so
+	// holds the worms parked on edge e as a min-heap in key order, so
 	// a slot event wakes only the waiters that could actually win the
 	// freed slots. Under the deterministic policies parked worms leave
 	// the active list entirely, so a step costs O(worms that can
 	// plausibly move); under ArbRandom they stay in it — the shuffle must
 	// cover every active worm to keep the RNG stream identical to the
 	// naive scan — and are skipped without an advance attempt.
-	naive      bool
-	waitQ      [][]int
+	naive bool
+	waitQ [][]uint64
+	// waitQFlit is the deep shared-pool engine's second per-edge queue:
+	// worms whose blocked flit needs only a pool credit (resume condition
+	// flitFree > 0), kept apart from lane-acquisition waiters (laneFree,
+	// and under a shared pool flitFree, > 0) so wakeEdge can test each
+	// queue's exact resume condition. Nil outside shared deep mode.
+	waitQFlit  [][]uint64
 	parked     int   // worms currently parked
 	parkStreak int32 // park hysteresis (Config.ParkStreak; default 8)
 
@@ -402,10 +571,10 @@ type Sim struct {
 	// (woken worms re-enter the active list through one sorted merge per
 	// step — per-worm sorted inserts would make waking a long queue
 	// quadratic in its length).
-	orderScratch   []int
+	orderScratch   []uint64
 	blockedScratch []message.ID
-	wokenScratch   []int
-	mergeScratch   []int
+	wokenScratch   []uint64
+	mergeScratch   []uint64
 
 	// pathFree recycles completed worms' path buffers into later Injects
 	// (incremental mode only — batch runs load everything up front, so
@@ -451,26 +620,35 @@ func emptySim(numEdges int, cfg Config) *Sim {
 		poolCap:    int32(cfg.VirtualChannels * depth),
 		naive:      cfg.NaiveScan,
 		parkStreak: int32(parkStreak),
-		slotsUsed:  make([]int32, numEdges),
-		grants:     make([]int32, numEdges),
-		crossings:  make([]int32, numEdges),
-		releases:   make([]int32, numEdges),
-		dirtyFlag:  make([]bool, numEdges),
+		laneFree:   make([]int32, numEdges),
+		relLane:    make([]int32, numEdges),
+		crossings:  make([]uint64, numEdges),
+		dirtyFlag:  make([]uint8, numEdges),
 		maxSteps:   cfg.MaxSteps,
 	}
 	if cfg.RestrictedBandwidth {
 		si.cap = 1
 	}
+	si.bI32 = int32(si.b)
+	si.capI32 = int32(si.cap)
+	for e := range si.laneFree {
+		si.laneFree[e] = si.bI32
+	}
 	if si.deepMode {
-		si.flitsUsed = make([]int32, numEdges)
-		si.flitGrants = make([]int32, numEdges)
-		si.flitReleases = make([]int32, numEdges)
+		si.flitFree = make([]int32, numEdges)
+		si.relFlit = make([]int32, numEdges)
+		for e := range si.flitFree {
+			si.flitFree[e] = si.poolCap
+		}
 	}
 	if cfg.Arbitration == ArbRandom {
 		si.shuffler = rng.New(cfg.Seed)
 	}
 	if !si.naive {
-		si.waitQ = make([][]int, numEdges)
+		si.waitQ = make([][]uint64, numEdges)
+		if si.deepMode && si.shared {
+			si.waitQFlit = make([][]uint64, numEdges)
+		}
 		if !si.deepMode {
 			si.finalSeen = make([]bool, numEdges)
 			si.bodySeen = make([]bool, numEdges)
@@ -478,6 +656,116 @@ func emptySim(numEdges int, cfg Config) *Sim {
 	}
 	return si
 }
+
+// Reset returns the simulator to its just-constructed state over the same
+// network and Config, retaining every allocation: worm chunks, the
+// path/progress arena, wait queues, and all per-step scratch. A driver
+// that replays runs of similar shape through one Sim therefore performs
+// no steady-state allocation at all (the open-loop traffic Runner and the
+// benchmark suite rely on this). Results are byte-identical to a fresh
+// NewSim with the same Config — the shuffler is reseeded from Config.Seed.
+func (si *Sim) Reset() {
+	for e := range si.laneFree {
+		si.laneFree[e] = si.bI32
+		si.relLane[e] = 0
+		si.crossings[e] = 0
+		si.dirtyFlag[e] = 0
+	}
+	if si.deepMode {
+		for e := range si.flitFree {
+			si.flitFree[e] = si.poolCap
+			si.relFlit[e] = 0
+		}
+	}
+	if si.waitQ != nil {
+		for e := range si.waitQ {
+			si.waitQ[e] = si.waitQ[e][:0]
+		}
+	}
+	if si.waitQFlit != nil {
+		for e := range si.waitQFlit {
+			si.waitQFlit[e] = si.waitQFlit[e][:0]
+		}
+	}
+	if si.finalSeen != nil {
+		for e := range si.finalSeen {
+			si.finalSeen[e] = false
+			si.bodySeen[e] = false
+		}
+	}
+	si.mixedFinal = false
+	si.numWorms = 0
+	si.arena.reset()
+	si.pending = si.pending[:0]
+	si.pendHead = 0
+	si.active = si.active[:0]
+	si.byID = nil
+	si.dirty = si.dirty[:0]
+	si.dirtyMax = si.dirtyMax[:0]
+	si.orderScratch = si.orderScratch[:0]
+	si.blockedScratch = si.blockedScratch[:0]
+	si.wokenScratch = si.wokenScratch[:0]
+	si.mergeScratch = si.mergeScratch[:0]
+	si.pathFree = si.pathFree[:0]
+	si.progFree = si.progFree[:0]
+	si.parked = 0
+	si.now = 0
+	si.totalStalls = 0
+	si.flitHops = 0
+	si.maxOccupied = 0
+	si.delivered = 0
+	si.dropped = 0
+	si.deadlocked = false
+	si.truncated = false
+	si.blockedIDs = nil
+	if si.shuffler != nil {
+		si.shuffler.Reseed(si.cfg.Seed)
+	}
+}
+
+// pendLen, pendFirst, pendPush and the admit loop manage the pending
+// window [pendHead:len(pending)).
+func (si *Sim) pendLen() int      { return len(si.pending) - si.pendHead }
+func (si *Sim) pendFirst() uint64 { return si.pending[si.pendHead] }
+
+// pendPush inserts release key k into the pending window, keeping it
+// sorted. The new key's id is always the largest yet, so it lands before
+// the first strictly larger entry (same-release entries have smaller
+// ids). Amortized allocation-free: when the backing array is exhausted
+// the live window is compacted to the front first.
+func (si *Sim) pendPush(k uint64) {
+	if len(si.pending) == cap(si.pending) && si.pendHead > 0 {
+		n := copy(si.pending, si.pending[si.pendHead:])
+		si.pending = si.pending[:n]
+		si.pendHead = 0
+	}
+	live := si.pending[si.pendHead:]
+	pos := sort.Search(len(live), func(i int) bool { return live[i] > k })
+	si.pending = append(si.pending, 0)
+	live = si.pending[si.pendHead:]
+	copy(live[pos+1:], live[pos:])
+	live[pos] = k
+}
+
+// policyKey computes a worm's arbitration-order key (see worm.key). The
+// worm index always rides in the low 32 bits, so a key doubles as a
+// reference to its worm (see wormK).
+func (si *Sim) policyKey(release, id int) uint64 {
+	if si.cfg.Arbitration == ArbAge {
+		return uint64(release)<<32 | uint64(uint32(id))
+	}
+	return uint64(uint32(id))
+}
+
+// relKey encodes (release, id) so that uint64 order is exactly
+// (release, id) order — the pending list's invariant ordering under every
+// policy. Like policy keys, the low 32 bits are the worm index.
+func relKey(release, id int) uint64 {
+	return uint64(release)<<32 | uint64(uint32(id))
+}
+
+// wormK resolves a list entry (policy or release key) to its worm.
+func (si *Sim) wormK(k uint64) *worm { return si.worm(int(uint32(k))) }
 
 // markPathRoles folds one message's path into the edge-role
 // classification. When the classification turns mixed with worms already
@@ -515,6 +803,9 @@ func validateArch(cfg Config) error {
 	if cfg.ParkStreak < 0 {
 		return fmt.Errorf("vcsim: ParkStreak %d < 0", cfg.ParkStreak)
 	}
+	if cfg.MaxSteps > MaxHorizon {
+		return fmt.Errorf("vcsim: MaxSteps %d exceeds MaxHorizon %d", cfg.MaxSteps, MaxHorizon)
+	}
 	return nil
 }
 
@@ -533,9 +824,8 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 	}
 	n := s.Len()
 	si := emptySim(s.G.NumEdges(), cfg)
-	si.worms = make([]worm, n)
-	si.pending = make([]int, 0, n)
-	si.active = make([]int, 0, n)
+	si.pending = make([]uint64, 0, n)
+	si.active = make([]uint64, 0, n)
 	work := 0
 	maxRelease := 0
 	for i := 0; i < n; i++ {
@@ -546,28 +836,35 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 			if rel < 0 {
 				panic(fmt.Sprintf("vcsim: negative release time for message %d", i))
 			}
+			if rel > MaxHorizon {
+				panic(fmt.Sprintf("vcsim: release time %d for message %d exceeds MaxHorizon", rel, i))
+			}
 		}
 		if rel > maxRelease {
 			maxRelease = rel
 		}
-		p := make([]int32, len(msg.Path))
+		p := si.arena.alloc(len(msg.Path))
 		for j, e := range msg.Path {
 			p[j] = int32(e)
 		}
-		si.worms[i] = worm{
-			id:       i,
-			path:     p,
-			d:        len(p),
-			l:        msg.Length,
-			release:  rel,
-			stats:    MessageStats{Release: rel, InjectTime: -1, DeliverTime: -1, DropTime: -1},
-			parkedAt: -1,
+		w, id := si.addWorm()
+		*w = worm{
+			id:          int32(id),
+			path:        p,
+			d:           int32(len(p)),
+			l:           int32(msg.Length),
+			release:     int32(rel),
+			key:         si.policyKey(rel, id),
+			injectTime:  -1,
+			deliverTime: -1,
+			dropTime:    -1,
+			parkedAt:    -1,
+			lastInj:     -1,
+			stretched:   true,
+			blockedOn:   -1,
 		}
 		if si.deepMode {
-			si.deepWorms = append(si.deepWorms, deepWorm{
-				prog:    make([]int32, msg.Length),
-				lastInj: -1,
-			})
+			w.prog = si.newProg(msg.Length)
 			// A deep step may move as little as one flit, so the safety
 			// bound counts flit moves (L·D per worm), not worm moves.
 			work += len(p)*msg.Length + msg.Length
@@ -575,23 +872,21 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 			work += len(p) + msg.Length
 		}
 		si.markPathRoles(p)
-		si.pending = append(si.pending, i)
+		si.pending = append(si.pending, relKey(rel, id))
 	}
 	if si.maxSteps == 0 {
 		// Any non-deadlocked run advances at least one worm per step, so
 		// total steps ≤ maxRelease + Σ(D_i + L_i). Deadlocks are detected
 		// separately, so this bound is a pure safety net.
 		si.maxSteps = maxRelease + work + n + 16
-	}
-	// Pending is kept sorted by (release, id); worms enter the active list
-	// in that order, which all policies treat as the base ordering.
-	sort.SliceStable(si.pending, func(a, b int) bool {
-		wa, wb := &si.worms[si.pending[a]], &si.worms[si.pending[b]]
-		if wa.release != wb.release {
-			return wa.release < wb.release
+		if si.maxSteps > MaxHorizon {
+			si.maxSteps = MaxHorizon
 		}
-		return wa.id < wb.id
-	})
+	}
+	// Pending is kept sorted by (release, id) — for release keys, plain
+	// integer order; worms enter the active list in that order, which all
+	// policies treat as the base ordering.
+	slices.Sort(si.pending)
 	return si
 }
 
@@ -601,13 +896,13 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 // across gaps where no message is eligible, so idle time costs nothing;
 // batch Run is exactly load-everything-then-Drain.
 func (si *Sim) Drain() {
-	for si.inFlight() > 0 || len(si.pending) > 0 {
+	for si.inFlight() > 0 || si.pendLen() > 0 {
 		// Fast-forward across gaps where nothing is eligible — but never
 		// past the horizon: a release beyond MaxSteps truncates the run
 		// at the horizon instead of executing steps past the bound that
 		// Step() enforces.
-		if si.inFlight() == 0 && si.worms[si.pending[0]].release > si.now {
-			si.now = si.worms[si.pending[0]].release
+		if si.inFlight() == 0 && int(si.pendFirst()>>32) > si.now {
+			si.now = int(si.pendFirst() >> 32)
 			if si.now > si.maxSteps {
 				si.now = si.maxSteps
 			}
@@ -635,10 +930,15 @@ func (si *Sim) inFlight() int {
 
 // admit moves pending worms whose release has arrived onto the active list.
 func (si *Sim) admit() {
-	for len(si.pending) > 0 && si.worms[si.pending[0]].release <= si.now {
-		idx := si.pending[0]
-		si.pending = si.pending[1:]
+	for si.pendHead < len(si.pending) && int(si.pending[si.pendHead]>>32) <= si.now {
+		idx := int(uint32(si.pending[si.pendHead]))
+		si.pendHead++
 		si.enqueue(idx)
+	}
+	if si.pendHead == len(si.pending) && si.pendHead > 0 {
+		// Window empty: rewind so the array is reused from the front.
+		si.pending = si.pending[:0]
+		si.pendHead = 0
 	}
 }
 
@@ -648,24 +948,27 @@ func (si *Sim) admit() {
 // append in admission order, with ArbByID's lazily materialized ID view
 // maintained on the side exactly as before.
 func (si *Sim) enqueue(idx int) {
+	key := si.worm(idx).key
 	if !si.naive && si.cfg.Arbitration != ArbRandom {
-		si.insertActive(idx)
+		si.insertActive(key)
 		return
 	}
 	if si.cfg.Arbitration == ArbByID {
-		if n := len(si.active); si.byID == nil && n > 0 && idx < si.active[n-1] {
+		// Under ArbByID the policy key is the bare worm index, so key
+		// comparisons below are ID comparisons.
+		if n := len(si.active); si.byID == nil && n > 0 && key < si.active[n-1] {
 			// First out-of-order admission: active is still ID-sorted,
 			// so it seeds the ID-ordered view (worm indices are IDs).
-			si.byID = append(make([]int, 0, cap(si.active)), si.active...)
+			si.byID = append(make([]uint64, 0, cap(si.active)), si.active...)
 		}
 		if si.byID != nil {
-			pos := sort.SearchInts(si.byID, idx)
+			pos := sort.Search(len(si.byID), func(i int) bool { return si.byID[i] >= key })
 			si.byID = append(si.byID, 0)
 			copy(si.byID[pos+1:], si.byID[pos:])
-			si.byID[pos] = idx
+			si.byID[pos] = key
 		}
 	}
-	si.active = append(si.active, idx)
+	si.active = append(si.active, key)
 }
 
 // step advances the simulation by one flit step.
@@ -698,8 +1001,8 @@ func (si *Sim) stepNaive() {
 	anyEligible := len(order) > 0
 	blocked := si.blockedScratch[:0]
 
-	for _, idx := range order {
-		w := &si.worms[idx]
+	for _, k := range order {
+		w := si.wormK(k)
 		if ok, _ := si.tryMove(w); ok {
 			moved = true
 			continue
@@ -710,7 +1013,7 @@ func (si *Sim) stepNaive() {
 			droppedAny = true
 			continue
 		}
-		w.stats.Stalls++
+		w.stalls++
 		si.totalStalls++
 		blocked = append(blocked, message.ID(w.id))
 	}
@@ -743,6 +1046,12 @@ func (si *Sim) tryMove(w *worm) (bool, int32) {
 	return si.tryAdvance(w)
 }
 
+// crossStamp is the epoch tag for this step's crossings entries: step+1
+// in the upper 32 bits (the +1 keeps the first step distinct from the
+// zero-initialized array). An entry below the stamp is from an earlier
+// step and reads as zero crossings.
+func (si *Sim) crossStamp() uint64 { return uint64(si.now+1) << 32 }
+
 // tryAdvance attempts to move worm w one step, honoring buffer and
 // bandwidth constraints. On success it performs the move and returns
 // true. A slot failure returns the full edge, telling the wakeup engine
@@ -756,65 +1065,70 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 		// processed in the step from t to t+1 reports time t+1 — exactly
 		// like every positive-length path.
 		w.frontier = w.l // mark complete
-		w.stats.Status = StatusDelivered
-		w.stats.InjectTime = si.now + 1
-		w.stats.DeliverTime = si.now + 1
+		w.status = StatusDelivered
+		w.injectTime = int32(si.now + 1)
+		w.deliverTime = int32(si.now + 1)
 		si.delivered++
 		si.freeProg(w)
 		if obs := si.cfg.Observer; obs != nil {
 			obs.OnDeliver(si.now+1, message.ID(w.id))
 		}
 		if cb := si.cfg.OnComplete; cb != nil {
-			cb(message.ID(w.id), w.stats)
+			cb(message.ID(w.id), w.messageStats())
 		}
 		return true, -1
 	}
+	path := w.path
 	// Buffer constraint: crossing edge path[frontier] requires a free slot
 	// unless it is the final edge (delivery buffer is external).
 	needSlot := int32(-1)
 	if w.frontier < w.d-1 {
-		e := w.path[w.frontier]
-		if si.slotsUsed[e]+si.grants[e] >= int32(si.b) {
+		e := path[w.frontier]
+		if si.laneFree[e] <= 0 {
 			return false, e
 		}
 		needSlot = e
 	}
 	// Bandwidth constraint: every edge a flit of this worm would cross
 	// this step must still have crossing capacity.
+	stamp := si.crossStamp()
 	lo, hi := w.crossed()
 	for i := lo; i <= hi; i++ {
-		if si.crossings[w.path[i]] >= int32(si.cap) {
+		if cw := si.crossings[path[i]]; cw >= stamp && int32(cw-stamp) >= si.capI32 {
 			return false, -1
 		}
 	}
 	// Commit.
 	if needSlot >= 0 {
-		si.grants[needSlot]++
-		si.touch(needSlot)
+		si.laneFree[needSlot]--
+		si.touchMax(needSlot)
 	}
 	for i := lo; i <= hi; i++ {
-		e := w.path[i]
-		si.crossings[e]++
-		si.touch(e)
+		e := path[i]
+		cw := si.crossings[e]
+		if cw < stamp {
+			cw = stamp
+		}
+		si.crossings[e] = cw + 1
 	}
 	si.flitHops += int64(hi - lo + 1)
 	// Tail release: the slot at path[frontier−L] frees when the tail flit
 	// leaves it (visible next step).
 	if rel := w.frontier - w.l; rel >= 0 && rel <= w.d-2 {
-		e := w.path[rel]
-		si.releases[e]++
+		e := path[rel]
+		si.relLane[e]++
 		si.touch(e)
 	}
-	if w.stats.InjectTime < 0 {
-		w.stats.InjectTime = si.now + 1
+	if w.injectTime < 0 {
+		w.injectTime = int32(si.now + 1)
 	}
 	w.frontier++
 	if obs := si.cfg.Observer; obs != nil {
-		obs.OnAdvance(si.now+1, message.ID(w.id), w.frontier)
+		obs.OnAdvance(si.now+1, message.ID(w.id), int(w.frontier))
 	}
 	if w.complete() {
-		w.stats.Status = StatusDelivered
-		w.stats.DeliverTime = si.now + 1
+		w.status = StatusDelivered
+		w.deliverTime = int32(si.now + 1)
 		si.delivered++
 		// The path is never consulted again; freeing it shrinks a
 		// completed worm to its fixed-size struct and stats. (The struct
@@ -826,10 +1140,10 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 			obs.OnDeliver(si.now+1, message.ID(w.id))
 		}
 		if cb := si.cfg.OnComplete; cb != nil {
-			cb(message.ID(w.id), w.stats)
+			cb(message.ID(w.id), w.messageStats())
 		}
 	} else {
-		w.stats.Status = StatusActive
+		w.status = StatusActive
 	}
 	return true, -1
 }
@@ -842,12 +1156,12 @@ func (si *Sim) drop(w *worm) {
 	} else if lo, hi, ok := w.span(); ok {
 		for i := lo; i <= hi; i++ {
 			e := w.path[i]
-			si.releases[e]++
+			si.relLane[e]++
 			si.touch(e)
 		}
 	}
-	w.stats.Status = StatusDropped
-	w.stats.DropTime = si.now + 1
+	w.status = StatusDropped
+	w.dropTime = int32(si.now + 1)
 	si.freePath(w)
 	si.freeProg(w)
 	si.dropped++
@@ -855,13 +1169,12 @@ func (si *Sim) drop(w *worm) {
 		obs.OnDrop(si.now+1, message.ID(w.id))
 	}
 	if cb := si.cfg.OnComplete; cb != nil {
-		cb(message.ID(w.id), w.stats)
+		cb(message.ID(w.id), w.messageStats())
 	}
 }
 
 // freePath retires a finished worm's path buffer: recycled through the
-// freelist in incremental mode, dropped for the garbage collector in
-// batch mode.
+// freelist in incremental mode, left to the arena otherwise.
 func (si *Sim) freePath(w *worm) {
 	if si.recycle && cap(w.path) > 0 {
 		si.pathFree = append(si.pathFree, w.path[:0])
@@ -870,63 +1183,83 @@ func (si *Sim) freePath(w *worm) {
 }
 
 // newPath returns a buffer for n path edges, reusing a retired buffer
-// when one fits.
+// when one fits and bumping the arena otherwise.
 func (si *Sim) newPath(n int) []int32 {
 	if k := len(si.pathFree); k > 0 && n > 0 && cap(si.pathFree[k-1]) >= n {
 		p := si.pathFree[k-1][:n]
 		si.pathFree = si.pathFree[:k-1]
 		return p
 	}
-	return make([]int32, n)
+	return si.arena.alloc(n)
 }
 
-// touch records an edge index for end-of-step cleanup, once per edge per
-// step (a contended edge is touched by many worms; folding and wakeup
-// want it exactly once).
+// touch records an edge with a credit release for end-of-step folding
+// and wake checks, once per edge per step. Body-flit crossings are
+// epoch-stamped and need neither; grant-only edges go through touchMax.
 func (si *Sim) touch(e int32) {
-	if !si.dirtyFlag[e] {
-		si.dirtyFlag[e] = true
+	if si.dirtyFlag[e]&1 == 0 {
+		si.dirtyFlag[e] |= 1
 		si.dirty = append(si.dirty, e)
 	}
 }
 
-// applyStepEnd folds grants and releases into persistent occupancy,
-// clears the per-step scratch arrays, and — in the wakeup engine — wakes
-// every worm parked on an edge that saw a credit event (lane or, in deep
-// mode, flit grant/release) this step. Those are exactly the events that
-// can unblock a credit-parked worm: occupancy only falls through
-// releases, and a within-step grant (which could consume headroom ahead
-// of a later-ordered contender) can only exist in the very step the worm
-// parked. Body-flit crossings don't move credit state, so a worm queue is
-// not re-scanned on every transit.
+// touchMax records an edge that received a credit grant, for the
+// MaxOccupied probe at step end. A grant can never wake a waiter — free
+// credit only falls within a step, and every parked worm already failed
+// against a level at least this high — so grant-only edges skip the fold
+// and wake machinery entirely.
+func (si *Sim) touchMax(e int32) {
+	if si.dirtyFlag[e]&2 == 0 {
+		si.dirtyFlag[e] |= 2
+		si.dirtyMax = append(si.dirtyMax, e)
+	}
+}
+
+// applyStepEnd folds this step's deferred releases into the in-place
+// credit counters and — in the wakeup engine — wakes worms parked on any
+// edge that saw a credit event (lane or, in deep mode, flit grant or
+// release) this step. Those are exactly the events that can unblock a
+// credit-parked worm: free credit only rises through releases, and a
+// within-step grant (which could consume headroom ahead of a
+// later-ordered contender) can only exist in the very step the worm
+// parked. Body-flit crossings move no credit state — and, epoch-stamped,
+// need no reset — so a worm queue is not re-scanned on every transit.
 func (si *Sim) applyStepEnd() {
 	for _, e := range si.dirty {
-		si.dirtyFlag[e] = false
-		event := false
-		if si.grants[e] != 0 || si.releases[e] != 0 {
-			si.slotsUsed[e] += si.grants[e] - si.releases[e]
-			if !si.deepMode && int(si.slotsUsed[e]) > si.maxOccupied {
-				si.maxOccupied = int(si.slotsUsed[e])
+		si.dirtyFlag[e] = 0
+		si.laneFree[e] += si.relLane[e]
+		si.relLane[e] = 0
+		if si.deepMode {
+			si.flitFree[e] += si.relFlit[e]
+			si.relFlit[e] = 0
+			if occ := int(si.poolCap - si.flitFree[e]); occ > si.maxOccupied {
+				si.maxOccupied = occ
 			}
-			si.grants[e] = 0
-			si.releases[e] = 0
-			event = true
+		} else if occ := int(si.bI32 - si.laneFree[e]); occ > si.maxOccupied {
+			si.maxOccupied = occ
 		}
-		if si.deepMode && (si.flitGrants[e] != 0 || si.flitReleases[e] != 0) {
-			si.flitsUsed[e] += si.flitGrants[e] - si.flitReleases[e]
-			if int(si.flitsUsed[e]) > si.maxOccupied {
-				si.maxOccupied = int(si.flitsUsed[e])
-			}
-			si.flitGrants[e] = 0
-			si.flitReleases[e] = 0
-			event = true
-		}
-		if event && si.waitQ != nil && len(si.waitQ[e]) > 0 {
+		if si.waitQ != nil && (len(si.waitQ[e]) > 0 ||
+			(si.waitQFlit != nil && len(si.waitQFlit[e]) > 0)) {
 			si.wakeEdge(e)
 		}
-		si.crossings[e] = 0
 	}
 	si.dirty = si.dirty[:0]
+	// Grant-only edges: occupancy may have peaked, nothing else owed.
+	// (An edge also on the release list was fully handled above.)
+	for _, e := range si.dirtyMax {
+		if si.dirtyFlag[e] == 0 {
+			continue
+		}
+		si.dirtyFlag[e] = 0
+		if si.deepMode {
+			if occ := int(si.poolCap - si.flitFree[e]); occ > si.maxOccupied {
+				si.maxOccupied = occ
+			}
+		} else if occ := int(si.bI32 - si.laneFree[e]); occ > si.maxOccupied {
+			si.maxOccupied = occ
+		}
+	}
+	si.dirtyMax = si.dirtyMax[:0]
 	si.mergeWoken()
 }
 
@@ -934,20 +1267,20 @@ func (si *Sim) applyStepEnd() {
 // ID-ordered view, when materialized), preserving order. Only the naive
 // scan needs it; the wakeup stepper filters inline.
 func (si *Sim) reap() {
-	si.active = reapList(si.worms, si.active)
+	si.active = si.reapList(si.active)
 	if si.byID != nil {
-		si.byID = reapList(si.worms, si.byID)
+		si.byID = si.reapList(si.byID)
 	}
 }
 
-func reapList(worms []worm, list []int) []int {
+func (si *Sim) reapList(list []uint64) []uint64 {
 	keep := list[:0]
-	for _, idx := range list {
-		st := worms[idx].stats.Status
+	for _, k := range list {
+		st := si.wormK(k).status
 		if st == StatusDelivered || st == StatusDropped {
 			continue
 		}
-		keep = append(keep, idx)
+		keep = append(keep, k)
 	}
 	return keep
 }
@@ -956,7 +1289,16 @@ func reapList(worms []worm, list []int) []int {
 func (si *Sim) finishAsDeadlocked() {
 	si.active = si.active[:0]
 	si.pending = si.pending[:0]
+	si.pendHead = 0
 }
+
+// lanesInUse returns edge e's persistent lane occupancy (worms buffered in
+// the rigid model, distinct worms in deep mode) — the quantity the
+// pre-arena engine kept as slotsUsed. Invariant checks and tests use it.
+func (si *Sim) lanesInUse(e int) int32 { return si.bI32 - si.laneFree[e] }
+
+// flitsInUse returns edge e's persistent flit occupancy (deep mode).
+func (si *Sim) flitsInUse(e int) int32 { return si.poolCap - si.flitFree[e] }
 
 // checkInvariants asserts model invariants; it panics on violation so test
 // failures pinpoint the first bad step.
@@ -966,9 +1308,9 @@ func (si *Sim) checkInvariants() {
 		return
 	}
 	occ := make(map[int32]int32, 64)
-	for i := range si.worms {
-		w := &si.worms[i]
-		if w.stats.Status == StatusDropped || w.stats.Status == StatusDelivered {
+	for i := 0; i < si.numWorms; i++ {
+		w := si.worm(i)
+		if w.status == StatusDropped || w.status == StatusDelivered {
 			continue
 		}
 		if lo, hi, ok := w.span(); ok {
@@ -978,16 +1320,16 @@ func (si *Sim) checkInvariants() {
 		}
 	}
 	for e, c := range occ {
-		if c != si.slotsUsed[e] {
-			panic(fmt.Sprintf("vcsim: step %d: edge %d occupancy %d but slotsUsed %d", si.now, e, c, si.slotsUsed[e]))
+		if c != si.lanesInUse(int(e)) {
+			panic(fmt.Sprintf("vcsim: step %d: edge %d occupancy %d but slots in use %d", si.now, e, c, si.lanesInUse(int(e))))
 		}
-		if c > int32(si.b) {
+		if c > si.bI32 {
 			panic(fmt.Sprintf("vcsim: step %d: edge %d holds %d > B=%d flits", si.now, e, c, si.b))
 		}
 	}
-	for e, used := range si.slotsUsed {
-		if used != 0 && occ[int32(e)] == 0 {
-			panic(fmt.Sprintf("vcsim: step %d: edge %d has stale occupancy %d", si.now, e, used))
+	for e := range si.laneFree {
+		if si.lanesInUse(e) != 0 && occ[int32(e)] == 0 {
+			panic(fmt.Sprintf("vcsim: step %d: edge %d has stale occupancy %d", si.now, e, si.lanesInUse(e)))
 		}
 	}
 }
@@ -1004,16 +1346,17 @@ func (si *Sim) Result() Result {
 		TotalStalls: si.totalStalls,
 		FlitHops:    si.flitHops,
 		MaxOccupied: si.maxOccupied,
-		PerMessage:  make([]MessageStats, len(si.worms)),
+		PerMessage:  make([]MessageStats, si.numWorms),
 		BlockedIDs:  si.blockedIDs,
 	}
 	last := 0
-	for i := range si.worms {
-		st := si.worms[i].stats
+	for i := 0; i < si.numWorms; i++ {
+		w := si.worm(i)
+		st := w.messageStats()
 		// A parked worm's stall credit is stamped lazily; fold the span
 		// it has sat parked (it would have failed every one of those
 		// steps) into the snapshot without mutating engine state.
-		if p := si.worms[i].parkedAt; p >= 0 {
+		if p := int(w.parkedAt); p >= 0 {
 			st.Stalls += si.now - p
 			res.TotalStalls += si.now - p
 		}

@@ -10,18 +10,18 @@ package vcsim
 // it until that edge sees a slot event (grant or release), the only
 // events that can change the verdict:
 //
-//   - persistent occupancy only falls when a release on e folds in at a
+//   - free lane credit only rises when a release on e folds in at a
 //     step end, and
 //   - a within-step grant on e (which could consume headroom ahead of a
-//     later-ordered contender) requires slotsUsed[e]+grants[e] < B, so
-//     once e is full — which it is from the parking step onward, unless
-//     the parking step itself saw a grant or release — no further grant
-//     can occur before a release.
+//     later-ordered contender) requires laneFree[e] > 0, so once e is
+//     full — which it is from the parking step onward, unless the
+//     parking step itself saw a grant or release — no further grant can
+//     occur before a release.
 //
 // Hence a parked worm would have failed, with no side effects, on every
 // step it sits on the wait list, and the first slot event on its edge is
 // the earliest step after which the verdict can differ. Body-flit
-// crossings move no slot state, so a queue of parked worms is *not*
+// crossings move no credit state, so a queue of parked worms is *not*
 // re-scanned while a worm transits its edge. Bandwidth blocks (the
 // RestrictedBandwidth model's per-step crossing cap) are transient —
 // crossing capacity resets every step — so a bandwidth-blocked worm is
@@ -35,6 +35,11 @@ package vcsim
 // the naive scan under all three policies; the differential tests in
 // wakeup_test.go and the retained oracle behind Config.NaiveScan pin
 // that equivalence.
+//
+// Ordering is everywhere driven by worm.key — the precomputed policy key
+// (ID, or release<<32|id for ArbAge) — so heap sift-downs, the woken-
+// batch sort, and the re-entry merge compare one dense integer instead
+// of chasing field pairs through cold worm structs.
 //
 // ArbRandom is the one policy whose per-step cost keeps an O(active)
 // term: the naive scan shuffles the full active list, so the wakeup
@@ -78,8 +83,8 @@ func (si *Sim) stepWakeup() {
 
 	if random {
 		needCompact := false
-		for _, idx := range order {
-			w := &si.worms[idx]
+		for _, k := range order {
+			w := si.wormK(k)
 			if w.parkedAt >= 0 {
 				continue // would fail; charged lazily
 			}
@@ -88,7 +93,7 @@ func (si *Sim) stepWakeup() {
 			case ok:
 				moved = true
 				w.streak = 0
-				if w.stats.Status == StatusDelivered {
+				if w.status == StatusDelivered {
 					needCompact = true
 				}
 			case si.cfg.DropOnDelay:
@@ -97,52 +102,52 @@ func (si *Sim) stepWakeup() {
 				needCompact = true
 			case slotEdge >= 0 && w.streak >= si.parkStreak-1:
 				w.streak = 0
-				si.park(idx, slotEdge)
+				si.park(w, k, slotEdge)
 			default:
 				// Probation, or a transient bandwidth block (crossing
 				// capacity resets every step): retry next step.
 				w.streak++
-				w.stats.Stalls++
+				w.stalls++
 				si.totalStalls++
 			}
 		}
 		if needCompact {
-			si.active = reapList(si.worms, si.active)
+			si.active = si.reapList(si.active)
 		}
 	} else {
 		// The active list is maintained directly in policy order, so it
 		// is the order; compact it in place as worms complete or park
 		// (the write cursor never passes the read position).
 		keep := si.active[:0]
-		for _, idx := range order {
-			w := &si.worms[idx]
+		for _, k := range order {
+			w := si.wormK(k)
 			ok, slotEdge := si.tryMove(w)
 			switch {
 			case ok:
 				moved = true
 				w.streak = 0
-				if w.stats.Status != StatusDelivered {
-					keep = append(keep, idx)
+				if w.status != StatusDelivered {
+					keep = append(keep, k)
 				}
 			case si.cfg.DropOnDelay:
 				si.drop(w)
 				droppedAny = true
 			case slotEdge >= 0 && w.streak >= si.parkStreak-1:
 				w.streak = 0
-				si.park(idx, slotEdge)
+				si.park(w, k, slotEdge)
 			default:
 				// Probation, or a transient bandwidth block (crossing
 				// capacity resets every step): retry next step.
 				w.streak++
-				w.stats.Stalls++
+				w.stalls++
 				si.totalStalls++
-				keep = append(keep, idx)
+				keep = append(keep, k)
 			}
 		}
 		si.active = keep
 	}
 
-	si.applyStepEnd() // folds occupancy, wakes parked worms on slot events
+	si.applyStepEnd() // folds releases, wakes parked worms on slot events
 	si.now++
 
 	if si.cfg.CheckInvariants {
@@ -160,14 +165,29 @@ func (si *Sim) stepWakeup() {
 	}
 }
 
-// park puts worm idx on edge e's wait queue. Its stall meter starts at
-// the failed attempt just made (step si.now).
-func (si *Sim) park(idx int, e int32) {
-	w := &si.worms[idx]
-	w.parkedAt = si.now
+// park puts worm w (list entry k) on park target e's wait queue — e is
+// the foreign edge, tagged with parkFlitBit when the block wants a
+// shared-pool credit rather than a lane (see deep.go). The stall meter
+// starts at the failed attempt just made (step si.now).
+func (si *Sim) park(w *worm, k uint64, e int32) {
+	w.parkedAt = int32(si.now)
 	w.waitEdge = e
-	si.heapPush(&si.waitQ[e], idx)
+	if e&parkFlitBit != 0 {
+		si.heapPush(&si.waitQFlit[e&^parkFlitBit], k)
+	} else {
+		si.heapPush(&si.waitQ[e], k)
+	}
 	si.parked++
+}
+
+// clearParkQueue empties the queue worm w is parked on (deadlock
+// teardown).
+func (si *Sim) clearParkQueue(w *worm) {
+	if e := w.waitEdge; e&parkFlitBit != 0 {
+		si.waitQFlit[e&^parkFlitBit] = si.waitQFlit[e&^parkFlitBit][:0]
+	} else {
+		si.waitQ[e] = si.waitQ[e][:0]
+	}
 }
 
 // wakeEdge runs after a slot event on edge e folded into occupancy. It
@@ -186,41 +206,102 @@ func (si *Sim) park(idx int, e int32) {
 // whose per-step shuffle gives every waiter a shot at any arbitration
 // position (its waiters never left the active list, so waking is just
 // unparking). When the event leaves the edge full — grants outweighed
-// releases — nobody can grant next step and nobody wakes.
+// releases — laneFree is zero, nobody can grant next step, and nobody
+// wakes.
 //
 // Stalls accrued through the current step are stamped on wake: the worm
 // would have failed this step too, since slot events fold in only at
 // step end. Under the deterministic policies woken worms are batched for
 // one sorted merge back into the active list.
 func (si *Sim) wakeEdge(e int32) {
+	if si.deepMode {
+		si.wakeEdgeDeep(e)
+		return
+	}
 	q := &si.waitQ[e]
 	if si.cfg.Arbitration == ArbRandom {
-		for _, idx := range *q {
-			si.stampParked(idx, si.now)
+		for _, k := range *q {
+			si.stampParked(k, si.now)
 		}
 		*q = (*q)[:0]
 		return
 	}
-	if si.deepMode || si.cap < si.b || si.mixedFinal {
+	if si.cap < si.b || si.mixedFinal {
 		// Whole-queue wake, for the configurations where a woken worm can
-		// decline its credit. Deep mode: with pooled flit credits and
-		// partial (per-flit) advances, the free-slot-count argument above
-		// has no analogue — a woken worm can consume any number of credits
-		// or decline them all. mixedFinal: some edge serves as one
+		// decline its credit. mixedFinal: some edge serves as one
 		// message's final edge and another's body edge, so a final-edge
 		// crossing (which holds no slot) can saturate a woken worm's body
 		// edge and fail it on bandwidth even at cap == B.
-		for _, idx := range *q {
-			si.stampParked(idx, si.now)
-			si.wokenScratch = append(si.wokenScratch, idx)
+		for _, k := range *q {
+			si.stampParked(k, si.now)
+			si.wokenScratch = append(si.wokenScratch, k)
 		}
 		*q = (*q)[:0]
 		return
 	}
-	for free := si.b - int(si.slotsUsed[e]); free > 0 && len(*q) > 0; free-- {
-		idx := si.heapPop(q)
-		si.stampParked(idx, si.now)
-		si.wokenScratch = append(si.wokenScratch, idx)
+	for free := si.laneFree[e]; free > 0 && len(*q) > 0; free-- {
+		k := si.heapPop(q)
+		si.stampParked(k, si.now)
+		si.wokenScratch = append(si.wokenScratch, k)
+	}
+}
+
+// wakeEdgeDeep wakes edge e's deep-mode waiters whose resume condition
+// now holds — and, under the deterministic policies, only the top of
+// each queue up to the freed credit count. The count rule is sound in
+// deep mode for a sharper reason than the rigid engine's: a parked deep
+// worm moved nothing since parking, so its next attempt is decided
+// entirely by its one blocked flit, whose only checks are the credit on
+// e and bandwidth on e itself. A woken waiter therefore declines its
+// credit only by failing e's bandwidth — and bandwidth consumption is
+// monotone within a step, so the first decline dooms every lower-
+// priority waiter on e too. Either the freed credits are consumed by
+// the woken top (and lower waiters would fail the credit check), or a
+// decline proves e's bandwidth exhausted (and lower waiters would fail
+// that) — un-woken waiters fail either way, exactly as the park
+// invariant promises. In shared mode a lane winner also consumes pool
+// credits ahead of flit-queue waiters, but that only turns woken
+// waiters into harmless re-parkers, never lets an un-woken one win.
+//
+// A queue whose resume condition is false post-fold (the lane, or pool,
+// is still exhausted) stays parked entirely: waking it on unrelated
+// credit traffic is what made contended deep edges thrash their whole
+// backlog awake every step. ArbRandom keeps whole-queue unparks — its
+// per-step shuffle gives every waiter a shot at any arbitration
+// position, so no priority argument applies (its waiters never left
+// the active list; waking is just unparking).
+func (si *Sim) wakeEdgeDeep(e int32) {
+	random := si.cfg.Arbitration == ArbRandom
+	if q := &si.waitQ[e]; len(*q) > 0 && si.laneFree[e] > 0 && (!si.shared || si.flitFree[e] > 0) {
+		if random {
+			for _, k := range *q {
+				si.stampParked(k, si.now)
+			}
+			*q = (*q)[:0]
+		} else {
+			for free := si.laneFree[e]; free > 0 && len(*q) > 0; free-- {
+				k := si.heapPop(q)
+				si.stampParked(k, si.now)
+				si.wokenScratch = append(si.wokenScratch, k)
+			}
+		}
+	}
+	if si.waitQFlit == nil {
+		return
+	}
+	if q := &si.waitQFlit[e]; len(*q) > 0 && si.flitFree[e] > 0 {
+		if random {
+			for _, k := range *q {
+				si.stampParked(k, si.now)
+			}
+			*q = (*q)[:0]
+		} else {
+			for free := si.flitFree[e]; free > 0 && len(*q) > 0; free-- {
+				k := si.heapPop(q)
+				si.stampParked(k, si.now)
+				si.wokenScratch = append(si.wokenScratch, k)
+			}
+		}
 	}
 }
 
@@ -237,27 +318,28 @@ func (si *Sim) flushParked() {
 		if len(q) == 0 {
 			continue
 		}
-		for _, idx := range q {
-			si.stampParked(idx, si.now-1)
+		for _, k := range q {
+			si.stampParked(k, si.now-1)
 			if si.cfg.Arbitration != ArbRandom {
 				// ArbRandom waiters never left the active list; the
 				// deterministic policies re-insert at policy position.
-				si.insertActive(idx)
+				si.insertActive(k)
 			}
 		}
 		si.waitQ[e] = q[:0]
 	}
 }
 
-// heapPush and heapPop maintain waitQ[e] as a binary min-heap under
-// orderBefore, keeping park at O(log queue) and a slot event at
-// O(slots·log queue) instead of O(queue).
-func (si *Sim) heapPush(q *[]int, idx int) {
-	h := append(*q, idx)
+// heapPush and heapPop maintain waitQ[e] as a binary min-heap of policy
+// keys — pure integer sifts, no worm lookups — keeping park at
+// O(log queue) and a slot event at O(slots·log queue) instead of
+// O(queue).
+func (si *Sim) heapPush(q *[]uint64, k uint64) {
+	h := append(*q, k)
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !si.orderBefore(h[i], h[p]) {
+		if k >= h[p] {
 			break
 		}
 		h[i], h[p] = h[p], h[i]
@@ -266,7 +348,7 @@ func (si *Sim) heapPush(q *[]int, idx int) {
 	*q = h
 }
 
-func (si *Sim) heapPop(q *[]int) int {
+func (si *Sim) heapPop(q *[]uint64) uint64 {
 	h := *q
 	top := h[0]
 	n := len(h) - 1
@@ -278,10 +360,10 @@ func (si *Sim) heapPop(q *[]int) int {
 			break
 		}
 		m := l
-		if r := l + 1; r < n && si.orderBefore(h[r], h[l]) {
+		if r := l + 1; r < n && h[r] < h[l] {
 			m = r
 		}
-		if !si.orderBefore(h[m], h[i]) {
+		if h[m] >= h[i] {
 			break
 		}
 		h[i], h[m] = h[m], h[i]
@@ -291,16 +373,25 @@ func (si *Sim) heapPop(q *[]int) int {
 	return top
 }
 
-// stampParked credits worm idx with one stall for every step in
-// [parkedAt, through] — the steps its advance attempt would have failed —
-// and unparks it.
-func (si *Sim) stampParked(idx, through int) {
-	w := &si.worms[idx]
-	stall := through - w.parkedAt + 1
-	w.stats.Stalls += stall
-	si.totalStalls += stall
+// stampParked credits the worm behind list entry k with one stall for
+// every step in [parkedAt, through] — the steps its advance attempt would
+// have failed — and unparks it.
+func (si *Sim) stampParked(k uint64, through int) {
+	w := si.wormK(k)
+	stall := int32(through) - w.parkedAt + 1
+	w.stalls += stall
+	si.totalStalls += int(stall)
 	w.parkedAt = -1
 	si.parked--
+	// A woken worm skips the park probation: its block is already proven
+	// long-lived, so the first post-wake failure re-parks it immediately.
+	// This is what keeps whole-queue wakes (deep mode, restricted
+	// bandwidth, mixed final/body edges) from thrashing — without it,
+	// every wake buys each non-winning waiter a full fresh probation of
+	// futile scans. Like ParkStreak itself, this is pure mechanism:
+	// results are byte-identical (pinned by the park-hysteresis and
+	// differential suites).
+	w.streak = si.parkStreak - 1
 }
 
 // mergeWoken folds this step's woken worms back into the active list
@@ -311,17 +402,12 @@ func (si *Sim) mergeWoken() {
 	if len(woken) == 0 {
 		return
 	}
-	slices.SortFunc(woken, func(a, b int) int {
-		if si.orderBefore(a, b) {
-			return -1
-		}
-		return 1
-	})
+	slices.Sort(woken)
 	a := si.active
 	merged := si.mergeScratch[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(woken) {
-		if si.orderBefore(a[i], woken[j]) {
+		if a[i] < woken[j] {
 			merged = append(merged, a[i])
 			i++
 		} else {
@@ -336,33 +422,20 @@ func (si *Sim) mergeWoken() {
 	si.wokenScratch = woken[:0]
 }
 
-// insertActive inserts worm idx into the active list at its policy
-// position; the common case — idx belongs at the end — is O(1). Used for
+// insertActive inserts policy key k into the active list at its policy
+// position; the common case — k belongs at the end — is O(1). Used for
 // admissions; wakes go through mergeWoken in batches.
-func (si *Sim) insertActive(idx int) {
+func (si *Sim) insertActive(k uint64) {
 	a := si.active
-	if n := len(a); n == 0 || si.orderBefore(a[n-1], idx) {
-		si.active = append(a, idx)
+	if n := len(a); n == 0 || a[n-1] < k {
+		si.active = append(a, k)
 		return
 	}
-	pos := sort.Search(len(a), func(i int) bool { return si.orderBefore(idx, a[i]) })
+	pos := sort.Search(len(a), func(i int) bool { return k < a[i] })
 	a = append(a, 0)
 	copy(a[pos+1:], a[pos:])
-	a[pos] = idx
+	a[pos] = k
 	si.active = a
-}
-
-// orderBefore reports whether worm a precedes worm b under the configured
-// deterministic policy: plain ID order for ArbByID, (release, id) for
-// ArbAge. (ArbRandom keeps admission order and never calls this.)
-func (si *Sim) orderBefore(a, b int) bool {
-	if si.cfg.Arbitration == ArbAge {
-		ra, rb := si.worms[a].release, si.worms[b].release
-		if ra != rb {
-			return ra < rb
-		}
-	}
-	return a < b
 }
 
 // stampDeadlock finalizes a detected deadlock. Every in-flight worm is
@@ -371,36 +444,36 @@ func (si *Sim) orderBefore(a, b int) bool {
 // detecting step, si.now-1 post-increment) and the blocked set is
 // reported in the detecting step's arbitration order, matching the list
 // the naive scan builds as its worms fail one by one.
-func (si *Sim) stampDeadlock(order []int) {
+func (si *Sim) stampDeadlock(order []uint64) {
 	if si.cfg.Arbitration == ArbRandom {
 		// order is this step's shuffle over the full active list; with
 		// nothing moved or dropped, every entry is blocked.
 		si.blockedIDs = make([]message.ID, len(order))
-		for i, idx := range order {
-			si.blockedIDs[i] = message.ID(idx)
-			if si.worms[idx].parkedAt >= 0 {
-				si.waitQ[si.worms[idx].waitEdge] = si.waitQ[si.worms[idx].waitEdge][:0]
-				si.stampParked(idx, si.now-1)
+		for i, k := range order {
+			si.blockedIDs[i] = message.ID(uint32(k))
+			if w := si.wormK(k); w.parkedAt >= 0 {
+				si.clearParkQueue(w)
+				si.stampParked(k, si.now-1)
 			}
 		}
 		return
 	}
 	// Blocked set = bandwidth-stalled survivors still on the active list
-	// plus every parked worm, in policy order.
-	blocked := make([]int, 0, len(si.active)+si.parked)
+	// plus every parked worm, in policy (= key) order.
+	blocked := make([]uint64, 0, len(si.active)+si.parked)
 	blocked = append(blocked, si.active...)
-	for i := range si.worms {
-		if si.worms[i].parkedAt >= 0 {
-			blocked = append(blocked, i)
+	for i := 0; i < si.numWorms; i++ {
+		if w := si.worm(i); w.parkedAt >= 0 {
+			blocked = append(blocked, w.key)
 		}
 	}
-	sort.Slice(blocked, func(i, j int) bool { return si.orderBefore(blocked[i], blocked[j]) })
+	slices.Sort(blocked)
 	si.blockedIDs = make([]message.ID, len(blocked))
-	for i, idx := range blocked {
-		si.blockedIDs[i] = message.ID(idx)
-		if si.worms[idx].parkedAt >= 0 {
-			si.waitQ[si.worms[idx].waitEdge] = si.waitQ[si.worms[idx].waitEdge][:0]
-			si.stampParked(idx, si.now-1)
+	for i, k := range blocked {
+		si.blockedIDs[i] = message.ID(uint32(k))
+		if w := si.wormK(k); w.parkedAt >= 0 {
+			si.clearParkQueue(w)
+			si.stampParked(k, si.now-1)
 		}
 	}
 }
