@@ -1,0 +1,248 @@
+// Command wormvet is the repo's custom static-analysis vettool: four
+// analyzers (determinism, hotalloc, horizon, keypack) that statically
+// enforce the invariants the test suite otherwise only checks
+// dynamically — deterministic replay, zero-alloc hot-path stepping, the
+// 32-bit time/cursor layout, and the packed policy-key discipline. See
+// README "Static analysis".
+//
+// It speaks the `go vet -vettool` JSON-config protocol (the same
+// contract golang.org/x/tools/go/analysis/unitchecker implements), so
+// the canonical invocation is:
+//
+//	go build -o bin/wormvet ./cmd/wormvet
+//	go vet -vettool=$PWD/bin/wormvet ./...
+//
+// Run directly it wraps that pipeline — the `make lint` equivalent:
+//
+//	go run ./cmd/wormvet ./...          # exits nonzero on findings
+//	go run ./cmd/wormvet -list ./...    # listing mode: print, exit 0
+//
+// The module is deliberately dependency-free, so wormvet implements the
+// vettool side of the protocol on the standard library alone instead of
+// importing x/tools; cross-package facts (the //wormvet:hotpath marker
+// sets) travel between per-package invocations as JSON .vetx files.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"wormhole/internal/lint"
+	"wormhole/internal/lint/lintkit"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		// The go command derives the vet cache key from this line, so a
+		// rebuilt wormvet with different analyzers must print a
+		// different line: embed a content hash of the executable.
+		fmt.Fprintf(stdout, "wormvet version %s\n", selfHash())
+		return 0
+	case len(args) == 1 && args[0] == "-flags":
+		// go vet queries the tool's analyzer flags; wormvet has none.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		return unitCheck(args[0], stderr)
+	case len(args) >= 1 && args[0] == "-help":
+		usage(stdout)
+		return 0
+	}
+	return standalone(args, stdout, stderr)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: wormvet [-list] packages...  (or as go vet -vettool)")
+	fmt.Fprintln(w, "analyzers:")
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}
+
+// standalone re-executes the suite through `go vet -vettool=<self>` so
+// the one code path — the unitchecker protocol — serves both CI and
+// local runs. With -list findings are printed but the exit code stays 0
+// (local triage mode).
+func standalone(args []string, stdout, stderr io.Writer) int {
+	list := false
+	var patterns []string
+	for _, a := range args {
+		if a == "-list" {
+			list = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(stderr, "wormvet:", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if err := cmd.Run(); err != nil {
+		if _, isExit := err.(*exec.ExitError); !isExit {
+			fmt.Fprintln(stderr, "wormvet:", err)
+			return 1
+		}
+		if !list {
+			return 2
+		}
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON the go command writes for each vet action
+// (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one package as directed by the config file and
+// reports findings in plain file:line:col form on stderr. Exit codes
+// follow unitchecker: 0 clean, 1 infrastructure failure, 2 findings.
+func unitCheck(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "wormvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "wormvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Every invocation must leave a facts file behind — the go command
+	// caches and feeds it to importers' runs.
+	facts := &lintkit.Facts{}
+	writeFacts := func() error {
+		out, err := json.Marshal(facts)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, out, 0o666)
+		}
+		return err
+	}
+
+	// The standard library can't carry wormvet markers or findings;
+	// skip the type-check and publish empty facts.
+	if cfg.Standard[cfg.ImportPath] || len(cfg.GoFiles) == 0 {
+		if err := writeFacts(); err != nil {
+			fmt.Fprintln(stderr, "wormvet:", err)
+			return 1
+		}
+		return 0
+	}
+
+	pkg, err := loadFromConfig(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the error better; stay quiet.
+			writeFacts()
+			return 0
+		}
+		fmt.Fprintf(stderr, "wormvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	imported := map[string]*lintkit.Facts{}
+	for path, file := range cfg.PackageVetx {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			continue // missing dep facts degrade to "unmarked", not failure
+		}
+		f := &lintkit.Facts{}
+		if json.Unmarshal(raw, f) == nil {
+			imported[path] = f
+		}
+	}
+
+	diags, err := lintkit.Run(pkg, lint.Analyzers(), imported, facts)
+	if err != nil {
+		fmt.Fprintln(stderr, "wormvet:", err)
+		return 1
+	}
+	if err := writeFacts(); err != nil {
+		fmt.Fprintln(stderr, "wormvet:", err)
+		return 1
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+	}
+	return 2
+}
+
+// loadFromConfig type-checks the package using the export data the go
+// command prepared for its imports.
+func loadFromConfig(cfg *vetConfig) (*lintkit.Package, error) {
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compilerName(cfg.Compiler), lookup)
+	return lintkit.LoadWithFset(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+}
+
+func compilerName(name string) string {
+	if name == "" {
+		return "gc"
+	}
+	return name
+}
+
+func selfHash() string {
+	self, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -50,18 +50,18 @@ func BuildLMRSchedule(s *message.Set, r *rng.Source, maxAttempts int) (*LMRSched
 	attempts := 0
 	type slot struct {
 		e graph.EdgeID
-		t int32
+		t int
 	}
 	used := make(map[slot]bool, n*d)
 	delays := make([]int, n)
 	place := func(i, delay int) bool {
 		for hop, e := range s.Msgs[i].Path {
-			if used[slot{e, int32(delay + hop)}] {
+			if used[slot{e, delay + hop}] {
 				return false
 			}
 		}
 		for hop, e := range s.Msgs[i].Path {
-			used[slot{e, int32(delay + hop)}] = true
+			used[slot{e, delay + hop}] = true
 		}
 		delays[i] = delay
 		return true
@@ -113,13 +113,13 @@ func VerifyLMR(s *message.Set, sched *LMRSchedule) (int, error) {
 	}
 	type slot struct {
 		e graph.EdgeID
-		t int32
+		t int
 	}
 	used := make(map[slot]bool)
 	makespan := 0
 	for i := 0; i < s.Len(); i++ {
 		for hop, e := range s.Msgs[i].Path {
-			k := slot{e, int32(sched.Delays[i] + hop)}
+			k := slot{e, sched.Delays[i] + hop}
 			if used[k] {
 				return 0, fmt.Errorf("baseline: edge %d double-booked at step %d", e, sched.Delays[i]+hop)
 			}

@@ -7,6 +7,8 @@
 package baseline
 
 import (
+	"slices"
+
 	"wormhole/internal/graph"
 	"wormhole/internal/message"
 	"wormhole/internal/rng"
@@ -95,6 +97,7 @@ func RunStoreAndForward(s *message.Set, cfg SAFConfig) SAFResult {
 		wait int // ready time (earlier = longer waiting)
 		id   int
 	}
+	var winners []graph.EdgeID
 	for remaining > 0 {
 		if step >= maxSteps {
 			break
@@ -126,8 +129,18 @@ func RunStoreAndForward(s *message.Set, cfg SAFConfig) SAFResult {
 			step = next
 			continue
 		}
-		// Move the winners.
-		for e, c := range claims {
+		// Move the winners in edge order. Iterating the map directly made
+		// MaxQueue depend on Go's randomized iteration order: the peak
+		// samples transient queue depths, so whether an arrival at a node
+		// was counted before or after a same-step departure from it could
+		// differ run to run.
+		winners := winners[:0]
+		for e := range claims { //wormvet:allow determinism -- winners sorted immediately below
+			winners = append(winners, e)
+		}
+		slices.Sort(winners)
+		for _, e := range winners {
+			c := claims[e]
 			st := &ms[c.id]
 			queue[st.atNode]--
 			st.atNode = s.G.Edge(e).Head

@@ -54,10 +54,9 @@ func register(e Experiment) {
 // Experiments lists the registered experiments in ID order.
 func Experiments() []Experiment {
 	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	for _, id := range ids() {
+		out = append(out, registry[id])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -72,7 +71,7 @@ func Run(id string, cfg Config) ([]*stats.Table, error) {
 
 func ids() []string {
 	var out []string
-	for id := range registry {
+	for id := range registry { //wormvet:allow determinism -- keys sorted immediately below
 		out = append(out, id)
 	}
 	sort.Strings(out)

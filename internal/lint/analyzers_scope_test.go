@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wormhole/internal/lint/lintkit"
+)
+
+// runOn type-checks src as a package at the given import path and runs
+// one analyzer over it, exporting facts into out when non-nil.
+func runOn(t *testing.T, path, src string, a *lintkit.Analyzer, out *lintkit.Facts) []lintkit.Diagnostic {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), "p.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := lintkit.Load(path, []string{file}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lintkit.Run(p, []*lintkit.Analyzer{a}, nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// violations would trip every scoped analyzer — if the package were in
+// scope.
+const violations = `package p
+
+func order(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func narrow(x int) int32 { return int32(x) }
+
+func unpack(k uint64) int { return int(k >> 32) }
+`
+
+func TestScopedAnalyzersIgnoreOutOfScopePackages(t *testing.T) {
+	// Neither a simulator package nor //wormvet:scope-opted-in: the
+	// scoped analyzers must not fire. (hotalloc is scoped by markers and
+	// stays silent here too — nothing is marked.)
+	for _, a := range Analyzers() {
+		if diags := runOn(t, "example.com/outside", violations, a, nil); len(diags) != 0 {
+			t.Errorf("%s fired on an out-of-scope package: %v", a.Name, diags)
+		}
+	}
+}
+
+func TestDeterminismExemptsRngPackage(t *testing.T) {
+	// internal/rng is the one package exempt from the determinism pass
+	// even when scoped: it IS the deterministic randomness source, and
+	// mixing and bounding there looks like entropy to the analyzer.
+	scoped := "//wormvet:scope\n" + violations
+	if diags := runOn(t, "wormhole/internal/rng", scoped, DeterminismAnalyzer, nil); len(diags) != 0 {
+		t.Errorf("determinism fired inside internal/rng: %v", diags)
+	}
+	// ... but the exemption is determinism's alone: horizon still
+	// applies to the same scoped package.
+	if diags := runOn(t, "wormhole/internal/rng", scoped, HorizonAnalyzer, nil); len(diags) != 1 {
+		t.Errorf("horizon diagnostics in internal/rng = %v, want the one narrowing", diags)
+	}
+}
+
+func TestHotallocExportsFacts(t *testing.T) {
+	src := `package p
+
+//wormvet:hotpath
+func Step() {}
+
+//wormvet:nonalloc
+func leaf() {}
+`
+	var out lintkit.Facts
+	if diags := runOn(t, "example.com/outside", src, HotallocAnalyzer, &out); len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if !out.Has("Step") || !out.Has("leaf") {
+		t.Errorf("exported facts = %+v, want Step and leaf", out)
+	}
+}

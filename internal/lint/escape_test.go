@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wormhole/internal/lint/lintkit"
+)
+
+// TestHotpathEscapes is the dynamic cross-check of the hotalloc
+// analyzer: it compiles the simulator with -gcflags=-m and fails on any
+// "escapes to heap" / "moved to heap" diagnostic landing inside a
+// //wormvet:hotpath-marked function. The static analyzer reasons about
+// syntax; the compiler's escape analysis sees through inlining and
+// interface devirtualization — each catches regressions the other
+// can't. The same exemptions apply: //wormvet:allow hotalloc sites and
+// panic arguments (terminal, paid once, not steady-state).
+func TestHotpathEscapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles vcsim with escape-analysis diagnostics")
+	}
+	dirOut, err := exec.Command("go", "list", "-f", "{{.Dir}}", "wormhole/internal/vcsim").Output()
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	dir := strings.TrimSpace(string(dirOut))
+
+	gofiles, err := lintkit.GoFilesIn(dir)
+	if err != nil || len(gofiles) == 0 {
+		t.Fatalf("listing %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range gofiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	dirs := lintkit.ParseDirectives(fset, files)
+
+	// Marked-function and panic-argument line ranges, keyed by base
+	// filename — the compiler reports paths relative to the package dir.
+	type span struct {
+		fn     string
+		lo, hi int
+	}
+	hotSpans := map[string][]span{}
+	panicSpans := map[string][]span{}
+	fullPath := map[string]string{}
+	for _, f := range files {
+		pos := fset.Position(f.Pos())
+		base := filepath.Base(pos.Filename)
+		fullPath[base] = pos.Filename
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !dirs.Marked(fd, "hotpath") {
+				continue
+			}
+			hotSpans[base] = append(hotSpans[base], span{
+				fn: fd.Name.Name,
+				lo: fset.Position(fd.Pos()).Line,
+				hi: fset.Position(fd.End()).Line,
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					panicSpans[base] = append(panicSpans[base], span{
+						lo: fset.Position(call.Pos()).Line,
+						hi: fset.Position(call.End()).Line,
+					})
+				}
+				return true
+			})
+		}
+	}
+	if len(hotSpans) == 0 {
+		t.Fatal("no //wormvet:hotpath functions found in vcsim — marker drift?")
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags=-m", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+
+	// Diagnostic paths vary with the compile's original working dir
+	// (cache replay preserves the first invocation's spelling), so match
+	// any path shape and key on the basename — vcsim filenames are
+	// unique within the package.
+	lineRE := regexp.MustCompile(`^([^\s:]+\.go):(\d+):\d+: (.*)$`)
+	inSpan := func(spans []span, line int) (span, bool) {
+		for _, s := range spans {
+			if s.lo <= line && line <= s.hi {
+				return s, true
+			}
+		}
+		return span{}, false
+	}
+	escapes := 0
+	for _, raw := range strings.Split(string(out), "\n") {
+		m := lineRE.FindStringSubmatch(raw)
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		escapes++
+		base := filepath.Base(m[1])
+		line, _ := strconv.Atoi(m[2])
+		s, hot := inSpan(hotSpans[base], line)
+		if !hot {
+			continue
+		}
+		if _, inPanic := inSpan(panicSpans[base], line); inPanic {
+			continue
+		}
+		if dirs.Allowed("hotalloc", token.Position{Filename: fullPath[base], Line: line}) {
+			continue
+		}
+		t.Errorf("heap escape inside hotpath %s (%s:%d): %s", s.fn, base, line, msg)
+	}
+	// Construction-time scratch (emptySim's makes) always escapes, so a
+	// zero count means the diagnostic format drifted and the harness is
+	// matching nothing — fail loudly rather than vacuously pass.
+	if escapes == 0 {
+		t.Fatalf("no escape diagnostics parsed from -gcflags=-m output (%d bytes) — format drift?", len(out))
+	}
+}

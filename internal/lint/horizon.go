@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wormhole/internal/lint/lintkit"
+)
+
+// HorizonAnalyzer polices the compact-record time layout the SoA
+// overhaul introduced: every time/cursor field in the simulator is
+// int32, capped by vcsim.MaxHorizon, and a silent int→int32 narrowing of
+// an unbounded value wraps into negative time — the overflow class this
+// repo can only otherwise catch when a wrapped worm happens to corrupt a
+// fuzzed run.
+//
+// The rule: a non-constant conversion to an int32-underlying type whose
+// operand's underlying type is int or int64 must be *guarded* — some
+// comparison earlier in the same function must mention the converted
+// expression (a MaxHorizon check, a bounds test against a slice length,
+// a loop condition). Two operand classes are trusted without a guard:
+//
+//   - expressions rooted only at the method receiver (si.now and
+//     friends): construction-time validation pins now ≤ maxSteps ≤
+//     MaxHorizon, an invariant a per-site guard would merely restate;
+//   - untyped constants, which the compiler range-checks itself.
+//
+// Everything else needs a guard or an explicit
+// //wormvet:allow horizon -- reason.
+//
+// Note Go has no implicit numeric mixing, so every int-into-int32 flow
+// is syntactically a conversion — checking conversions is checking all
+// mixing sites.
+var HorizonAnalyzer = &lintkit.Analyzer{
+	Name: "horizon",
+	Doc:  "require MaxHorizon-style guards on int→int32 time/cursor narrowing",
+	Run:  runHorizon,
+}
+
+func runHorizon(pass *lintkit.Pass) error {
+	if !inSimScope(pass) {
+		return nil
+	}
+	for _, fd := range funcDecls(prodFiles(pass)) {
+		if fd.Body == nil {
+			continue
+		}
+		recv := receiverObject(pass, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			// Only plain int32 targets: that is how the time/cursor
+			// layout spells itself (worm fields, path/prog arrays,
+			// release lists). Named int32 types (graph.NodeID, ...) are
+			// identity indices with their own bounds story.
+			if b, ok := tv.Type.(*types.Basic); !ok || b.Kind() != types.Int32 {
+				return true
+			}
+			arg := call.Args[0]
+			atv := pass.TypesInfo.Types[arg]
+			if atv.Value != nil { // constant: compiler-checked
+				return true
+			}
+			if b, ok := atv.Type.Underlying().(*types.Basic); !ok ||
+				(b.Kind() != types.Int && b.Kind() != types.Int64) {
+				return true
+			}
+			if rootedAtReceiver(pass, arg, recv) {
+				return true
+			}
+			if guardedBefore(pass, fd, call.Pos(), arg) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"unguarded narrowing %s: int-width value enters the 32-bit time/cursor layout; bound it (e.g. against vcsim.MaxHorizon) earlier in %s or annotate //wormvet:allow horizon",
+				exprString(call), fd.Name.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// receiverObject returns the object of fd's receiver variable, or nil.
+func receiverObject(pass *lintkit.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// rootedAtReceiver reports whether e derives purely from the method
+// receiver's state (plus constants): si.now, si.now+1,
+// si.pending[si.pendHead], len(si.laneFree), si.pendLen(). Such values
+// are maintained under the construction-time invariant now ≤ maxSteps ≤
+// MaxHorizon and need no per-site guard.
+func rootedAtReceiver(pass *lintkit.Pass, e ast.Expr, recv types.Object) bool {
+	if recv == nil {
+		return false
+	}
+	rooted := func(e ast.Expr) bool { return rootedAtReceiver(pass, e, recv) }
+	switch v := e.(type) {
+	case *ast.Ident:
+		return identIsTrivial(pass, v) || pass.TypesInfo.Uses[v] == recv
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return rooted(v.X)
+	case *ast.StarExpr:
+		return rooted(v.X)
+	case *ast.SelectorExpr:
+		// Field/method names resolve through their base; only the base
+		// binds a variable.
+		return rooted(v.X)
+	case *ast.IndexExpr:
+		return rooted(v.X) && rooted(v.Index)
+	case *ast.BinaryExpr:
+		return rooted(v.X) && rooted(v.Y)
+	case *ast.UnaryExpr:
+		return rooted(v.X)
+	case *ast.CallExpr:
+		// Conversions, builtins (len/cap), and receiver methods applied
+		// to rooted operands stay rooted; any other call returns
+		// arbitrary values.
+		if tv, ok := pass.TypesInfo.Types[v.Fun]; ok && tv.IsType() {
+			return len(v.Args) == 1 && rooted(v.Args[0])
+		}
+		fun := v.Fun
+		if id, ok := fun.(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return false
+			}
+		} else if sel, ok := fun.(*ast.SelectorExpr); !ok || !rooted(sel.X) {
+			return false
+		}
+		for _, a := range v.Args {
+			if !rooted(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// identIsTrivial reports identifiers that carry no taint: constants,
+// types, and universe names (len, true, ...).
+func identIsTrivial(pass *lintkit.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return true
+	}
+	switch obj.(type) {
+	case *types.Const, *types.TypeName, *types.Builtin, *types.Nil, *types.Func:
+		return true
+	}
+	return obj.Parent() == types.Universe
+}
+
+// guardedBefore reports whether some comparison positioned before pos in
+// fd mentions (a normalized form of) expr — the author demonstrably
+// bounded the value on this path. Loop conditions count even when their
+// position follows the init statement, since they execute first.
+func guardedBefore(pass *lintkit.Pass, fd *ast.FuncDecl, pos token.Pos, expr ast.Expr) bool {
+	target := normalizeExpr(expr)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Pos() >= pos {
+			return true
+		}
+		switch b.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		if mentions(b.X, target) || mentions(b.Y, target) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// normalizeExpr strips integer-conversion wrappers so a guard written as
+// `int(e) >= n` covers a narrowing of `e` and vice versa, then renders
+// the expression canonically.
+func normalizeExpr(e ast.Expr) string {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && len(v.Args) == 1 {
+				switch id.Name {
+				case "int", "int32", "int64", "uint32", "uint64":
+					e = v.Args[0]
+					continue
+				}
+			}
+		}
+		return types.ExprString(e)
+	}
+}
+
+// mentions reports whether any subexpression of guard normalizes to
+// target.
+func mentions(guard ast.Expr, target string) bool {
+	found := false
+	ast.Inspect(guard, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && normalizeExpr(e) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

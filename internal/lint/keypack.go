@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"wormhole/internal/lint/lintkit"
+)
+
+// KeypackAnalyzer pins the packed-64-bit-word discipline the SoA layout
+// runs on: policy/release keys are release<<32|id, crossing stamps are
+// (step+1)<<32|count, and every sort, merge, heap sift, and wakeup
+// compares those words raw. A hand-rolled `k >> 32` with the wrong width
+// — or a fresh packing with a drifted layout — silently reorders
+// arbitration, which the replay oracle can only catch if the divergent
+// schedule happens to be exercised.
+//
+// The rule: 64-bit shift-by-32 expressions (and the off-by-one widths
+// 31 and 33, the classic drift) plus low-word masks (& 0xffffffff) may
+// appear only inside functions marked //wormvet:keypack — the canonical
+// pack/unpack helpers (policyKey, relKey, keyRelease, crossStamp, ...).
+// Everything else must call a helper. Inside a keypack helper, any
+// 64-bit shift whose width is not exactly 32 is flagged — the "correct
+// shift widths" half of the contract.
+var KeypackAnalyzer = &lintkit.Analyzer{
+	Name: "keypack",
+	Doc:  "confine release<<32|id key (un)packing to canonical marked helpers",
+	Run:  runKeypack,
+}
+
+func runKeypack(pass *lintkit.Pass) error {
+	if !inSimScope(pass) {
+		return nil
+	}
+	d := pass.Directives()
+	for _, fd := range funcDecls(prodFiles(pass)) {
+		if fd.Body == nil {
+			continue
+		}
+		canonical := d.Marked(fd, "keypack")
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch b.Op {
+			case token.SHL, token.SHR:
+				width, known := constValue(pass, b.Y)
+				if !known || !is64Bit(pass, b.X) {
+					return true
+				}
+				if canonical {
+					if width != 32 {
+						pass.Reportf(b.Pos(),
+							"keypack helper %s shifts by %d: packed words use exactly 32-bit halves", fd.Name.Name, width)
+					}
+				} else if width >= 31 && width <= 33 {
+					pass.Reportf(b.Pos(),
+						"manual 64-bit key (un)packing (shift by %d) outside a //wormvet:keypack helper; use the canonical pack/unpack helpers", width)
+				}
+			case token.AND:
+				if canonical {
+					return true
+				}
+				for _, operand := range []ast.Expr{b.X, b.Y} {
+					if v, known := constValue(pass, operand); known && v == 0xffffffff && is64Bit(pass, b.X) {
+						pass.Reportf(b.Pos(),
+							"manual low-word mask (& 0xffffffff) outside a //wormvet:keypack helper; use the canonical unpack helpers")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constValue evaluates e as a constant int64.
+func constValue(pass *lintkit.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// is64Bit reports whether e's type is a 64-bit integer — the width
+// packed keys and stamps live at.
+func is64Bit(pass *lintkit.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Uint64, types.Int64, types.Uintptr:
+		return true
+	case types.UntypedInt:
+		// Untyped shifts adopt their context's type; treat wide
+		// constants conservatively as key material.
+		return true
+	}
+	return false
+}

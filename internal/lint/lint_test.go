@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"testing"
+
+	"wormhole/internal/lint/lintkit"
+)
+
+// Each analyzer has an analysistest-style corpus under testdata/src:
+// positive findings matched by // want comments, plus a deliberately
+// suppressed false positive exercising //wormvet:allow. The corpora
+// opt into the simulator scope with //wormvet:scope (hotalloc's is
+// scoped by its markers instead).
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	lintkit.RunTest(t, "testdata", "determinism", DeterminismAnalyzer)
+}
+
+func TestHotallocAnalyzer(t *testing.T) {
+	lintkit.RunTest(t, "testdata", "hotalloc", HotallocAnalyzer)
+}
+
+func TestHorizonAnalyzer(t *testing.T) {
+	lintkit.RunTest(t, "testdata", "horizon", HorizonAnalyzer)
+}
+
+func TestKeypackAnalyzer(t *testing.T) {
+	lintkit.RunTest(t, "testdata", "keypack", KeypackAnalyzer)
+}
+
+// TestAnalyzers pins the suite's composition and reporting order — the
+// driver's -list output and the allow-directive names key off these.
+func TestAnalyzers(t *testing.T) {
+	want := []string{"determinism", "hotalloc", "horizon", "keypack"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The //wormvet: comment directives (all must start the comment, flush
+// with the //):
+//
+//	//wormvet:hotpath            — on a function: zero-alloc contract
+//	//wormvet:nonalloc           — on a function: audited alloc-free leaf
+//	//wormvet:keypack            — on a function: canonical key (un)packer
+//	//wormvet:scope              — anywhere in a file: force the package
+//	                               into the simulator-scope analyzers
+//	//wormvet:allow <analyzer> [-- reason]
+//	                             — suppress that analyzer's findings on
+//	                               this line and the next
+//
+// A directive on the line directly above a declaration (including as
+// part of its doc comment) attaches to that declaration.
+
+// Directives is the parsed //wormvet: directive set of one package.
+type Directives struct {
+	// allow maps filename -> line -> analyzer names suppressed there.
+	allow map[string]map[int][]string
+	// marks maps filename -> line of the directive -> marker names
+	// ("hotpath", "nonalloc", "keypack") present on that line.
+	marks map[string]map[int][]string
+	// scoped reports a file-level //wormvet:scope directive.
+	scoped bool
+	fset   *token.FileSet
+}
+
+// ParseDirectives scans every comment in files for //wormvet: directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		allow: map[string]map[int][]string{},
+		marks: map[string]map[int][]string{},
+		fset:  fset,
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//wormvet:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(strings.TrimSpace(text), " ")
+				switch verb {
+				case "allow":
+					args, _, _ := strings.Cut(rest, "--")
+					byLine := d.allow[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]string{}
+						d.allow[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], strings.Fields(args)...)
+				case "hotpath", "nonalloc", "keypack":
+					byLine := d.marks[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]string{}
+						d.marks[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], verb)
+				case "scope":
+					d.scoped = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Scoped reports whether any file carries //wormvet:scope.
+func (d *Directives) Scoped() bool { return d.scoped }
+
+// Allowed reports whether an //wormvet:allow directive for analyzer
+// covers pos: the directive sits on the same line (trailing comment) or
+// on the line directly above (comment-above style).
+func (d *Directives) Allowed(analyzer string, pos token.Position) bool {
+	byLine := d.allow[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Marked reports whether decl carries the named marker — on any line of
+// its doc comment or on the line directly above its declaration.
+func (d *Directives) Marked(decl *ast.FuncDecl, marker string) bool {
+	pos := d.fset.Position(decl.Pos())
+	byLine := d.marks[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	lo, hi := pos.Line-1, pos.Line-1
+	if decl.Doc != nil {
+		lo = d.fset.Position(decl.Doc.Pos()).Line
+	}
+	for line := lo; line <= hi; line++ {
+		for _, name := range byLine[line] {
+			if name == marker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MarkedFuncs returns the DeclName set of functions in files carrying
+// the given marker, sorted — the exportable facts representation.
+func MarkedFuncs(p *Pass, marker string) []string {
+	var out []string
+	d := p.Directives()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !d.Marked(fd, marker) {
+				continue
+			}
+			if obj, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out = append(out, DeclName(obj))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

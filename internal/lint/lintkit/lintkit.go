@@ -1,0 +1,132 @@
+// Package lintkit is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer runs over one
+// type-checked package (a Pass) and reports Diagnostics.
+//
+// The repo's hermetic-build policy (no module downloads; see README
+// "Static analysis") rules out depending on x/tools, so this package
+// keeps the same shape as go/analysis — Analyzer{Name, Doc, Run},
+// Pass{Fset, Files, Pkg, TypesInfo, Report} — deliberately, making a
+// future swap to the real framework a mechanical import change. Only the
+// subset the wormvet analyzers need is implemented: no sub-analyzer
+// requirements, no suggested fixes, and facts are a plain per-package
+// JSON blob (see Facts) rather than typed gob streams.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //wormvet:allow suppressions.
+	Name string
+	// Doc is the one-paragraph description shown by wormvet -help.
+	Doc string
+	// Run executes the check against one package.
+	Run func(*Pass) error
+}
+
+// Facts is the cross-package state one analyzer pass exports for its
+// importers — the lintkit analogue of analysis.Fact. The only facts the
+// wormvet suite needs are the hot-path/non-allocating function marker
+// sets, keyed by the same relative names DeclName produces.
+type Facts struct {
+	// Hotpath lists functions carrying a //wormvet:hotpath marker.
+	Hotpath []string `json:"hotpath,omitempty"`
+	// Nonalloc lists functions carrying a //wormvet:nonalloc marker.
+	Nonalloc []string `json:"nonalloc,omitempty"`
+}
+
+// Has reports whether name is in either marker set.
+func (f *Facts) Has(name string) bool {
+	if f == nil {
+		return false
+	}
+	return contains(f.Hotpath, name) || contains(f.Nonalloc, name)
+}
+
+func contains(set []string, name string) bool {
+	i := sort.SearchStrings(set, name)
+	return i < len(set) && set[i] == name
+}
+
+// Pass holds one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// ImportedFacts maps dependency import paths to the facts their
+	// passes exported. Nil entries (or a nil map — the analysistest
+	// harness runs self-contained packages) mean "no facts": calls into
+	// such packages are treated as unmarked.
+	ImportedFacts map[string]*Facts
+	// ExportFacts, when non-nil, receives the facts this pass computes
+	// for downstream packages.
+	ExportFacts *Facts
+
+	// Report delivers one diagnostic. The driver and test harness both
+	// route allow-suppression through Pass.report, so analyzers call
+	// Pass.Reportf instead of this directly.
+	Report func(Diagnostic)
+
+	directives *Directives
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a finding unless an in-source //wormvet:allow
+// directive suppresses it (same line as pos, or the line directly
+// above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Directives().Allowed(p.Analyzer.Name, p.Fset.Position(pos)) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Directives returns the parsed //wormvet: comment directives of the
+// package, computed once per pass.
+func (p *Pass) Directives() *Directives {
+	if p.directives == nil {
+		p.directives = ParseDirectives(p.Fset, p.Files)
+	}
+	return p.directives
+}
+
+// ImportedHas reports whether the named function in the package at path
+// carries a hotpath or nonalloc marker, according to imported facts.
+func (p *Pass) ImportedHas(path, name string) bool {
+	return p.ImportedFacts[path].Has(name)
+}
+
+// DeclName returns the package-relative name facts and markers key on:
+// "F" for a function, "(T).M" / "(*T).M" for methods.
+func DeclName(obj *types.Func) string {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return obj.Name()
+	}
+	rt := sig.Recv().Type()
+	ptr := ""
+	if pt, isPtr := rt.(*types.Pointer); isPtr {
+		rt = pt.Elem()
+		ptr = "*"
+	}
+	name := "?"
+	if named, isNamed := rt.(*types.Named); isNamed {
+		name = named.Obj().Name()
+	}
+	return fmt.Sprintf("(%s%s).%s", ptr, name, obj.Name())
+}

@@ -1,0 +1,304 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeSrc materializes one Go source file in a temp dir and returns
+// its path.
+func writeSrc(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const markedSrc = `package p
+
+//wormvet:scope
+
+// F is a plain function with a doc-comment marker.
+//
+//wormvet:hotpath
+func F() {}
+
+type T int
+
+//wormvet:nonalloc
+func (t T) M() {}
+
+// P has the marker buried mid-doc-comment, which still attaches.
+//wormvet:hotpath
+// (trailing doc line)
+func (t *T) P() {}
+
+func unmarked() {
+	x := 1 //wormvet:allow determinism -- same-line suppression
+	_ = x
+	//wormvet:allow horizon -- line-above suppression
+	y := 2
+	_ = y
+}
+`
+
+func loadMarked(t *testing.T) (*Package, *Directives) {
+	t.Helper()
+	p, err := Load("p", []string{writeSrc(t, "p.go", markedSrc)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ParseDirectives(p.Fset, p.Files)
+}
+
+func TestMarkedFuncsAndDeclName(t *testing.T) {
+	p, _ := loadMarked(t)
+	pass := &Pass{Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, TypesInfo: p.Info}
+
+	// DeclName spells functions "F" and methods "(T).M" / "(*T).M";
+	// MarkedFuncs returns them sorted, ready for the facts files.
+	if got, want := MarkedFuncs(pass, "hotpath"), []string{"(*T).P", "F"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("hotpath funcs = %v, want %v", got, want)
+	}
+	if got, want := MarkedFuncs(pass, "nonalloc"), []string{"(T).M"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("nonalloc funcs = %v, want %v", got, want)
+	}
+	if got := MarkedFuncs(pass, "keypack"); len(got) != 0 {
+		t.Errorf("keypack funcs = %v, want none", got)
+	}
+}
+
+func TestDirectivesScopeAndAllow(t *testing.T) {
+	p, d := loadMarked(t)
+	if !d.Scoped() {
+		t.Error("Scoped() = false, want true: file carries //wormvet:scope")
+	}
+
+	file := p.Fset.Position(p.Files[0].Pos()).Filename
+	lineOf := func(sub string) int {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := 1
+		for i := 0; i+len(sub) <= len(data); i++ {
+			if string(data[i:i+len(sub)]) == sub {
+				return line
+			}
+			if data[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("%q not found", sub)
+		return 0
+	}
+
+	sameLine := token.Position{Filename: file, Line: lineOf("x := 1")}
+	if !d.Allowed("determinism", sameLine) {
+		t.Error("same-line allow not honored")
+	}
+	if d.Allowed("horizon", sameLine) {
+		t.Error("allow leaked to a different analyzer")
+	}
+	below := token.Position{Filename: file, Line: lineOf("y := 2")}
+	if !d.Allowed("horizon", below) {
+		t.Error("line-above allow not honored")
+	}
+	if d.Allowed("horizon", token.Position{Filename: "other.go", Line: below.Line}) {
+		t.Error("allow matched a different file")
+	}
+}
+
+func TestReportfSuppression(t *testing.T) {
+	p, _ := loadMarked(t)
+	var got []Diagnostic
+	pass := &Pass{
+		Analyzer:  &Analyzer{Name: "determinism"},
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Pkg,
+		TypesInfo: p.Info,
+		Report:    func(d Diagnostic) { got = append(got, d) },
+	}
+	var allowedPos, plainPos token.Pos
+	for ident, obj := range p.Info.Defs {
+		switch {
+		case ident.Name == "x" && obj != nil:
+			allowedPos = ident.Pos()
+		case ident.Name == "y" && obj != nil:
+			plainPos = ident.Pos()
+		}
+	}
+	pass.Reportf(allowedPos, "suppressed")
+	pass.Reportf(plainPos, "delivered")
+	if len(got) != 1 || got[0].Message != "delivered" {
+		t.Errorf("diagnostics = %v, want exactly the unsuppressed one", got)
+	}
+}
+
+func TestFactsHas(t *testing.T) {
+	var nilFacts *Facts
+	if nilFacts.Has("F") {
+		t.Error("nil Facts claimed a member")
+	}
+	f := &Facts{Hotpath: []string{"(*T).P", "F"}, Nonalloc: []string{"(T).M"}}
+	for _, name := range []string{"F", "(*T).P", "(T).M"} {
+		if !f.Has(name) {
+			t.Errorf("Has(%q) = false, want true", name)
+		}
+	}
+	if f.Has("G") {
+		t.Error(`Has("G") = true, want false`)
+	}
+}
+
+func TestRunSortsAndExportsFacts(t *testing.T) {
+	p, _ := loadMarked(t)
+	// Two analyzers reporting out of source order: Run must interleave
+	// their diagnostics back into position order.
+	late := &Analyzer{Name: "late", Run: func(pass *Pass) error {
+		pass.Reportf(p.Files[0].End()-1, "late finding")
+		return nil
+	}}
+	early := &Analyzer{Name: "early", Run: func(pass *Pass) error {
+		pass.Reportf(p.Files[0].Pos(), "early finding")
+		if pass.ExportFacts != nil {
+			pass.ExportFacts.Hotpath = MarkedFuncs(pass, "hotpath")
+		}
+		return nil
+	}}
+	var out Facts
+	diags, err := Run(p, []*Analyzer{late, early}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || diags[0].Message != "early finding" || diags[1].Message != "late finding" {
+		t.Errorf("diagnostics not position-sorted: %v", diags)
+	}
+	if !out.Has("F") {
+		t.Error("exported facts missing F")
+	}
+}
+
+func TestImportedHas(t *testing.T) {
+	pass := &Pass{ImportedFacts: map[string]*Facts{
+		"dep": {Nonalloc: []string{"Leaf"}},
+	}}
+	if !pass.ImportedHas("dep", "Leaf") {
+		t.Error(`ImportedHas("dep", "Leaf") = false, want true`)
+	}
+	if pass.ImportedHas("dep", "Other") || pass.ImportedHas("missing", "Leaf") {
+		t.Error("ImportedHas matched absent facts")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("p", []string{writeSrc(t, "bad.go", "package p\nfunc {")}, nil); err == nil {
+		t.Error("Load accepted a syntax error")
+	}
+	if _, err := Load("p", []string{writeSrc(t, "ill.go", "package p\nvar x undefinedType")}, nil); err == nil {
+		t.Error("Load accepted a type error")
+	}
+	if _, err := Load("p", nil, nil); err == nil {
+		t.Error("Load accepted an empty file list")
+	}
+}
+
+func TestSplitWantPatterns(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`"a"`, []string{"a"}},
+		{`"a" "b c"`, []string{"a", "b c"}},
+		{`no quotes`, nil},
+		{`"unterminated`, nil},
+		{`"a" trailing "b"`, []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		if got := splitWantPatterns(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitWantPatterns(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGoFilesIn(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b.go", "a.go", "a_test.go", "note.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("package p\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := GoFilesIn(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, "a.go"), filepath.Join(dir, "b.go")}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GoFilesIn = %v, want %v (sorted, tests and non-Go excluded)", got, want)
+	}
+}
+
+// toyAnalyzer flags every return statement — enough surface to drive
+// RunTest's want-matching in-package.
+var toyAnalyzer = &Analyzer{Name: "toy", Doc: "flag returns", Run: func(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				pass.Reportf(r.Pos(), "return statement")
+			}
+			return true
+		})
+	}
+	return nil
+}}
+
+func TestRunTestMatchesWants(t *testing.T) {
+	testdata := t.TempDir()
+	dir := filepath.Join(testdata, "src", "toy")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package toy
+
+func one() int {
+	return 1 // want "return statement"
+}
+
+func two() (int, int) {
+	return 1, 2 // want "return statement"
+}
+
+func suppressed() int {
+	return 3 //wormvet:allow toy -- corpus exercises suppression through RunTest
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "toy.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	RunTest(t, testdata, "toy", toyAnalyzer)
+}
+
+func TestRunAnalyzerError(t *testing.T) {
+	p, _ := loadMarked(t)
+	boom := &Analyzer{Name: "boom", Run: func(*Pass) error { return os.ErrInvalid }}
+	if _, err := Run(p, []*Analyzer{boom}, nil, nil); err == nil {
+		t.Error("Run swallowed an analyzer error")
+	}
+}
+
+func TestGoFilesInBadPattern(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bad[dir")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GoFilesIn(dir); err == nil {
+		t.Error("GoFilesIn accepted a malformed glob pattern")
+	}
+}

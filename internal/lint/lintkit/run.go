@@ -1,0 +1,112 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Load parses and type-checks the .go files as one package with the
+// given import path, resolving imports with imp (nil means the source
+// importer, which compiles dependencies — including the standard
+// library — from source and therefore needs no installed export data).
+func Load(path string, gofiles []string, imp types.Importer) (*Package, error) {
+	return LoadWithFset(token.NewFileSet(), path, gofiles, imp, "")
+}
+
+// LoadWithFset is Load with a caller-owned FileSet (the gc importer
+// must share it) and an optional language version ("go1.24").
+func LoadWithFset(fset *token.FileSet, path string, gofiles []string, imp types.Importer, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range gofiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lintkit: no Go files for %s", path)
+	}
+	if imp == nil {
+		imp = importer.ForCompiler(fset, "source", nil)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", "amd64"),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Run executes the analyzers over the package and returns the combined
+// diagnostics in position order. Facts exported by the analyzers are
+// merged into out (when non-nil); imported holds dependency facts.
+func Run(p *Package, analyzers []*Analyzer, imported map[string]*Facts, out *Facts) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:      a,
+			Fset:          p.Fset,
+			Files:         p.Files,
+			Pkg:           p.Pkg,
+			TypesInfo:     p.Info,
+			ImportedFacts: imported,
+			ExportFacts:   out,
+			Report:        func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// GoFilesIn lists the non-test .go files in dir, sorted.
+func GoFilesIn(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, m := range matches {
+		if base := filepath.Base(m); len(base) > len("_test.go") &&
+			base[len(base)-len("_test.go"):] == "_test.go" {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out, nil
+}

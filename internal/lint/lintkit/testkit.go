@@ -1,0 +1,103 @@
+package lintkit
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunTest is the lintkit analogue of analysistest.Run: it loads
+// testdata/src/<pkg>, runs the analyzer, and matches the diagnostics
+// against `// want "regexp"` comments in the sources. Every diagnostic
+// must be wanted by a matching comment on its line, and every want
+// comment must be matched by a diagnostic — mirrors analysistest's
+// contract, minus fact files and suggested fixes.
+func RunTest(t *testing.T, testdata, pkg string, a *Analyzer) {
+	t.Helper()
+	dir := testdata + "/src/" + pkg
+	gofiles, err := GoFilesIn(dir)
+	if err != nil || len(gofiles) == 0 {
+		t.Fatalf("loading %s: %v (files %v)", dir, err, gofiles)
+	}
+	p, err := Load(pkg, gofiles, nil)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", dir, err)
+	}
+	diags, err := Run(p, []*Analyzer{a}, nil, nil)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+
+	wants := collectWants(t, p)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses `// want "regexp"` comments. The expectation
+// applies to the line the comment sits on.
+func collectWants(t *testing.T, p *Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, pat := range splitWantPatterns(rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWantPatterns extracts the double-quoted patterns from a want
+// clause: `"a" "b"` → [a, b]. Quotes inside patterns are not supported —
+// the analyzers' messages don't need them.
+func splitWantPatterns(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := strings.IndexByte(s[i+1:], '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[i+1:i+1+j])
+		s = s[i+j+2:]
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"wormhole/internal/lint/lintkit"
+)
+
+// passFor builds the minimal Pass the scope helpers consult: a package
+// path plus parsed (untype-checked) files.
+func passFor(t *testing.T, path string, files map[string]string) *lintkit.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, f)
+	}
+	return &lintkit.Pass{
+		Fset:  fset,
+		Files: parsed,
+		Pkg:   types.NewPackage(path, "p"),
+	}
+}
+
+func TestInSimScope(t *testing.T) {
+	plain := map[string]string{"p.go": "package p\n"}
+	cases := []struct {
+		path  string
+		files map[string]string
+		want  bool
+	}{
+		// The root package matches exactly; the module prefix alone
+		// must not drag cmd/ and tooling packages into scope.
+		{"wormhole", plain, true},
+		{"wormhole/cmd/wormbench", plain, false},
+		{"wormhole/internal/vcsim", plain, true},
+		{"wormhole/internal/vcsim/sub", plain, true},
+		{"wormhole/internal/baseline", plain, true},
+		{"wormhole/internal/graph", plain, false},
+		{"wormhole/internal/lint", plain, false},
+		{"other/module", plain, false},
+		// Any package opts in with a file-level directive — how the
+		// analyzer corpora get in scope.
+		{"other/module", map[string]string{"p.go": "package p\n\n//wormvet:scope\n"}, true},
+	}
+	for _, c := range cases {
+		if got := inSimScope(passFor(t, c.path, c.files)); got != c.want {
+			t.Errorf("inSimScope(%s) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestProdFilesSkipsTests(t *testing.T) {
+	pass := passFor(t, "wormhole/internal/vcsim", map[string]string{
+		"sim.go":      "package p\n",
+		"sim_test.go": "package p\n",
+	})
+	got := prodFiles(pass)
+	if len(got) != 1 {
+		t.Fatalf("prodFiles kept %d files, want 1", len(got))
+	}
+	if name := pass.Fset.Position(got[0].Pos()).Filename; name != "sim.go" {
+		t.Errorf("prodFiles kept %s, want sim.go", name)
+	}
+}

@@ -1,0 +1,59 @@
+// Package determinism is the analysistest corpus for the wormvet
+// determinism analyzer: positive findings for each flagged construct
+// plus an allow-suppressed false positive (the collect-then-sort idiom).
+// The package opts into the simulator scope explicitly:
+//
+//wormvet:scope
+package determinism
+
+import (
+	"sort"
+	"time"
+
+	_ "math/rand"    // want "import of math/rand: per-process global randomness breaks replay"
+	_ "math/rand/v2" // want "import of math/rand/v2: per-process global randomness breaks replay"
+)
+
+// mapOrder leaks map iteration order straight into its result.
+func mapOrder(m map[int]int) int {
+	s := 0
+	for k, v := range m { // want "range over map m: iteration order is nondeterministic"
+		s += k * v
+	}
+	return s
+}
+
+// sortedOrder collects keys and sorts immediately — the blessed idiom,
+// suppressed with a reasoned allow.
+func sortedOrder(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { //wormvet:allow determinism -- keys sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sliceOrder ranges over a slice: deterministic, no finding.
+func sliceOrder(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// wallClock reads host time, so its output cannot replay.
+func wallClock() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.Unix()
+}
+
+// elapsed uses time.Since, the other wall-clock accessor.
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want "time.Since reads the wall clock"
+}
+
+// duration arithmetic on time values is fine — only Now/Since read the
+// clock.
+func duration(d time.Duration) time.Duration { return 2 * d }

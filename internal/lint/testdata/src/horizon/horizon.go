@@ -1,0 +1,136 @@
+// Package horizon is the analysistest corpus for the wormvet horizon
+// analyzer: unguarded int→int32 narrowings are flagged; guarded,
+// receiver-rooted, constant, and named-type conversions are not.
+//
+//wormvet:scope
+package horizon
+
+// maxHorizon mirrors vcsim.MaxHorizon for the guard idiom.
+const maxHorizon = 1<<31 - 2
+
+// nodeID is a named 32-bit identity type — exempt: only the plain int32
+// time/cursor layout is policed.
+type nodeID int32
+
+type sim struct {
+	now      int
+	maxSteps int
+	pending  []int
+	ptr      *int
+}
+
+// unguarded narrows a caller-supplied int with no bound in sight.
+func unguarded(x int) int32 {
+	return int32(x) // want "unguarded narrowing int32\(x\): int-width value enters the 32-bit time/cursor layout"
+}
+
+// unguarded64 narrows an int64 the same way.
+func unguarded64(x int64) int32 {
+	return int32(x) // want "unguarded narrowing int32\(x\)"
+}
+
+// guarded bounds the value before narrowing — the comparison mentions
+// the converted expression, so the narrowing is trusted.
+func guarded(x int) int32 {
+	if x > maxHorizon {
+		panic("horizon exceeded")
+	}
+	return int32(x)
+}
+
+// guardedLen bounds against a slice length; any earlier comparison
+// mentioning the operand counts, not just MaxHorizon checks.
+func guardedLen(xs []int, i int) int32 {
+	if i >= len(xs) {
+		return -1
+	}
+	return int32(i)
+}
+
+// rooted narrows receiver state: construction-time validation pins
+// now ≤ maxSteps ≤ MaxHorizon, so no per-site guard is demanded.
+func (s *sim) rooted() int32 {
+	return int32(s.now + 1)
+}
+
+// mixed adds unrooted taint to receiver state, which voids the trust.
+func (s *sim) mixed(x int) int32 {
+	return int32(s.now + x) // want "unguarded narrowing int32\(s\.now \+ x\)"
+}
+
+// constant conversions are compiler-range-checked.
+func constant() int32 {
+	return int32(1 << 20)
+}
+
+// named converts to a named int32 identity type — out of scope.
+func named(x int) nodeID {
+	return nodeID(x)
+}
+
+// allowed documents an out-of-band bound instead of guarding inline.
+func allowed(x int) int32 {
+	return int32(x) //wormvet:allow horizon -- caller contract pins x < maxHorizon
+}
+
+// head is receiver-derived state for the rooted-call case below.
+func (s *sim) head() int { return s.pending[0] }
+
+// rootedForms exercises every shape the receiver-rooted whitelist
+// accepts: indexing, len, receiver method calls, parens, unary minus,
+// and constants mixed in.
+func (s *sim) rootedForms() int32 {
+	a := int32(s.pending[s.now])
+	b := int32(len(s.pending))
+	c := int32(s.head())
+	e := int32(-(s.now) + maxHorizon)
+	g := int32(*s.ptr)
+	h := int32(s.now + 5)
+	return a + b + c + e + g + h
+}
+
+// unrootedCall narrows the result of an arbitrary function value,
+// which the whitelist must refuse even on a method.
+func (s *sim) unrootedCall(f func() int) int32 {
+	return int32(f()) // want "unguarded narrowing int32"
+}
+
+// normalizedGuard bounds through an int64 conversion wrapper: the guard
+// and the narrowing mention the same value modulo integer conversions.
+func normalizedGuard(x int) int32 {
+	if int64(x) > maxHorizon {
+		return -1
+	}
+	return int32(x)
+}
+
+// compoundGuard bounds the exact compound expression being narrowed.
+func compoundGuard(x int) int32 {
+	if x+1 > maxHorizon {
+		return -1
+	}
+	return int32(x + 1)
+}
+
+// flippedGuard bounds with the operand on the comparison's right side.
+func flippedGuard(x int) int32 {
+	if maxHorizon < x {
+		return -1
+	}
+	return int32(x)
+}
+
+// parenGuard bounds through redundant parentheses, which normalization
+// strips on both sides.
+func parenGuard(x int) int32 {
+	if (x) > maxHorizon {
+		return -1
+	}
+	return int32((x))
+}
+
+// longExpr pins the diagnostic's expression truncation: the rendered
+// conversion exceeds 40 characters and is elided with "...".
+func longExpr(alpha, bravo, charlie, delta int) int32 {
+	return int32(alpha + bravo + charlie + delta + alpha) // want "unguarded narrowing int32.alpha . bravo . charlie . delta\.\.\.:"
+}

@@ -1,0 +1,121 @@
+// Package hotalloc is the analysistest corpus for the wormvet hotalloc
+// analyzer. Unlike the scoped analyzers it needs no //wormvet:scope:
+// the check runs wherever //wormvet:hotpath markers appear, and only
+// inside marked functions.
+package hotalloc
+
+import (
+	"math/bits"
+	"sort"
+)
+
+type ring struct {
+	buf   []int
+	log   []byte
+	label string
+}
+
+// leaf is an audited alloc-free callee.
+//
+//wormvet:nonalloc
+func leaf(x int) int { return x + 1 }
+
+// unmarked carries no marker, so hot callers may not call it.
+func unmarked() {}
+
+// sink has an interface parameter; passing a concrete value boxes it.
+//
+//wormvet:nonalloc
+func sink(v any) { _ = v }
+
+// varia is variadic; calling it without an ellipsis builds a slice.
+//
+//wormvet:nonalloc
+func varia(xs ...int) { _ = xs }
+
+// grow is an unmarked method, for the method-callee diagnostic.
+func (r *ring) grow() { r.buf = append(r.buf, 0) }
+
+// cold runs no hot path at all: allocating freely here is fine.
+func cold(n int) []int { return make([]int, n) }
+
+// reuse shows the blessed constructs: self-append (with and without a
+// reslice), marked callees, the math/bits whitelist, and panic — whose
+// argument subtree is terminal and therefore exempt, string
+// concatenation and all.
+//
+//wormvet:hotpath
+func reuse(r *ring, x int) {
+	r.buf = append(r.buf, x)
+	r.buf = append(r.buf[:0], x)
+	_ = leaf(x)
+	_ = bits.Len64(uint64(x))
+	if x < 0 {
+		panic("corrupted: " + r.label)
+	}
+}
+
+// allocators trips every allocating construct the analyzer names.
+//
+//wormvet:hotpath
+func allocators(r *ring, x int, s string) {
+	fresh := append(r.buf, x) // want "append to a different destination builds a new backing array"
+	_ = fresh
+	_ = make([]int, x) // want "make allocates"
+	_ = new(int)       // want "new allocates"
+	sl := []int{x}     // want "slice literal allocates"
+	_ = sl
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	p := &ring{} // want "&composite literal escapes to the heap"
+	_ = p
+	_ = s + "!"      // want "string concatenation allocates"
+	_ = []byte(s)    // want "string<->..byte conversion copies"
+	_ = any(x)       // want "conversion to interface type .* boxes its operand"
+	_ = func() int { // want "func literal may allocate its closure"
+		return x
+	}
+}
+
+// stepper abstracts a stepping engine, for the interface-dispatch case.
+type stepper interface {
+	step() int
+}
+
+// statements trips the statement-level constructs and the callee
+// discipline.
+//
+//wormvet:hotpath
+func statements(r *ring, f func(), s stepper, x int) {
+	go leaf(x)                    // want "go statement allocates a goroutine"
+	defer leaf(x)                 // want "defer allocates its frame record"
+	unmarked()                    // want "call to unmarked unmarked; mark it //wormvet:hotpath or //wormvet:nonalloc"
+	r.grow()                      // want "call to unmarked ..ring..grow"
+	f()                           // want "dynamic call .interface method or func value. can allocate"
+	_ = s.step()                  // want "dynamic call .interface method or func value. can allocate"
+	sink(x)                       // want "passing int as interface .* boxes it"
+	varia(x, x)                   // want "variadic call allocates its argument slice"
+	_ = sort.SearchInts(r.buf, x) // want "call to unmarked sort.SearchInts; mark it in its package"
+	_ = string(r.log)             // want "string<->..byte conversion copies"
+}
+
+// cleanCalls are argument shapes the boxing check must not flag: an
+// already-spread variadic call, a nil interface argument, and an
+// interface value passed through without conversion.
+//
+//wormvet:hotpath
+func cleanCalls(xs []int, v any) {
+	varia(xs...)
+	sink(nil)
+	sink(v)
+}
+
+// coldSite suppresses a once-per-run allocation on a marked function's
+// cold branch with a reasoned allow.
+//
+//wormvet:hotpath
+func coldSite(trigger bool) {
+	if trigger {
+		_ = make([]int, 8) //wormvet:allow hotalloc -- teardown path, runs once per simulation
+	}
+}

@@ -1,0 +1,79 @@
+// Package keypack is the analysistest corpus for the wormvet keypack
+// analyzer: key-width shifts and masks outside //wormvet:keypack
+// helpers are flagged, drifted widths inside helpers are flagged, and
+// the canonical helpers plus an allow-suppressed one-off pass clean.
+//
+//wormvet:scope
+package keypack
+
+// relKey is a canonical packer: exact 32-bit halves, marked.
+//
+//wormvet:keypack
+func relKey(release, id int) uint64 {
+	return uint64(release)<<32 | uint64(uint32(id))
+}
+
+// keyRelease is a canonical unpacker.
+//
+//wormvet:keypack
+func keyRelease(k uint64) int { return int(k >> 32) }
+
+// drifted is marked canonical but shifts a drifted width — the
+// "exactly 32" half of the contract.
+//
+//wormvet:keypack
+func drifted(k uint64) int {
+	return int(k >> 33) // want "keypack helper drifted shifts by 33: packed words use exactly 32-bit halves"
+}
+
+// manualUnpack hand-rolls the unpack outside a marked helper.
+func manualUnpack(k uint64) int {
+	return int(k >> 32) // want "manual 64-bit key .un.packing .shift by 32. outside a //wormvet:keypack helper"
+}
+
+// offByOne is the classic drift the 31..33 net exists to catch.
+func offByOne(k uint64) uint64 {
+	return k >> 31 // want "manual 64-bit key .un.packing .shift by 31."
+}
+
+// manualMask hand-rolls the low-word extraction.
+func manualMask(k uint64) uint64 {
+	return k & 0xffffffff // want "manual low-word mask .& 0xffffffff. outside a //wormvet:keypack helper"
+}
+
+// allowedShift documents a deliberate one-off instead of marking.
+func allowedShift(k uint64) int {
+	return int(k >> 32) //wormvet:allow keypack -- corpus exercises the suppression path
+}
+
+// narrowShift shifts a 64-bit word by a non-key width: out of the net.
+func narrowShift(x uint64) uint64 { return x >> 8 }
+
+// shortWord shifts a 32-bit word: not key material.
+func shortWord(x uint32) uint32 { return x >> 16 }
+
+// untypedShift builds key material from an untyped constant shift —
+// untyped shifts adopt their context's width, so they count as 64-bit.
+func untypedShift() uint64 {
+	return 1<<32 | 5 // want "manual 64-bit key .un.packing .shift by 32."
+}
+
+// word is a named 64-bit type; the width check sees through the name.
+type word uint64
+
+func namedShift(w word) word {
+	return w >> 33 // want "manual 64-bit key .un.packing .shift by 33."
+}
+
+// shortMask masks a 32-bit word: the constant fits, nothing is packed.
+func shortMask(x uint32) uint32 { return x & 0xffffffff }
+
+// variableShift has a non-constant width: not the packing idiom.
+func variableShift(k uint64, n uint) uint64 { return k >> n }
+
+// constShift packs inside an untyped constant expression — untyped
+// shift operands are treated conservatively as key material.
+func constShift() uint64 {
+	const c = 1 << 32 // want "manual 64-bit key .un.packing .shift by 32."
+	return c
+}

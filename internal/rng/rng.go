@@ -55,6 +55,8 @@ func (s *Source) SplitInto(child *Source) {
 }
 
 // Uint64 returns the next 64 bits of the stream.
+//
+//wormvet:nonalloc
 func (s *Source) Uint64() uint64 {
 	s.state += golden
 	z := s.state
@@ -64,6 +66,8 @@ func (s *Source) Uint64() uint64 {
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+//wormvet:nonalloc
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn called with n <= 0")
@@ -72,6 +76,8 @@ func (s *Source) Intn(n int) int {
 }
 
 // Int63 returns a uniform non-negative int64.
+//
+//wormvet:nonalloc
 func (s *Source) Int63() int64 {
 	return int64(s.Uint64() >> 1)
 }
@@ -79,6 +85,8 @@ func (s *Source) Int63() int64 {
 // boundedUint64 returns a uniform value in [0, n) using Lemire's
 // multiply-shift rejection method, which avoids modulo bias without
 // divisions in the common case.
+//
+//wormvet:nonalloc
 func (s *Source) boundedUint64(n uint64) uint64 {
 	hi, lo := bits.Mul64(s.Uint64(), n)
 	if lo < n {
@@ -91,11 +99,15 @@ func (s *Source) boundedUint64(n uint64) uint64 {
 }
 
 // Float64 returns a uniform float64 in [0, 1).
+//
+//wormvet:nonalloc
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
 // Bool returns a uniform boolean.
+//
+//wormvet:nonalloc
 func (s *Source) Bool() bool {
 	return s.Uint64()&1 == 1
 }
@@ -112,6 +124,8 @@ func (s *Source) Perm(n int) []int {
 
 // Shuffle pseudo-randomizes the order of n elements using the provided swap
 // function (Fisher–Yates).
+//
+//wormvet:nonalloc
 func (s *Source) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {
 		j := s.Intn(i + 1)

@@ -46,6 +46,8 @@ func (p Pattern) needsPow2() bool { return p == Transpose || p == BitReverse }
 
 // dest draws the destination endpoint for one message from src, using the
 // endpoint's own random source for the stochastic patterns.
+//
+//wormvet:hotpath
 func (c *Config) dest(src int, r *rng.Source) int {
 	n := c.Net.Endpoints
 	switch c.Pattern {

@@ -55,6 +55,8 @@ type injector struct {
 }
 
 // expDraw returns an exponential variate with mean 1/rate.
+//
+//wormvet:nonalloc
 func expDraw(r *rng.Source, rate float64) float64 {
 	return -math.Log(1-r.Float64()) / rate
 }
@@ -79,6 +81,8 @@ func newInjector(cfg *Config, r *rng.Source) injector {
 
 // arrivals returns how many messages this endpoint injects at step t.
 // Calls must be made once per step in increasing t order.
+//
+//wormvet:hotpath
 func (in *injector) arrivals(cfg *Config, t int) int {
 	switch cfg.Process {
 	case Bernoulli:

@@ -28,6 +28,8 @@ const (
 )
 
 // bucketOf maps a sample to its bucket index.
+//
+//wormvet:hotpath
 func bucketOf(v int) int {
 	u := uint64(v)
 	if u < 2*subBuckets {
@@ -53,6 +55,8 @@ func bucketValue(b int) int {
 }
 
 // Add records one sample. Negative samples are clamped to zero.
+//
+//wormvet:hotpath
 func (s *Sketch) Add(v int) {
 	if v < 0 {
 		v = 0

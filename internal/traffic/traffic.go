@@ -107,6 +107,7 @@ func (c *Config) onOffMeans() (on, off float64) {
 	return on, off
 }
 
+//wormvet:nonalloc
 func (c *Config) hotspotParams() (count int, frac float64) {
 	count, frac = c.HotspotCount, c.HotspotFraction
 	if count <= 0 {

@@ -98,6 +98,8 @@ const parkFlitBit = int32(1) << 30
 // the single foreign-blocked edge the worm may be parked on, or −1 when
 // no such edge exists (multiple foreign edges, or a transient bandwidth
 // block that resets next step).
+//
+//wormvet:hotpath
 func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 	if w.d == 0 {
 		// Source equals destination: the rigid delivery rule applies
@@ -324,6 +326,8 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 // then derives the exact verdict; byte-for-byte equivalence of the two
 // paths on the all-advance case is pinned by the differential and fuzz
 // suites, which drive every (d, shared) × policy corner through both.
+//
+//wormvet:hotpath
 func (si *Sim) tryAdvanceStretched(w *worm) bool {
 	var (
 		prog = w.prog
@@ -396,7 +400,7 @@ func (si *Sim) tryAdvanceStretched(w *worm) bool {
 	}
 	if injecting {
 		prog[last+1] = 1
-		w.lastInj = int32(last + 1)
+		w.lastInj = int32(last) + 1
 		if w.injectTime < 0 {
 			w.injectTime = int32(si.now + 1)
 		}
@@ -409,9 +413,11 @@ func (si *Sim) tryAdvanceStretched(w *worm) bool {
 
 // finishDeepMove is the shared post-advance epilogue of the deep engine's
 // two paths: observer callback, delivery detection, status update.
+//
+//wormvet:hotpath
 func (si *Sim) finishDeepMove(w *worm) (bool, int32) {
 	if obs := si.cfg.Observer; obs != nil {
-		obs.OnAdvance(si.now+1, message.ID(w.id), int(w.prog[0]))
+		obs.OnAdvance(si.now+1, message.ID(w.id), int(w.prog[0])) //wormvet:allow hotalloc -- per-event observer hook; nil in measured configs
 	}
 	if w.fHead >= w.l {
 		w.status = StatusDelivered
@@ -420,10 +426,10 @@ func (si *Sim) finishDeepMove(w *worm) (bool, int32) {
 		si.freePath(w)
 		si.freeProg(w)
 		if obs := si.cfg.Observer; obs != nil {
-			obs.OnDeliver(si.now+1, message.ID(w.id))
+			obs.OnDeliver(si.now+1, message.ID(w.id)) //wormvet:allow hotalloc -- per-delivery observer hook; nil in measured configs
 		}
 		if cb := si.cfg.OnComplete; cb != nil {
-			cb(message.ID(w.id), w.messageStats())
+			cb(message.ID(w.id), w.messageStats()) //wormvet:allow hotalloc -- once-per-message completion hook
 		}
 	} else {
 		w.status = StatusActive
@@ -434,6 +440,8 @@ func (si *Sim) finishDeepMove(w *worm) (bool, int32) {
 // releaseDeepWorm frees every buffer credit a dropped deep worm holds:
 // one flit credit per buffered flit, one lane per occupied edge (visible
 // next step, like any other release).
+//
+//wormvet:hotpath
 func (si *Sim) releaseDeepWorm(w *worm) {
 	prog := w.prog
 	for j := int(w.fHead); j <= int(w.lastInj); j++ {
@@ -453,6 +461,8 @@ func (si *Sim) releaseDeepWorm(w *worm) {
 // freeProg retires a finished deep worm's progress buffer, mirroring
 // freePath's recycle policy. A no-op on the rigid path, which has no
 // deep state at all.
+//
+//wormvet:hotpath
 func (si *Sim) freeProg(w *worm) {
 	if !si.deepMode {
 		return
@@ -488,8 +498,10 @@ func (si *Sim) newProg(l int) []int32 {
 // flits per worm per edge. FIFO monotonicity of each prog array rides
 // along. Panics on violation so tests pinpoint the first bad step.
 func (si *Sim) checkInvariantsDeep() {
-	flitOcc := make(map[int32]int32, 64)
-	laneOcc := make(map[int32]int32, 64)
+	// Dense per-edge counters, walked in edge order: maps here would pick
+	// the first panic by randomized iteration order (see checkInvariants).
+	flitOcc := make([]int32, len(si.flitFree))
+	laneOcc := make([]int32, len(si.laneFree))
 	for i := 0; i < si.numWorms; i++ {
 		w := si.worm(i)
 		if w.status == StatusDropped || w.status == StatusDelivered {
@@ -526,29 +538,25 @@ func (si *Sim) checkInvariantsDeep() {
 		}
 	}
 	for e, c := range flitOcc {
-		if c != si.flitsInUse(int(e)) {
-			panicf("vcsim: step %d: edge %d flit occupancy %d but flits in use %d", si.now, e, c, si.flitsInUse(int(e)))
+		if c != si.flitsInUse(e) {
+			if c == 0 {
+				panicf("vcsim: step %d: edge %d has stale flit occupancy %d", si.now, e, si.flitsInUse(e))
+			}
+			panicf("vcsim: step %d: edge %d flit occupancy %d but flits in use %d", si.now, e, c, si.flitsInUse(e))
 		}
 		if c > si.poolCap {
 			panicf("vcsim: step %d: edge %d holds %d > B·d=%d flits", si.now, e, c, si.poolCap)
 		}
 	}
 	for e, c := range laneOcc {
-		if c != si.lanesInUse(int(e)) {
-			panicf("vcsim: step %d: edge %d lane occupancy %d but lanes in use %d", si.now, e, c, si.lanesInUse(int(e)))
+		if c != si.lanesInUse(e) {
+			if c == 0 {
+				panicf("vcsim: step %d: edge %d has stale lane occupancy %d", si.now, e, si.lanesInUse(e))
+			}
+			panicf("vcsim: step %d: edge %d lane occupancy %d but lanes in use %d", si.now, e, c, si.lanesInUse(e))
 		}
 		if c > si.bI32 {
 			panicf("vcsim: step %d: edge %d holds %d > B=%d lanes", si.now, e, c, si.b)
-		}
-	}
-	for e := range si.flitFree {
-		if si.flitsInUse(e) != 0 && flitOcc[int32(e)] == 0 {
-			panicf("vcsim: step %d: edge %d has stale flit occupancy %d", si.now, e, si.flitsInUse(e))
-		}
-	}
-	for e := range si.laneFree {
-		if si.lanesInUse(e) != 0 && laneOcc[int32(e)] == 0 {
-			panicf("vcsim: step %d: edge %d has stale lane occupancy %d", si.now, e, si.lanesInUse(e))
 		}
 	}
 }

@@ -64,6 +64,9 @@ func (si *Sim) Inject(msg message.Message, release int) (message.ID, error) {
 	if msg.Length < 1 {
 		return -1, fmt.Errorf("vcsim: message length %d < 1", msg.Length)
 	}
+	if msg.Length > MaxHorizon || len(msg.Path) > MaxHorizon {
+		return -1, fmt.Errorf("vcsim: message length %d / path %d exceeds MaxHorizon %d", msg.Length, len(msg.Path), MaxHorizon)
+	}
 	p := si.newPath(len(msg.Path))
 	for j, e := range msg.Path {
 		if int(e) < 0 || int(e) >= len(si.laneFree) {
@@ -73,9 +76,9 @@ func (si *Sim) Inject(msg message.Message, release int) (message.ID, error) {
 	}
 	w, id := si.addWorm()
 	*w = worm{
-		id:          int32(id),
+		id:          int32(id), //wormvet:allow horizon -- addWorm pins id < MaxHorizon
 		path:        p,
-		d:           int32(len(p)),
+		d:           int32(len(msg.Path)),
 		l:           int32(msg.Length),
 		release:     int32(release),
 		key:         si.policyKey(release, id),
@@ -102,6 +105,8 @@ func (si *Sim) Inject(msg message.Message, release int) (message.ID, error) {
 // ErrHorizon once Now() has reached the MaxSteps horizon (marking the
 // result Truncated) and ErrDeadlocked once a deadlock has been detected —
 // including the step that detects it.
+//
+//wormvet:hotpath
 func (si *Sim) Step() error {
 	if si.deadlocked {
 		return ErrDeadlocked
@@ -131,6 +136,8 @@ func (si *Sim) Step() error {
 // Now() — which is what lets StepTo jump the clock across the gap with
 // byte-identical results (pinned by the fast-forward differential tests
 // and the fuzz harness).
+//
+//wormvet:hotpath
 func (si *Sim) NextEventTime() int {
 	if si.deadlocked {
 		return -1
@@ -139,7 +146,7 @@ func (si *Sim) NextEventTime() int {
 		return si.now
 	}
 	if si.pendLen() > 0 {
-		if r := int(si.pendFirst() >> 32); r > si.now {
+		if r := keyRelease(si.pendFirst()); r > si.now {
 			return r
 		}
 		return si.now
@@ -154,6 +161,8 @@ func (si *Sim) NextEventTime() int {
 // — same results, same errors, byte for byte — just cheaper when the
 // network sits empty for stretches, as open-loop drivers at light load
 // and drain windows do. A t at or before Now() is a no-op.
+//
+//wormvet:hotpath
 func (si *Sim) StepTo(t int) error {
 	for si.now < t {
 		if si.deadlocked {

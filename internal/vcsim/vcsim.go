@@ -305,6 +305,8 @@ type worm struct {
 }
 
 // messageStats assembles the public MessageStats view of a worm.
+//
+//wormvet:hotpath
 func (w *worm) messageStats() MessageStats {
 	return MessageStats{
 		Status:      w.status,
@@ -317,12 +319,16 @@ func (w *worm) messageStats() MessageStats {
 }
 
 // complete reports whether all flits have been delivered.
+//
+//wormvet:hotpath
 func (w *worm) complete() bool { return w.frontier >= w.d+w.l-1 }
 
 // span returns the closed interval [lo, hi] of path indices whose buffers
 // this worm currently occupies; ok is false when the worm occupies nothing.
 // Buffers exist only for non-final edges (a flit crossing the last edge is
 // removed immediately), hence the d−2 cap.
+//
+//wormvet:hotpath
 func (w *worm) span() (lo, hi int32, ok bool) {
 	hi = w.frontier - 1
 	if hi > w.d-2 {
@@ -337,6 +343,8 @@ func (w *worm) span() (lo, hi int32, ok bool) {
 
 // crossed returns the closed interval [lo, hi] of path indices whose edges
 // carry one flit of this worm if it advances this step.
+//
+//wormvet:hotpath
 func (w *worm) crossed() (lo, hi int32) {
 	hi = w.frontier
 	if hi > w.d-1 {
@@ -364,13 +372,21 @@ const (
 type wormChunk [1 << wormShift]worm
 
 // worm returns the worm with the given dense id/index.
+//
+//wormvet:hotpath
 func (si *Sim) worm(idx int) *worm {
 	return &si.wormChunks[idx>>wormShift][idx&wormMask]
 }
 
-// addWorm appends a zeroed worm slot and returns it with its id.
+// addWorm appends a zeroed worm slot and returns it with its id. Ids are
+// bounded by MaxHorizon so they always fit the 32-bit halves of packed
+// keys and the worm.id field; hitting the bound means ~2³¹ injected
+// messages, far past any memory budget, so it panics rather than errors.
 func (si *Sim) addWorm() (*worm, int) {
 	id := si.numWorms
+	if id >= MaxHorizon {
+		panic(fmt.Sprintf("vcsim: worm count %d reached MaxHorizon", id))
+	}
 	if ci := id >> wormShift; ci == len(si.wormChunks) {
 		si.wormChunks = append(si.wormChunks, new(wormChunk))
 	}
@@ -610,6 +626,9 @@ func emptySim(numEdges int, cfg Config) *Sim {
 	if parkStreak == 0 {
 		parkStreak = defaultParkStreak
 	}
+	if cfg.VirtualChannels*depth > MaxHorizon {
+		panic(fmt.Sprintf("vcsim: VirtualChannels %d × LaneDepth %d overflows the 32-bit pool layout", cfg.VirtualChannels, depth))
+	}
 	si := &Sim{
 		cfg:        cfg,
 		b:          cfg.VirtualChannels,
@@ -629,8 +648,8 @@ func emptySim(numEdges int, cfg Config) *Sim {
 	if cfg.RestrictedBandwidth {
 		si.cap = 1
 	}
-	si.bI32 = int32(si.b)
-	si.capI32 = int32(si.cap)
+	si.bI32 = int32(si.b)     //wormvet:allow horizon -- b = VirtualChannels ≤ VirtualChannels·depth, bounded above
+	si.capI32 = int32(si.cap) //wormvet:allow horizon -- cap ∈ {1, b}
 	for e := range si.laneFree {
 		si.laneFree[e] = si.bI32
 	}
@@ -725,7 +744,11 @@ func (si *Sim) Reset() {
 
 // pendLen, pendFirst, pendPush and the admit loop manage the pending
 // window [pendHead:len(pending)).
-func (si *Sim) pendLen() int      { return len(si.pending) - si.pendHead }
+//
+//wormvet:hotpath
+func (si *Sim) pendLen() int { return len(si.pending) - si.pendHead }
+
+//wormvet:hotpath
 func (si *Sim) pendFirst() uint64 { return si.pending[si.pendHead] }
 
 // pendPush inserts release key k into the pending window, keeping it
@@ -750,6 +773,8 @@ func (si *Sim) pendPush(k uint64) {
 // policyKey computes a worm's arbitration-order key (see worm.key). The
 // worm index always rides in the low 32 bits, so a key doubles as a
 // reference to its worm (see wormK).
+//
+//wormvet:keypack
 func (si *Sim) policyKey(release, id int) uint64 {
 	if si.cfg.Arbitration == ArbAge {
 		return uint64(release)<<32 | uint64(uint32(id))
@@ -760,12 +785,29 @@ func (si *Sim) policyKey(release, id int) uint64 {
 // relKey encodes (release, id) so that uint64 order is exactly
 // (release, id) order — the pending list's invariant ordering under every
 // policy. Like policy keys, the low 32 bits are the worm index.
+//
+//wormvet:keypack
 func relKey(release, id int) uint64 {
 	return uint64(release)<<32 | uint64(uint32(id))
 }
 
+// keyRelease extracts the release (upper) half of a packed
+// (release, id) key: the step at which the worm becomes eligible.
+//
+//wormvet:keypack
+//wormvet:nonalloc
+func keyRelease(k uint64) int { return int(k >> 32) }
+
+// keyID extracts the worm-index (lower) half of a packed key.
+//
+//wormvet:keypack
+//wormvet:nonalloc
+func keyID(k uint64) int { return int(uint32(k)) }
+
 // wormK resolves a list entry (policy or release key) to its worm.
-func (si *Sim) wormK(k uint64) *worm { return si.worm(int(uint32(k))) }
+//
+//wormvet:hotpath
+func (si *Sim) wormK(k uint64) *worm { return si.worm(keyID(k)) }
 
 // markPathRoles folds one message's path into the edge-role
 // classification. When the classification turns mixed with worms already
@@ -830,6 +872,9 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 	maxRelease := 0
 	for i := 0; i < n; i++ {
 		msg := s.Get(message.ID(i))
+		if msg.Length > MaxHorizon || len(msg.Path) > MaxHorizon {
+			panic(fmt.Sprintf("vcsim: message %d length %d / path %d exceeds MaxHorizon", i, msg.Length, len(msg.Path)))
+		}
 		rel := 0
 		if release != nil {
 			rel = release[i]
@@ -849,9 +894,9 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 		}
 		w, id := si.addWorm()
 		*w = worm{
-			id:          int32(id),
+			id:          int32(id), //wormvet:allow horizon -- addWorm pins id < MaxHorizon
 			path:        p,
-			d:           int32(len(p)),
+			d:           int32(len(msg.Path)),
 			l:           int32(msg.Length),
 			release:     int32(rel),
 			key:         si.policyKey(rel, id),
@@ -895,14 +940,16 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 // exceeded (Truncated). Unlike repeated Step calls, Drain fast-forwards
 // across gaps where no message is eligible, so idle time costs nothing;
 // batch Run is exactly load-everything-then-Drain.
+//
+//wormvet:hotpath
 func (si *Sim) Drain() {
 	for si.inFlight() > 0 || si.pendLen() > 0 {
 		// Fast-forward across gaps where nothing is eligible — but never
 		// past the horizon: a release beyond MaxSteps truncates the run
 		// at the horizon instead of executing steps past the bound that
 		// Step() enforces.
-		if si.inFlight() == 0 && int(si.pendFirst()>>32) > si.now {
-			si.now = int(si.pendFirst() >> 32)
+		if si.inFlight() == 0 && keyRelease(si.pendFirst()) > si.now {
+			si.now = keyRelease(si.pendFirst())
 			if si.now > si.maxSteps {
 				si.now = si.maxSteps
 			}
@@ -920,6 +967,8 @@ func (si *Sim) Drain() {
 // to: the active list plus — for the policies that remove them from it —
 // parked worms. (Under ArbRandom and the naive scan, parked worms never
 // leave the active list, so the list length alone is the count.)
+//
+//wormvet:hotpath
 func (si *Sim) inFlight() int {
 	n := len(si.active)
 	if !si.naive && si.cfg.Arbitration != ArbRandom {
@@ -929,9 +978,11 @@ func (si *Sim) inFlight() int {
 }
 
 // admit moves pending worms whose release has arrived onto the active list.
+//
+//wormvet:hotpath
 func (si *Sim) admit() {
-	for si.pendHead < len(si.pending) && int(si.pending[si.pendHead]>>32) <= si.now {
-		idx := int(uint32(si.pending[si.pendHead]))
+	for si.pendHead < len(si.pending) && keyRelease(si.pending[si.pendHead]) <= si.now {
+		idx := keyID(si.pending[si.pendHead])
 		si.pendHead++
 		si.enqueue(idx)
 	}
@@ -947,6 +998,8 @@ func (si *Sim) admit() {
 // for ArbByID, (release, id) for ArbAge); the naive scan and ArbRandom
 // append in admission order, with ArbByID's lazily materialized ID view
 // maintained on the side exactly as before.
+//
+//wormvet:hotpath
 func (si *Sim) enqueue(idx int) {
 	key := si.worm(idx).key
 	if !si.naive && si.cfg.Arbitration != ArbRandom {
@@ -959,10 +1012,10 @@ func (si *Sim) enqueue(idx int) {
 		if n := len(si.active); si.byID == nil && n > 0 && key < si.active[n-1] {
 			// First out-of-order admission: active is still ID-sorted,
 			// so it seeds the ID-ordered view (worm indices are IDs).
-			si.byID = append(make([]uint64, 0, cap(si.active)), si.active...)
+			si.byID = append(make([]uint64, 0, cap(si.active)), si.active...) //wormvet:allow hotalloc -- one-time lazy materialization of the ID-ordered view
 		}
 		if si.byID != nil {
-			pos := sort.Search(len(si.byID), func(i int) bool { return si.byID[i] >= key })
+			pos := sort.Search(len(si.byID), func(i int) bool { return si.byID[i] >= key }) //wormvet:allow hotalloc -- binary search; the closure does not escape (escape harness)
 			si.byID = append(si.byID, 0)
 			copy(si.byID[pos+1:], si.byID[pos:])
 			si.byID[pos] = key
@@ -972,6 +1025,8 @@ func (si *Sim) enqueue(idx int) {
 }
 
 // step advances the simulation by one flit step.
+//
+//wormvet:hotpath
 func (si *Sim) step() {
 	if si.naive {
 		si.stepNaive()
@@ -983,13 +1038,15 @@ func (si *Sim) step() {
 // stepNaive is the retained original stepper — the differential oracle
 // for the wakeup engine: every active worm is re-attempted every step,
 // stalls are stamped eagerly, and nothing is ever parked.
+//
+//wormvet:hotpath
 func (si *Sim) stepNaive() {
 	order := si.active
 	switch {
 	case si.cfg.Arbitration == ArbRandom:
 		si.orderScratch = append(si.orderScratch[:0], si.active...)
 		order = si.orderScratch
-		si.shuffler.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		si.shuffler.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] }) //wormvet:allow hotalloc -- shuffle swap closure does not escape (escape harness)
 	case si.cfg.Arbitration == ArbByID && si.byID != nil:
 		// Staggered releases broke the active list's ID order; use the
 		// incrementally maintained ID-ordered view.
@@ -1009,7 +1066,7 @@ func (si *Sim) stepNaive() {
 		}
 		// Failed to advance.
 		if si.cfg.DropOnDelay {
-			si.drop(w)
+			si.drop(w) //wormvet:allow hotalloc -- drop path: per-drop cost is accepted in drop-on-delay runs
 			droppedAny = true
 			continue
 		}
@@ -1024,21 +1081,23 @@ func (si *Sim) stepNaive() {
 	si.reap()
 
 	if si.cfg.CheckInvariants {
-		si.checkInvariants()
+		si.checkInvariants() //wormvet:allow hotalloc -- debug-gated by Config.CheckInvariants
 	}
 
 	if !moved && !droppedAny && anyEligible {
 		// Every eligible worm is slot-blocked and slots free only when
 		// worms move; future releases cannot free slots. Frozen forever.
 		si.deadlocked = true
-		si.blockedIDs = append([]message.ID(nil), blocked...)
-		si.finishAsDeadlocked()
+		si.blockedIDs = append([]message.ID(nil), blocked...) //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
+		si.finishAsDeadlocked()                               //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
 	}
 }
 
 // tryMove dispatches a worm's advance attempt to the engine the buffer
 // architecture selects: the rigid single-counter engine for the paper's
 // d = 1 static model, the flit-level deep engine otherwise.
+//
+//wormvet:hotpath
 func (si *Sim) tryMove(w *worm) (bool, int32) {
 	if si.deepMode {
 		return si.tryAdvanceDeep(w)
@@ -1050,6 +1109,9 @@ func (si *Sim) tryMove(w *worm) (bool, int32) {
 // in the upper 32 bits (the +1 keeps the first step distinct from the
 // zero-initialized array). An entry below the stamp is from an earlier
 // step and reads as zero crossings.
+//
+//wormvet:keypack
+//wormvet:hotpath
 func (si *Sim) crossStamp() uint64 { return uint64(si.now+1) << 32 }
 
 // tryAdvance attempts to move worm w one step, honoring buffer and
@@ -1058,6 +1120,8 @@ func (si *Sim) crossStamp() uint64 { return uint64(si.now+1) << 32 }
 // where to park the worm (only a slot event on that edge can change the
 // verdict). A bandwidth failure returns -1: crossing capacity resets
 // every step, so the block is transient and the worm must simply retry.
+//
+//wormvet:hotpath
 func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 	if w.d == 0 {
 		// Source equals destination: delivered in the step after release.
@@ -1071,10 +1135,10 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 		si.delivered++
 		si.freeProg(w)
 		if obs := si.cfg.Observer; obs != nil {
-			obs.OnDeliver(si.now+1, message.ID(w.id))
+			obs.OnDeliver(si.now+1, message.ID(w.id)) //wormvet:allow hotalloc -- per-event observer hook; nil in measured configs
 		}
 		if cb := si.cfg.OnComplete; cb != nil {
-			cb(message.ID(w.id), w.messageStats())
+			cb(message.ID(w.id), w.messageStats()) //wormvet:allow hotalloc -- once-per-message completion hook
 		}
 		return true, -1
 	}
@@ -1124,7 +1188,7 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 	}
 	w.frontier++
 	if obs := si.cfg.Observer; obs != nil {
-		obs.OnAdvance(si.now+1, message.ID(w.id), int(w.frontier))
+		obs.OnAdvance(si.now+1, message.ID(w.id), int(w.frontier)) //wormvet:allow hotalloc -- per-event observer hook; nil in measured configs
 	}
 	if w.complete() {
 		w.status = StatusDelivered
@@ -1137,10 +1201,10 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 		// still grows by ~one small struct per message.)
 		si.freePath(w)
 		if obs := si.cfg.Observer; obs != nil {
-			obs.OnDeliver(si.now+1, message.ID(w.id))
+			obs.OnDeliver(si.now+1, message.ID(w.id)) //wormvet:allow hotalloc -- per-delivery observer hook; nil in measured configs
 		}
 		if cb := si.cfg.OnComplete; cb != nil {
-			cb(message.ID(w.id), w.messageStats())
+			cb(message.ID(w.id), w.messageStats()) //wormvet:allow hotalloc -- once-per-message completion hook
 		}
 	} else {
 		w.status = StatusActive
@@ -1175,6 +1239,8 @@ func (si *Sim) drop(w *worm) {
 
 // freePath retires a finished worm's path buffer: recycled through the
 // freelist in incremental mode, left to the arena otherwise.
+//
+//wormvet:hotpath
 func (si *Sim) freePath(w *worm) {
 	if si.recycle && cap(w.path) > 0 {
 		si.pathFree = append(si.pathFree, w.path[:0])
@@ -1196,6 +1262,8 @@ func (si *Sim) newPath(n int) []int32 {
 // touch records an edge with a credit release for end-of-step folding
 // and wake checks, once per edge per step. Body-flit crossings are
 // epoch-stamped and need neither; grant-only edges go through touchMax.
+//
+//wormvet:hotpath
 func (si *Sim) touch(e int32) {
 	if si.dirtyFlag[e]&1 == 0 {
 		si.dirtyFlag[e] |= 1
@@ -1208,6 +1276,8 @@ func (si *Sim) touch(e int32) {
 // credit only falls within a step, and every parked worm already failed
 // against a level at least this high — so grant-only edges skip the fold
 // and wake machinery entirely.
+//
+//wormvet:hotpath
 func (si *Sim) touchMax(e int32) {
 	if si.dirtyFlag[e]&2 == 0 {
 		si.dirtyFlag[e] |= 2
@@ -1224,6 +1294,8 @@ func (si *Sim) touchMax(e int32) {
 // later-ordered contender) can only exist in the very step the worm
 // parked. Body-flit crossings move no credit state — and, epoch-stamped,
 // need no reset — so a worm queue is not re-scanned on every transit.
+//
+//wormvet:hotpath
 func (si *Sim) applyStepEnd() {
 	for _, e := range si.dirty {
 		si.dirtyFlag[e] = 0
@@ -1266,6 +1338,8 @@ func (si *Sim) applyStepEnd() {
 // reap removes completed and dropped worms from the active list (and the
 // ID-ordered view, when materialized), preserving order. Only the naive
 // scan needs it; the wakeup stepper filters inline.
+//
+//wormvet:hotpath
 func (si *Sim) reap() {
 	si.active = si.reapList(si.active)
 	if si.byID != nil {
@@ -1273,6 +1347,7 @@ func (si *Sim) reap() {
 	}
 }
 
+//wormvet:hotpath
 func (si *Sim) reapList(list []uint64) []uint64 {
 	keep := list[:0]
 	for _, k := range list {
@@ -1295,9 +1370,13 @@ func (si *Sim) finishAsDeadlocked() {
 // lanesInUse returns edge e's persistent lane occupancy (worms buffered in
 // the rigid model, distinct worms in deep mode) — the quantity the
 // pre-arena engine kept as slotsUsed. Invariant checks and tests use it.
+//
+//wormvet:hotpath
 func (si *Sim) lanesInUse(e int) int32 { return si.bI32 - si.laneFree[e] }
 
 // flitsInUse returns edge e's persistent flit occupancy (deep mode).
+//
+//wormvet:hotpath
 func (si *Sim) flitsInUse(e int) int32 { return si.poolCap - si.flitFree[e] }
 
 // checkInvariants asserts model invariants; it panics on violation so test
@@ -1307,7 +1386,10 @@ func (si *Sim) checkInvariants() {
 		si.checkInvariantsDeep()
 		return
 	}
-	occ := make(map[int32]int32, 64)
+	// Dense per-edge counters, walked in edge order: with a map here a
+	// multi-edge violation would surface whichever panic Go's randomized
+	// map iteration reached first, making failure output flap run to run.
+	occ := make([]int32, len(si.laneFree))
 	for i := 0; i < si.numWorms; i++ {
 		w := si.worm(i)
 		if w.status == StatusDropped || w.status == StatusDelivered {
@@ -1320,16 +1402,14 @@ func (si *Sim) checkInvariants() {
 		}
 	}
 	for e, c := range occ {
-		if c != si.lanesInUse(int(e)) {
-			panic(fmt.Sprintf("vcsim: step %d: edge %d occupancy %d but slots in use %d", si.now, e, c, si.lanesInUse(int(e))))
+		if c != si.lanesInUse(e) {
+			if c == 0 {
+				panic(fmt.Sprintf("vcsim: step %d: edge %d has stale occupancy %d", si.now, e, si.lanesInUse(e)))
+			}
+			panic(fmt.Sprintf("vcsim: step %d: edge %d occupancy %d but slots in use %d", si.now, e, c, si.lanesInUse(e)))
 		}
 		if c > si.bI32 {
 			panic(fmt.Sprintf("vcsim: step %d: edge %d holds %d > B=%d flits", si.now, e, c, si.b))
-		}
-	}
-	for e := range si.laneFree {
-		if si.lanesInUse(e) != 0 && occ[int32(e)] == 0 {
-			panic(fmt.Sprintf("vcsim: step %d: edge %d has stale occupancy %d", si.now, e, si.lanesInUse(e)))
 		}
 	}
 }

@@ -66,13 +66,15 @@ const defaultParkStreak = 8
 
 // stepWakeup advances the simulation by one flit step, attempting only
 // worms that can plausibly move.
+//
+//wormvet:hotpath
 func (si *Sim) stepWakeup() {
 	random := si.cfg.Arbitration == ArbRandom
 	order := si.active
 	if random {
 		si.orderScratch = append(si.orderScratch[:0], si.active...)
 		order = si.orderScratch
-		si.shuffler.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		si.shuffler.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] }) //wormvet:allow hotalloc -- shuffle swap closure does not escape (escape harness)
 	}
 
 	moved := false
@@ -97,7 +99,7 @@ func (si *Sim) stepWakeup() {
 					needCompact = true
 				}
 			case si.cfg.DropOnDelay:
-				si.drop(w)
+				si.drop(w) //wormvet:allow hotalloc -- drop path: per-drop cost is accepted in drop-on-delay runs
 				droppedAny = true
 				needCompact = true
 			case slotEdge >= 0 && w.streak >= si.parkStreak-1:
@@ -130,7 +132,7 @@ func (si *Sim) stepWakeup() {
 					keep = append(keep, k)
 				}
 			case si.cfg.DropOnDelay:
-				si.drop(w)
+				si.drop(w) //wormvet:allow hotalloc -- drop path: per-drop cost is accepted in drop-on-delay runs
 				droppedAny = true
 			case slotEdge >= 0 && w.streak >= si.parkStreak-1:
 				w.streak = 0
@@ -151,7 +153,7 @@ func (si *Sim) stepWakeup() {
 	si.now++
 
 	if si.cfg.CheckInvariants {
-		si.checkInvariants()
+		si.checkInvariants() //wormvet:allow hotalloc -- debug-gated by Config.CheckInvariants
 	}
 
 	if !moved && !droppedAny && anyEligible {
@@ -160,8 +162,8 @@ func (si *Sim) stepWakeup() {
 		// (No wake can have fired this step: wakes need slot events, and
 		// slot events need an advance or a drop.)
 		si.deadlocked = true
-		si.stampDeadlock(order)
-		si.finishAsDeadlocked()
+		si.stampDeadlock(order) //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
+		si.finishAsDeadlocked() //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
 	}
 }
 
@@ -169,6 +171,8 @@ func (si *Sim) stepWakeup() {
 // the foreign edge, tagged with parkFlitBit when the block wants a
 // shared-pool credit rather than a lane (see deep.go). The stall meter
 // starts at the failed attempt just made (step si.now).
+//
+//wormvet:hotpath
 func (si *Sim) park(w *worm, k uint64, e int32) {
 	w.parkedAt = int32(si.now)
 	w.waitEdge = e
@@ -213,6 +217,8 @@ func (si *Sim) clearParkQueue(w *worm) {
 // would have failed this step too, since slot events fold in only at
 // step end. Under the deterministic policies woken worms are batched for
 // one sorted merge back into the active list.
+//
+//wormvet:hotpath
 func (si *Sim) wakeEdge(e int32) {
 	if si.deepMode {
 		si.wakeEdgeDeep(e)
@@ -221,7 +227,7 @@ func (si *Sim) wakeEdge(e int32) {
 	q := &si.waitQ[e]
 	if si.cfg.Arbitration == ArbRandom {
 		for _, k := range *q {
-			si.stampParked(k, si.now)
+			si.stampParked(k, int32(si.now))
 		}
 		*q = (*q)[:0]
 		return
@@ -233,7 +239,7 @@ func (si *Sim) wakeEdge(e int32) {
 		// crossing (which holds no slot) can saturate a woken worm's body
 		// edge and fail it on bandwidth even at cap == B.
 		for _, k := range *q {
-			si.stampParked(k, si.now)
+			si.stampParked(k, int32(si.now))
 			si.wokenScratch = append(si.wokenScratch, k)
 		}
 		*q = (*q)[:0]
@@ -241,7 +247,7 @@ func (si *Sim) wakeEdge(e int32) {
 	}
 	for free := si.laneFree[e]; free > 0 && len(*q) > 0; free-- {
 		k := si.heapPop(q)
-		si.stampParked(k, si.now)
+		si.stampParked(k, int32(si.now))
 		si.wokenScratch = append(si.wokenScratch, k)
 	}
 }
@@ -270,18 +276,20 @@ func (si *Sim) wakeEdge(e int32) {
 // per-step shuffle gives every waiter a shot at any arbitration
 // position, so no priority argument applies (its waiters never left
 // the active list; waking is just unparking).
+//
+//wormvet:hotpath
 func (si *Sim) wakeEdgeDeep(e int32) {
 	random := si.cfg.Arbitration == ArbRandom
 	if q := &si.waitQ[e]; len(*q) > 0 && si.laneFree[e] > 0 && (!si.shared || si.flitFree[e] > 0) {
 		if random {
 			for _, k := range *q {
-				si.stampParked(k, si.now)
+				si.stampParked(k, int32(si.now))
 			}
 			*q = (*q)[:0]
 		} else {
 			for free := si.laneFree[e]; free > 0 && len(*q) > 0; free-- {
 				k := si.heapPop(q)
-				si.stampParked(k, si.now)
+				si.stampParked(k, int32(si.now))
 				si.wokenScratch = append(si.wokenScratch, k)
 			}
 		}
@@ -292,13 +300,13 @@ func (si *Sim) wakeEdgeDeep(e int32) {
 	if q := &si.waitQFlit[e]; len(*q) > 0 && si.flitFree[e] > 0 {
 		if random {
 			for _, k := range *q {
-				si.stampParked(k, si.now)
+				si.stampParked(k, int32(si.now))
 			}
 			*q = (*q)[:0]
 		} else {
 			for free := si.flitFree[e]; free > 0 && len(*q) > 0; free-- {
 				k := si.heapPop(q)
-				si.stampParked(k, si.now)
+				si.stampParked(k, int32(si.now))
 				si.wokenScratch = append(si.wokenScratch, k)
 			}
 		}
@@ -319,7 +327,7 @@ func (si *Sim) flushParked() {
 			continue
 		}
 		for _, k := range q {
-			si.stampParked(k, si.now-1)
+			si.stampParked(k, int32(si.now)-1)
 			if si.cfg.Arbitration != ArbRandom {
 				// ArbRandom waiters never left the active list; the
 				// deterministic policies re-insert at policy position.
@@ -334,8 +342,11 @@ func (si *Sim) flushParked() {
 // keys — pure integer sifts, no worm lookups — keeping park at
 // O(log queue) and a slot event at O(slots·log queue) instead of
 // O(queue).
+//
+//wormvet:hotpath
 func (si *Sim) heapPush(q *[]uint64, k uint64) {
-	h := append(*q, k)
+	*q = append(*q, k)
+	h := *q
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -348,6 +359,7 @@ func (si *Sim) heapPush(q *[]uint64, k uint64) {
 	*q = h
 }
 
+//wormvet:hotpath
 func (si *Sim) heapPop(q *[]uint64) uint64 {
 	h := *q
 	top := h[0]
@@ -376,9 +388,11 @@ func (si *Sim) heapPop(q *[]uint64) uint64 {
 // stampParked credits the worm behind list entry k with one stall for
 // every step in [parkedAt, through] — the steps its advance attempt would
 // have failed — and unparks it.
-func (si *Sim) stampParked(k uint64, through int) {
+//
+//wormvet:hotpath
+func (si *Sim) stampParked(k uint64, through int32) {
 	w := si.wormK(k)
-	stall := int32(through) - w.parkedAt + 1
+	stall := through - w.parkedAt + 1
 	w.stalls += stall
 	si.totalStalls += int(stall)
 	w.parkedAt = -1
@@ -397,12 +411,14 @@ func (si *Sim) stampParked(k uint64, through int) {
 // mergeWoken folds this step's woken worms back into the active list
 // with one sorted merge: O(woken·log woken + active), versus the
 // quadratic cost of inserting a long wait queue one worm at a time.
+//
+//wormvet:hotpath
 func (si *Sim) mergeWoken() {
 	woken := si.wokenScratch
 	if len(woken) == 0 {
 		return
 	}
-	slices.Sort(woken)
+	slices.Sort(woken) //wormvet:allow hotalloc -- in-place sort of the woken batch
 	a := si.active
 	merged := si.mergeScratch[:0]
 	i, j := 0, 0
@@ -425,13 +441,15 @@ func (si *Sim) mergeWoken() {
 // insertActive inserts policy key k into the active list at its policy
 // position; the common case — k belongs at the end — is O(1). Used for
 // admissions; wakes go through mergeWoken in batches.
+//
+//wormvet:hotpath
 func (si *Sim) insertActive(k uint64) {
 	a := si.active
 	if n := len(a); n == 0 || a[n-1] < k {
-		si.active = append(a, k)
+		si.active = append(si.active, k)
 		return
 	}
-	pos := sort.Search(len(a), func(i int) bool { return k < a[i] })
+	pos := sort.Search(len(a), func(i int) bool { return k < a[i] }) //wormvet:allow hotalloc -- binary search; the closure does not escape (escape harness)
 	a = append(a, 0)
 	copy(a[pos+1:], a[pos:])
 	a[pos] = k
@@ -453,7 +471,7 @@ func (si *Sim) stampDeadlock(order []uint64) {
 			si.blockedIDs[i] = message.ID(uint32(k))
 			if w := si.wormK(k); w.parkedAt >= 0 {
 				si.clearParkQueue(w)
-				si.stampParked(k, si.now-1)
+				si.stampParked(k, int32(si.now)-1)
 			}
 		}
 		return
@@ -473,7 +491,7 @@ func (si *Sim) stampDeadlock(order []uint64) {
 		si.blockedIDs[i] = message.ID(uint32(k))
 		if w := si.wormK(k); w.parkedAt >= 0 {
 			si.clearParkQueue(w)
-			si.stampParked(k, si.now-1)
+			si.stampParked(k, int32(si.now)-1)
 		}
 	}
 }
