@@ -10,6 +10,16 @@
 //	netviz -topo mesh -n 4                 # 4x4 mesh
 //	netviz -topo hypercube -n 16
 //	netviz -topo adversary -b 2 -d 16 -c 6 # Theorem 2.2.1 network
+//
+// With -heatmap, netviz overlays a telemetry snapshot (wormbench
+// -telemetry, or any telemetry.WriteSnapshotFile output) onto the
+// topology: -dot colors each edge on a gray→red ramp by its share of the
+// chosen -metric (stall count or mean occupancy), and without -dot it
+// prints the hottest edges as a ranked table. The snapshot must have been
+// recorded on the same topology — edge counts are checked.
+//
+//	netviz -topo butterfly -n 64 -heatmap snap.json -dot > heat.dot
+//	netviz -topo butterfly -n 64 -heatmap snap.json -metric occupancy
 package main
 
 import (
@@ -17,10 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 
 	"wormhole/internal/graph"
 	"wormhole/internal/lowerbound"
+	"wormhole/internal/telemetry"
 	"wormhole/internal/topology"
 )
 
@@ -40,6 +53,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		d    = fs.Int("d", 16, "target dilation (adversary topology)")
 		c    = fs.Int("c", 6, "target congestion (adversary topology)")
 		dot  = fs.Bool("dot", false, "emit Graphviz DOT instead of a summary")
+		heat = fs.String("heatmap", "", "telemetry snapshot JSON to overlay as a per-edge heatmap")
+		met  = fs.String("metric", "stalls", "heatmap metric: stalls|occupancy")
+		top  = fs.Int("top", 10, "rows in the hottest-edges table (-heatmap without -dot)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -73,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *heat != "" {
+		return runHeatmap(g, name, *heat, *met, *top, *dot, stdout, stderr)
+	}
 	if *dot {
 		fmt.Fprint(stdout, g.DOT(name))
 		return 0
@@ -80,4 +99,85 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "%s: %d nodes, %d edges, max degree %d, DAG=%v, diameter=%d\n",
 		name, g.NumNodes(), g.NumEdges(), g.MaxDegree(), graph.IsDAG(g), graph.Diameter(g))
 	return 0
+}
+
+// runHeatmap overlays the per-edge telemetry from snapshot file path onto g:
+// as colored DOT when dot is set, otherwise as a ranked hottest-edges table.
+func runHeatmap(g *graph.Graph, name, path, metric string, top int, dot bool, stdout, stderr io.Writer) int {
+	snap, err := telemetry.ReadSnapshotFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "netviz: %v\n", err)
+		return 1
+	}
+	var vals []float64
+	switch metric {
+	case "stalls":
+		vals = make([]float64, len(snap.EdgeStalls))
+		for e, s := range snap.EdgeStalls {
+			vals[e] = float64(s)
+		}
+	case "occupancy":
+		vals = append([]float64(nil), snap.EdgeOcc...)
+	default:
+		fmt.Fprintf(stderr, "netviz: unknown metric %q (want stalls or occupancy)\n", metric)
+		return 2
+	}
+	if len(vals) != g.NumEdges() {
+		fmt.Fprintf(stderr, "netviz: snapshot covers %d edges but topology %s has %d — was it recorded on a different network?\n",
+			len(vals), name, g.NumEdges())
+		return 2
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if dot {
+		fmt.Fprint(stdout, g.DOTEdges(name, func(e graph.EdgeID) string {
+			v := vals[e]
+			if v <= 0 || max <= 0 {
+				return ""
+			}
+			t := v / max
+			return fmt.Sprintf("color=%q penwidth=%.2f", heatColor(t), 1+2*t)
+		}))
+		return 0
+	}
+	order := make([]int, len(vals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return vals[order[i]] > vals[order[j]] })
+	if top < len(order) {
+		order = order[:top]
+	}
+	fmt.Fprintf(stdout, "%s: hottest edges by %s (of %d)\n", name, metric, g.NumEdges())
+	fmt.Fprintf(stdout, "%6s  %-16s %12s %10s\n", "edge", "tail>head", "stalls", "occ_mean")
+	for _, e := range order {
+		ed := g.Edge(graph.EdgeID(e))
+		tl, hl := g.Label(ed.Tail), g.Label(ed.Head)
+		if tl == "" {
+			tl = fmt.Sprint(ed.Tail)
+		}
+		if hl == "" {
+			hl = fmt.Sprint(ed.Head)
+		}
+		var stalls int64
+		if e < len(snap.EdgeStalls) {
+			stalls = snap.EdgeStalls[e]
+		}
+		var occ float64
+		if e < len(snap.EdgeOcc) {
+			occ = snap.EdgeOcc[e]
+		}
+		fmt.Fprintf(stdout, "%6d  %-16s %12d %10.4f\n", e, tl+">"+hl, stalls, occ)
+	}
+	return 0
+}
+
+// heatColor maps t in [0,1] onto a gray→red ramp (Graphviz hex color).
+func heatColor(t float64) string {
+	lerp := func(a, b int) int { return a + int(math.Round(t*float64(b-a))) }
+	return fmt.Sprintf("#%02x%02x%02x", lerp(0xd9, 0xd7), lerp(0xd9, 0x30), lerp(0xd9, 0x27))
 }

@@ -29,11 +29,22 @@
 //
 //	go run ./cmd/wormbench -bench -cpuprofile cpu.prof
 //	go tool pprof -top cpu.prof
+//
+// -telemetry FILE attaches hot-path counters to whatever the invocation
+// runs and writes the resulting snapshot as JSON: with -run/-all every
+// simulator feeds one aggregate; with -bench the knee-telemetry
+// workload's snapshot is exported; alone it runs the knee smoke workload
+// with counters and a windowed time series. -http ADDR additionally
+// serves the latest published snapshot at /metrics and the standard
+// net/http/pprof handlers at /debug/pprof for live inspection.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -41,6 +52,7 @@ import (
 
 	"wormhole/internal/bench"
 	"wormhole/internal/core"
+	"wormhole/internal/telemetry"
 )
 
 func main() {
@@ -67,8 +79,22 @@ func run() int {
 		benchReps = flag.Int("benchreps", 5, "benchmark repeats (best-of)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file")
+		telOut    = flag.String("telemetry", "", "write a telemetry snapshot JSON to this file (attaches counters to whatever runs; alone it runs the knee smoke workload)")
+		httpAddr  = flag.String("http", "", "serve live telemetry (/metrics) and net/http/pprof (/debug/pprof) on this address")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wormbench: http:", err)
+			return 1
+		}
+		defer ln.Close()
+		http.Handle("/metrics", telemetry.Default)
+		fmt.Fprintf(os.Stderr, "wormbench: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint:errcheck -- best-effort diagnostics server
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -101,10 +127,13 @@ func run() int {
 	}
 
 	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers, Scale: *scale}
+	if *telOut != "" {
+		cfg.Telemetry = telemetry.NewAggregate()
+	}
 
 	switch {
 	case *doBench:
-		return runBench(*benchOut, *baseline, *benchReps)
+		return runBench(*benchOut, *baseline, *benchReps, *telOut)
 	case *list:
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
@@ -115,8 +144,26 @@ func run() int {
 				return code
 			}
 		}
+		return writeTelemetry(*telOut, cfg.Telemetry)
 	case *run != "":
-		return runOne(*run, cfg, *csvOut)
+		if code := runOne(*run, cfg, *csvOut); code != 0 {
+			return code
+		}
+		return writeTelemetry(*telOut, cfg.Telemetry)
+	case *telOut != "":
+		// Standalone -telemetry: run the knee smoke workload with the full
+		// observability surface and export its snapshot (the CI smoke step).
+		snap, err := bench.TelemetrySmoke()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wormbench: telemetry:", err)
+			return 1
+		}
+		if err := telemetry.WriteSnapshotFile(*telOut, snap); err != nil {
+			fmt.Fprintln(os.Stderr, "wormbench: telemetry:", err)
+			return 1
+		}
+		fmt.Printf("telemetry: knee smoke snapshot (steps=%d, %d windows) written to %s\n",
+			snap.Counter("steps"), len(snap.Windows), *telOut)
 	default:
 		flag.Usage()
 		return 2
@@ -124,12 +171,37 @@ func run() int {
 	return 0
 }
 
-func runBench(out, baselinePath string, reps int) int {
+// writeTelemetry publishes and exports the aggregate collected across the
+// experiments just run. A nil aggregate (no -telemetry flag) is a no-op.
+func writeTelemetry(path string, agg *telemetry.Aggregate) int {
+	if agg == nil {
+		return 0
+	}
+	snap := agg.Snapshot()
+	telemetry.Default.Publish(snap)
+	if err := telemetry.WriteSnapshotFile(path, snap); err != nil {
+		fmt.Fprintln(os.Stderr, "wormbench: telemetry:", err)
+		return 1
+	}
+	fmt.Printf("telemetry: aggregate of %d registries (steps=%d) written to %s\n",
+		agg.Len(), snap.Counter("steps"), path)
+	return 0
+}
+
+func runBench(out, baselinePath string, reps int, telOut string) int {
 	start := time.Now()
 	rep, err := bench.Collect(reps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wormbench: bench:", err)
 		return 1
+	}
+	if telOut != "" && rep.Telemetry != nil {
+		telemetry.Default.Publish(*rep.Telemetry)
+		if err := telemetry.WriteSnapshotFile(telOut, *rep.Telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, "wormbench: telemetry:", err)
+			return 1
+		}
+		fmt.Printf("telemetry: knee-telemetry snapshot written to %s\n", telOut)
 	}
 	for _, e := range rep.Entries {
 		fmt.Printf("%-28s %12.0f ns/%s %10.3f allocs/%s\n",

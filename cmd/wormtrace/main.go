@@ -10,6 +10,13 @@
 //	wormtrace -scenario ring -msgs 2 -b 1          # deadlock, frozen frame
 //	wormtrace -scenario ring -msgs 2 -b 2          # resolved by a 2nd VC
 //	wormtrace -scenario butterfly -msgs 6 -b 1
+//
+// -format selects the output: "ascii" (default) draws the in-terminal
+// space-time diagram; "chrome" emits Chrome trace-event JSON from the
+// telemetry event stream — open it in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. The ASCII reconstruction assumes rigid worms and
+// refuses deep-engine configs (-d > 1 or -shared); the chrome stream
+// records real events and handles both engines.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"wormhole/internal/graph"
 	"wormhole/internal/message"
 	"wormhole/internal/rng"
+	"wormhole/internal/telemetry"
 	"wormhole/internal/topology"
 	"wormhole/internal/trace"
 	"wormhole/internal/vcsim"
@@ -46,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drop     = fs.Bool("drop", false, "drop-on-delay mode")
 		n        = fs.Int("n", 8, "butterfly inputs / ring nodes")
 		seed     = fs.Uint64("seed", 7, "random seed")
+		format   = fs.String("format", "ascii", "ascii|chrome (chrome = Perfetto trace-event JSON)")
+		d        = fs.Int("d", 1, "lane depth (d > 1 selects the deep engine)")
+		shared   = fs.Bool("shared", false, "shared per-edge flit pool (deep engine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -83,14 +94,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	rec := trace.NewRecorder(set)
-	res := vcsim.Run(set, nil, vcsim.Config{
+	cfg := vcsim.Config{
 		VirtualChannels: *b,
+		LaneDepth:       *d,
+		SharedPool:      *shared,
 		DropOnDelay:     *drop,
-		Observer:        rec,
-	})
-	fmt.Fprintf(stdout, "scenario=%s msgs=%d B=%d L=%d: steps=%d delivered=%d dropped=%d stalls=%d deadlocked=%v\n\n",
-		*scenario, set.Len(), *b, *l, res.Steps, res.Delivered, res.Dropped, res.TotalStalls, res.Deadlocked)
-	fmt.Fprint(stdout, rec.Render())
+	}
+	switch *format {
+	case "ascii":
+		rec := trace.NewRecorder(set)
+		if err := rec.Observe(&cfg); err != nil {
+			fmt.Fprintf(stderr, "wormtrace: %v\n", err)
+			return 2
+		}
+		res := vcsim.Run(set, nil, cfg)
+		fmt.Fprintf(stdout, "scenario=%s msgs=%d B=%d L=%d: steps=%d delivered=%d dropped=%d stalls=%d deadlocked=%v\n\n",
+			*scenario, set.Len(), *b, *l, res.Steps, res.Delivered, res.Dropped, res.TotalStalls, res.Deadlocked)
+		fmt.Fprint(stdout, rec.Render())
+	case "chrome":
+		// Size the ring for the whole run: every flit move is one advance
+		// event, so Σ(D+L) events bounds advances; 4× covers the
+		// park/wake/credit/inject/deliver envelope on these small scenarios.
+		capacity := 1024
+		for i := 0; i < set.Len(); i++ {
+			m := set.Get(message.ID(i))
+			capacity += 4 * (len(m.Path) + m.Length)
+		}
+		tr := telemetry.NewTrace(capacity)
+		cfg.Trace = tr
+		vcsim.Run(set, nil, cfg)
+		if err := telemetry.WriteChrome(stdout, tr.Events()); err != nil {
+			fmt.Fprintf(stderr, "wormtrace: %v\n", err)
+			return 1
+		}
+	default:
+		fmt.Fprintf(stderr, "wormtrace: unknown format %q (want ascii or chrome)\n", *format)
+		return 2
+	}
 	return 0
 }

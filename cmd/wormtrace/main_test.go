@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -73,5 +74,64 @@ func TestHelpExitsZero(t *testing.T) {
 	_, stderr, code := runCLI(t, "-h")
 	if code != 0 || !strings.Contains(stderr, "Usage") {
 		t.Errorf("-h: code=%d stderr=%q, want exit 0 with usage text", code, stderr)
+	}
+}
+
+func TestChromeFormatGolden(t *testing.T) {
+	out, _, code := runCLI(t, "-scenario", "line", "-msgs", "1", "-span", "2", "-l", "2", "-b", "1", "-format", "chrome")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Ts   int    `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+	}
+	// One worm: one B (inject) closed by one E (deliver), plus metadata
+	// records and advance/credit instants.
+	if phases["B"] != 1 || phases["E"] != 1 {
+		t.Errorf("want exactly one B/E slice pair, got phases %v", phases)
+	}
+	if phases["M"] == 0 || phases["i"] == 0 {
+		t.Errorf("missing metadata or instant events: %v", phases)
+	}
+}
+
+func TestChromeFormatHandlesDeepEngine(t *testing.T) {
+	out, _, code := runCLI(t, "-scenario", "line", "-msgs", "3", "-span", "4", "-l", "4", "-b", "1", "-d", "3", "-format", "chrome")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !json.Valid([]byte(out)) || !strings.Contains(out, `"ph":"B"`) {
+		t.Errorf("deep-engine chrome trace invalid or empty:\n%.300s", out)
+	}
+}
+
+func TestASCIIRejectsDeepEngine(t *testing.T) {
+	for _, extra := range [][]string{{"-d", "2"}, {"-shared"}} {
+		args := append([]string{"-scenario", "line", "-msgs", "2"}, extra...)
+		_, stderr, code := runCLI(t, args...)
+		if code != 2 || !strings.Contains(stderr, "deep-engine") {
+			t.Errorf("%v: code=%d stderr=%q, want exit 2 with deep-engine rejection", extra, code, stderr)
+		}
+	}
+}
+
+func TestUnknownFormatFails(t *testing.T) {
+	_, stderr, code := runCLI(t, "-format", "bogus")
+	if code != 2 || !strings.Contains(stderr, "unknown format") {
+		t.Errorf("code=%d stderr=%q, want exit 2 with unknown-format error", code, stderr)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"wormhole/internal/core"
+	"wormhole/internal/telemetry"
 	"wormhole/internal/traffic"
 	"wormhole/internal/vcsim"
 )
@@ -50,6 +51,10 @@ type Report struct {
 	// collecting machine, used to normalize ns/step across machines.
 	CalibrationNs float64 `json:"calibration_ns"`
 	Entries       []Entry `json:"entries"`
+	// Telemetry is the counter snapshot from the knee-telemetry workload's
+	// final repeat (wormbench -telemetry exports it). Not compared by the
+	// gate.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // NsTolerance is the default allowed calibration-normalized ns/step
@@ -82,11 +87,13 @@ func calibrate() float64 {
 }
 
 // workload is one benchmark: run executes it once and returns the step
-// count the elapsed time is divided by.
+// count the elapsed time is divided by. snap, when set, is called after
+// the last repeat to export the workload's telemetry snapshot.
 type workload struct {
 	name string
 	unit string
 	run  func() (steps int64, err error)
+	snap func() telemetry.Snapshot
 }
 
 // openLoop builds a repeatable open-loop workload on a lazily constructed
@@ -115,8 +122,9 @@ func openLoop(cfg traffic.Config) func() (int64, error) {
 	}
 }
 
-func workloads() []workload {
-	openLight := traffic.Config{
+// lightConfig is the light open-loop operating point (B=4, rate 0.1).
+func lightConfig() traffic.Config {
+	return traffic.Config{
 		Net:             traffic.NewButterflyNet(64),
 		VirtualChannels: 4,
 		MessageLength:   6,
@@ -129,13 +137,24 @@ func workloads() []workload {
 		Drain:           2048,
 		Seed:            17,
 	}
-	openKnee := openLight
-	openKnee.VirtualChannels = 2
-	openKnee.Rate = 0.3
-	openKnee.Warmup = 2048
-	openKnee.Measure = 8192
-	openKnee.Drain = 32768
-	openKnee.MaxBacklog = 65536
+}
+
+// kneeConfig is the near-saturation operating point (B=2, rate 0.3; the
+// d=1 knee is ~0.306) shared by the knee workloads and TelemetrySmoke.
+func kneeConfig() traffic.Config {
+	cfg := lightConfig()
+	cfg.VirtualChannels = 2
+	cfg.Rate = 0.3
+	cfg.Warmup = 2048
+	cfg.Measure = 8192
+	cfg.Drain = 32768
+	cfg.MaxBacklog = 65536
+	return cfg
+}
+
+func workloads() []workload {
+	openLight := lightConfig()
+	openKnee := kneeConfig()
 
 	// Deep-buffer knee workloads: the same B=2 near-saturation operating
 	// point, but with 4-flit lanes (static and shared pool) — the deep
@@ -147,11 +166,20 @@ func workloads() []workload {
 	deepKneeShared := deepKneeStatic
 	deepKneeShared.SharedPool = true
 
+	// The knee again with hot-path counters attached (no windowed series:
+	// counters must keep the steady state allocation-free). The entry's
+	// delta against OpenLoopStep/knee IS the counters-on overhead, and the
+	// gate ratchets it like every other entry.
+	kneeTelemetry := openKnee
+	met := telemetry.NewMetrics()
+	kneeTelemetry.Metrics = met
+
 	list := []workload{
-		{"OpenLoopStep/light", "step", openLoop(openLight)},
-		{"OpenLoopStep/knee", "step", openLoop(openKnee)},
-		{"OpenLoopStep/deepknee-static", "step", openLoop(deepKneeStatic)},
-		{"OpenLoopStep/deepknee-shared", "step", openLoop(deepKneeShared)},
+		{name: "OpenLoopStep/light", unit: "step", run: openLoop(openLight)},
+		{name: "OpenLoopStep/knee", unit: "step", run: openLoop(openKnee)},
+		{name: "OpenLoopStep/knee-telemetry", unit: "step", run: openLoop(kneeTelemetry), snap: met.Snapshot},
+		{name: "OpenLoopStep/deepknee-static", unit: "step", run: openLoop(deepKneeStatic)},
+		{name: "OpenLoopStep/deepknee-shared", unit: "step", run: openLoop(deepKneeShared)},
 	}
 	for _, b := range []int{1, 2, 4} {
 		b := b
@@ -239,8 +267,35 @@ func Collect(repeats int) (Report, error) {
 			Name: w.name, Unit: w.unit,
 			NsPerStep: bestNs, AllocsPerStep: bestAllocs, Steps: steps,
 		})
+		if w.snap != nil {
+			s := w.snap()
+			rep.Telemetry = &s
+		}
 	}
 	return rep, nil
+}
+
+// TelemetrySmoke runs the knee workload once with the full observability
+// surface attached — hot-path counters plus a windowed time series
+// published to telemetry.Default — and returns the resulting snapshot.
+// wormbench -telemetry (without -bench/-run/-all) and the CI telemetry
+// smoke step use it.
+func TelemetrySmoke() (telemetry.Snapshot, error) {
+	cfg := kneeConfig()
+	met := telemetry.NewMetrics()
+	cfg.Metrics = met
+	cfg.Window = 1024
+	cfg.Publish = telemetry.Default
+	r, err := traffic.NewRunner(cfg)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	if _, err := r.Run(); err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	s := met.Snapshot()
+	s.Windows = append([]telemetry.WindowStats(nil), r.Windows()...)
+	return s, nil
 }
 
 // Compare checks current against baseline and returns one message per

@@ -91,7 +91,7 @@ func TestCollectSmoke(t *testing.T) {
 		t.Fatal("no calibration measurement")
 	}
 	want := []string{
-		"OpenLoopStep/light", "OpenLoopStep/knee",
+		"OpenLoopStep/light", "OpenLoopStep/knee", "OpenLoopStep/knee-telemetry",
 		"OpenLoopStep/deepknee-static", "OpenLoopStep/deepknee-shared",
 		"SimulatorGreedy/B=1", "SimulatorGreedy/B=2", "SimulatorGreedy/B=4",
 		"ParallelHarness/workers=8",

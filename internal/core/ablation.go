@@ -137,6 +137,7 @@ func A3Drop(cfg Config) []*stats.Table {
 		return vcsim.Run(set, nil, vcsim.Config{
 			VirtualChannels: jobs[i].b, DropOnDelay: jobs[i].drop,
 			Arbitration: vcsim.ArbRandom, Seed: cfg.Seed,
+			Metrics: cfg.metrics(),
 		})
 	})
 	t := stats.NewTable(
@@ -263,7 +264,7 @@ func A5PathSelection(cfg Config) []*stats.Table {
 	}
 	outs := mapJobs(cfg, len(selectors), func(i int) out {
 		p := NewProblem(selectors[i].name, selectors[i].build())
-		sched, res, err := p.RouteScheduled(ScheduleOptions{B: 2, Seed: cfg.Seed})
+		sched, res, err := p.RouteScheduled(ScheduleOptions{B: 2, Seed: cfg.Seed, Metrics: cfg.metrics()})
 		if err != nil {
 			panic(fmt.Sprintf("A5 %s: %v", selectors[i].name, err))
 		}

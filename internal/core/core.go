@@ -20,6 +20,7 @@ import (
 	"wormhole/internal/message"
 	"wormhole/internal/rng"
 	"wormhole/internal/schedule"
+	"wormhole/internal/telemetry"
 	"wormhole/internal/topology"
 	"wormhole/internal/vcsim"
 )
@@ -51,6 +52,9 @@ type GreedyOptions struct {
 	Policy     vcsim.Policy
 	Seed       uint64
 	Restricted bool // restricted-bandwidth model (Section 1.4 remark)
+	// Metrics optionally collects hot-path telemetry from the run; nil
+	// leaves telemetry off (zero cost).
+	Metrics *telemetry.Metrics
 }
 
 // RouteGreedy injects every message at time 0 and routes greedily.
@@ -60,6 +64,7 @@ func (p *Problem) RouteGreedy(opts GreedyOptions) vcsim.Result {
 		Arbitration:         opts.Policy,
 		Seed:                opts.Seed,
 		RestrictedBandwidth: opts.Restricted,
+		Metrics:             opts.Metrics,
 	})
 }
 
@@ -78,6 +83,10 @@ type ScheduleOptions struct {
 	// up to B times longer). 0 means 1.
 	SpacingFactor int
 	Restricted    bool
+	// Metrics optionally collects hot-path telemetry from the execution
+	// run (both the verified and the stretched/restricted paths); nil
+	// leaves telemetry off (zero cost).
+	Metrics *telemetry.Metrics
 }
 
 // DefaultConstantScale is the experiments' refinement-constant scale.
@@ -104,7 +113,7 @@ func (p *Problem) RouteScheduled(opts ScheduleOptions) (*schedule.Schedule, vcsi
 		sf = 1
 	}
 	if sf == 1 && !opts.Restricted {
-		res, err := schedule.Verify(p.Set, sched)
+		res, err := schedule.VerifyObserved(p.Set, sched, opts.Metrics)
 		return sched, res, err
 	}
 	releases := make([]int, len(sched.Releases))
@@ -114,6 +123,7 @@ func (p *Problem) RouteScheduled(opts ScheduleOptions) (*schedule.Schedule, vcsi
 	res := vcsim.Run(p.Set, releases, vcsim.Config{
 		VirtualChannels:     opts.B,
 		RestrictedBandwidth: opts.Restricted,
+		Metrics:             opts.Metrics,
 	})
 	if !res.AllDelivered() {
 		return sched, res, fmt.Errorf("core: scheduled run delivered %d/%d", res.Delivered, p.Set.Len())

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"wormhole/internal/stats"
+	"wormhole/internal/telemetry"
 )
 
 // Config parameterizes an experiment run.
@@ -25,6 +26,11 @@ type Config struct {
 	// default). CI runs the default; larger scales — the documented
 	// offline 1024-input T14 — are opt-in via wormbench -scale.
 	Scale int
+	// Telemetry, when non-nil, collects hot-path counters from every
+	// simulator the experiment runs. Each concurrent job gets its own
+	// child registry (via metrics), folded deterministically at
+	// Telemetry.Snapshot(). Tables stay byte-identical either way.
+	Telemetry *telemetry.Aggregate
 }
 
 func (c Config) trials(def int) int {
@@ -32,6 +38,16 @@ func (c Config) trials(def int) int {
 		return c.Trials
 	}
 	return def
+}
+
+// metrics returns a fresh child registry of the experiment's telemetry
+// aggregate, or nil when telemetry is off. Metrics registries must not be
+// shared across concurrent simulators, so each job calls this once.
+func (c Config) metrics() *telemetry.Metrics {
+	if c.Telemetry == nil {
+		return nil
+	}
+	return c.Telemetry.NewMetrics()
 }
 
 // Experiment is a runnable reproduction unit keyed by the IDs catalogued

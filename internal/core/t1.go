@@ -33,7 +33,7 @@ func T1ScheduleLength(cfg Config) []T1Row {
 	// speedup columns are filled in after the fan-out.
 	rows := mapJobs(cfg, len(probs)*len(bs), func(i int) T1Row {
 		p, b := probs[i/len(bs)], bs[i%len(bs)]
-		sched, res, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
+		sched, res, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b), Metrics: cfg.metrics()})
 		if err != nil {
 			panic(fmt.Sprintf("T1: %s B=%d: %v", p.Label, b, err))
 		}

@@ -71,7 +71,7 @@ func T11DallySeitz(cfg Config) []T11Row {
 		j := jobs[i]
 		r := deadlock.NewRing(n, j.classes)
 		set := r.SparseWorkload(j.starts, n-1, l)
-		res := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: j.b})
+		res := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: j.b, Metrics: cfg.metrics()})
 		return T11Row{
 			Ring:       n,
 			Discipline: j.discipline,

@@ -162,7 +162,9 @@ func T13OpenLoop(cfg Config) []T13Row {
 	return mapJobs(cfg, len(archs)*len(p.rates), func(i int) T13Row {
 		a, rate := archs[i/len(p.rates)], p.rates[i%len(p.rates)]
 		seed := t13Seed(cfg, a) + uint64(rate*1e6)
-		res, err := traffic.Run(p.traffic(a, rate, seed))
+		tc := p.traffic(a, rate, seed)
+		tc.Metrics = cfg.metrics()
+		res, err := traffic.Run(tc)
 		if err != nil {
 			panic(fmt.Sprintf("T13: %s: %v", a.label(), err))
 		}
@@ -187,8 +189,9 @@ func T13Saturation(cfg Config) []T13SatRow {
 	archs := p.archs()
 	return mapJobs(cfg, len(archs), func(i int) T13SatRow {
 		a := archs[i]
-		sr, err := traffic.SaturationRate(
-			p.traffic(a, 1 /* overwritten per probe */, t13Seed(cfg, a)),
+		tc := p.traffic(a, 1 /* overwritten per probe */, t13Seed(cfg, a))
+		tc.Metrics = cfg.metrics() // probes run sequentially within the job
+		sr, err := traffic.SaturationRate(tc,
 			traffic.SearchOptions{Hi: p.searchHi, Iters: p.searchIter})
 		if err != nil {
 			panic(fmt.Sprintf("T13: saturation search %s: %v", a.label(), err))

@@ -128,7 +128,9 @@ func T14OpenLoop(cfg Config) []T14Row {
 	return mapJobs(cfg, len(p.archs)*len(p.rates), func(i int) T14Row {
 		a, rate := p.archs[i/len(p.rates)], p.rates[i%len(p.rates)]
 		seed := t14Seed(cfg, a) + uint64(rate*1e6)
-		res, err := traffic.Run(p.traffic(a, rate, seed))
+		tc := p.traffic(a, rate, seed)
+		tc.Metrics = cfg.metrics()
+		res, err := traffic.Run(tc)
 		if err != nil {
 			panic(fmt.Sprintf("T14: %s: %v", a.label(), err))
 		}
@@ -152,8 +154,9 @@ func T14Saturation(cfg Config) []T14SatRow {
 	p := t14Scale(cfg)
 	return mapJobs(cfg, len(p.archs), func(i int) T14SatRow {
 		a := p.archs[i]
-		sr, err := traffic.SaturationRate(
-			p.traffic(a, 1 /* overwritten per probe */, t14Seed(cfg, a)),
+		tc := p.traffic(a, 1 /* overwritten per probe */, t14Seed(cfg, a))
+		tc.Metrics = cfg.metrics() // probes run sequentially within the job
+		sr, err := traffic.SaturationRate(tc,
 			traffic.SearchOptions{Hi: p.searchHi, Iters: p.searchIter})
 		if err != nil {
 			panic(fmt.Sprintf("T14: saturation search %s: %v", a.label(), err))

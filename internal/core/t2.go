@@ -51,11 +51,11 @@ func T2LowerBound(cfg Config) []T2Row {
 		})
 		p := NewProblem(fmt.Sprintf("adversary(B=%d)", c.b), con.Set)
 
-		greedy := p.RouteGreedy(GreedyOptions{B: c.b, Policy: vcsim.ArbAge})
+		greedy := p.RouteGreedy(GreedyOptions{B: c.b, Policy: vcsim.ArbAge, Metrics: cfg.metrics()})
 		if !greedy.AllDelivered() || greedy.Deadlocked {
 			panic(fmt.Sprintf("T2: greedy failed on adversarial instance B=%d (deadlock=%v)", c.b, greedy.Deadlocked))
 		}
-		_, sched, err := p.RouteScheduled(ScheduleOptions{B: c.b, Seed: cfg.Seed})
+		_, sched, err := p.RouteScheduled(ScheduleOptions{B: c.b, Seed: cfg.Seed, Metrics: cfg.metrics()})
 		if err != nil {
 			panic(fmt.Sprintf("T2: schedule failed: %v", err))
 		}
@@ -114,11 +114,11 @@ func T2Superlinear(cfg Config) []T2SpeedupRow {
 	// columns is applied after the fan-out.
 	rows := mapJobs(cfg, len(vcs), func(i int) T2SpeedupRow {
 		b := vcs[i]
-		greedy := p.RouteGreedy(GreedyOptions{B: b, Policy: vcsim.ArbAge})
+		greedy := p.RouteGreedy(GreedyOptions{B: b, Policy: vcsim.ArbAge, Metrics: cfg.metrics()})
 		if !greedy.AllDelivered() {
 			panic(fmt.Sprintf("T2: greedy with %d VCs failed on fixed adversary", b))
 		}
-		_, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
+		_, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b), Metrics: cfg.metrics()})
 		if err != nil {
 			panic(fmt.Sprintf("T2: schedule with %d VCs failed: %v", b, err))
 		}

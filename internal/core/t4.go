@@ -69,7 +69,7 @@ func T4OnePass(cfg Config) []T4Row {
 			}
 			out.collidePre = butterfly.TheoreticalCollisionSize(c.n, c.q, l, b)
 			set := butterflySet(bf, pairs, l)
-			sim := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: b})
+			sim := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: b, Metrics: cfg.metrics()})
 			mp, _ := butterfly.PhasePartition(sim, min(l, topology.Log2(c.n)), l)
 			out.maxPhase = mp
 		}

@@ -46,8 +46,8 @@ func T5RouterComparison(cfg Config) []T5Row {
 	for _, b := range bs {
 		b := b
 		jobs = append(jobs, func() []T5Row {
-			g := p.RouteGreedy(GreedyOptions{B: b, Policy: vcsim.ArbAge})
-			_, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed})
+			g := p.RouteGreedy(GreedyOptions{B: b, Policy: vcsim.ArbAge, Metrics: cfg.metrics()})
+			_, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed, Metrics: cfg.metrics()})
 			if err != nil {
 				panic(fmt.Sprintf("T5: scheduled B=%d: %v", b, err))
 			}

@@ -35,7 +35,7 @@ func T6NaiveVsLLL(cfg Config) []T6Row {
 	naives := mapJobs(cfg, len(probs), func(i int) naiveOut {
 		p := probs[i]
 		naive := schedule.NaiveSchedule(p.Set)
-		nres, err := schedule.Verify(p.Set, naive)
+		nres, err := schedule.VerifyObserved(p.Set, naive, cfg.metrics())
 		if err != nil {
 			panic(fmt.Sprintf("T6: naive schedule invalid on %s: %v", p.Label, err))
 		}
@@ -45,7 +45,7 @@ func T6NaiveVsLLL(cfg Config) []T6Row {
 	return mapJobs(cfg, len(probs)*len(bs), func(i int) T6Row {
 		p, b := probs[i/len(bs)], bs[i%len(bs)]
 		nv := naives[i/len(bs)]
-		sched, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
+		sched, sres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b), Metrics: cfg.metrics()})
 		if err != nil {
 			panic(fmt.Sprintf("T6: LLL schedule failed on %s B=%d: %v", p.Label, b, err))
 		}

@@ -43,7 +43,7 @@ func T8RestrictedModel(cfg Config) []T8Row {
 	// buffer-gain column is applied after the fan-out.
 	rows := mapJobs(cfg, len(probs)*len(bs), func(i int) T8Row {
 		p, b := probs[i/len(bs)], bs[i%len(bs)]
-		_, vres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b)})
+		_, vres, err := p.RouteScheduled(ScheduleOptions{B: b, Seed: cfg.Seed + uint64(b), Metrics: cfg.metrics()})
 		if err != nil {
 			panic(fmt.Sprintf("T8: VC schedule failed: %v", err))
 		}
@@ -53,6 +53,7 @@ func T8RestrictedModel(cfg Config) []T8Row {
 			B: b, Seed: cfg.Seed + uint64(b),
 			Restricted:    true,
 			SpacingFactor: b,
+			Metrics:       cfg.metrics(),
 		})
 		if err != nil {
 			panic(fmt.Sprintf("T8: restricted schedule failed: %v", err))

@@ -49,7 +49,7 @@ func T9Waksman(cfg Config) []T9Row {
 		for a, p := range paths {
 			set.Add(bn.Inputs[a], bn.Outputs[perm[a]], c.l, p)
 		}
-		res := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: 1})
+		res := vcsim.Run(set, nil, vcsim.Config{VirtualChannels: 1, Metrics: cfg.metrics()})
 		if !res.AllDelivered() {
 			panic(fmt.Sprintf("T9: Waksman routing failed on n=%d", c.n))
 		}
@@ -60,7 +60,7 @@ func T9Waksman(cfg Config) []T9Row {
 		for src, dst := range perm {
 			bfSet.Add(bf.Input(src), bf.Output(dst), c.l, bf.Route(src, dst))
 		}
-		bfRes := vcsim.Run(bfSet, nil, vcsim.Config{VirtualChannels: 1, Arbitration: vcsim.ArbAge})
+		bfRes := vcsim.Run(bfSet, nil, vcsim.Config{VirtualChannels: 1, Arbitration: vcsim.ArbAge, Metrics: cfg.metrics()})
 		if !bfRes.AllDelivered() {
 			panic("T9: butterfly greedy failed")
 		}

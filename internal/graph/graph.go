@@ -168,6 +168,15 @@ func (g *Graph) String() string {
 // DOT renders the graph in Graphviz DOT format. Node labels are used when
 // present; otherwise numeric IDs.
 func (g *Graph) DOT(name string) string {
+	return g.DOTEdges(name, nil)
+}
+
+// DOTEdges renders the graph in Graphviz DOT format with per-edge
+// attributes: for each edge, attr (when non-nil) returns the attribute
+// list to place in the edge statement's brackets — e.g. `color="#d73027"`
+// — or "" for a bare edge. Telemetry heatmap overlays (cmd/netviz) are
+// the intended caller.
+func (g *Graph) DOTEdges(name string, attr func(EdgeID) string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", name)
 	for v := 0; v < g.NumNodes(); v++ {
@@ -177,7 +186,13 @@ func (g *Graph) DOT(name string) string {
 		}
 		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, label)
 	}
-	for _, e := range g.edges {
+	for i, e := range g.edges {
+		if attr != nil {
+			if a := attr(EdgeID(i)); a != "" {
+				fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", e.Tail, e.Head, a)
+				continue
+			}
+		}
 		fmt.Fprintf(&b, "  n%d -> n%d;\n", e.Tail, e.Head)
 	}
 	b.WriteString("}\n")

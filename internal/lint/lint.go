@@ -33,6 +33,7 @@ var simScopePrefixes = []string{
 	"wormhole/internal/core",
 	"wormhole/internal/schedule",
 	"wormhole/internal/baseline",
+	"wormhole/internal/telemetry",
 }
 
 // inSimScope reports whether the pass's package is one the

@@ -6,6 +6,7 @@ import (
 	"wormhole/internal/analysis"
 	"wormhole/internal/message"
 	"wormhole/internal/rng"
+	"wormhole/internal/telemetry"
 	"wormhole/internal/vcsim"
 )
 
@@ -84,9 +85,16 @@ func Build(s *message.Set, opts Options, r *rng.Source) (*Schedule, error) {
 // message is ever blocked), and makespan within the LengthUB bound. The
 // simulation result is returned for inspection.
 func Verify(s *message.Set, sched *Schedule) (vcsim.Result, error) {
+	return VerifyObserved(s, sched, nil)
+}
+
+// VerifyObserved is Verify with a telemetry registry attached to the
+// verification run; m == nil behaves exactly like Verify (zero cost).
+func VerifyObserved(s *message.Set, sched *Schedule, m *telemetry.Metrics) (vcsim.Result, error) {
 	res := vcsim.Run(s, sched.Releases, vcsim.Config{
 		VirtualChannels: sched.B,
 		Arbitration:     vcsim.ArbByID,
+		Metrics:         m,
 	})
 	if !res.AllDelivered() {
 		return res, fmt.Errorf("schedule: only %d/%d messages delivered", res.Delivered, s.Len())

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteChrome renders events as Chrome trace-event JSON (the format consumed
+// by Perfetto and chrome://tracing). One flit step maps to one microsecond of
+// trace time.
+//
+// Layout: each message is a thread (tid = message ID) under pid 0 ("worms"),
+// with a duration slice from inject to deliver/drop and instant events for
+// every advance, park and wake. Credit events land under pid 1 ("edges") on
+// tid = edge ID. The output is deterministic: events are emitted in recorded
+// order with fixed field ordering.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	// Perfetto wants process/thread metadata before samples reference them.
+	emit(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"worms"}}`)
+	emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"edges"}}`)
+	open := map[int32]bool{} // messages with an unclosed duration slice
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvInject:
+			emit(fmt.Sprintf(`{"name":"worm %d","ph":"B","ts":%d,"pid":0,"tid":%d,"args":{"path_len":%d}}`,
+				ev.Msg, ev.Time, ev.Msg, ev.Arg))
+			open[ev.Msg] = true
+		case EvAdvance:
+			emit(fmt.Sprintf(`{"name":"advance","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"frontier":%d}}`,
+				ev.Time, ev.Msg, ev.Arg))
+		case EvPark:
+			emit(fmt.Sprintf(`{"name":"park","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"edge":%d}}`,
+				ev.Time, ev.Msg, ev.Arg))
+		case EvWake:
+			emit(fmt.Sprintf(`{"name":"wake","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"edge":%d}}`,
+				ev.Time, ev.Msg, ev.Arg))
+		case EvDeliver:
+			if open[ev.Msg] {
+				emit(fmt.Sprintf(`{"ph":"E","ts":%d,"pid":0,"tid":%d,"args":{"latency":%d}}`,
+					ev.Time, ev.Msg, ev.Arg))
+				delete(open, ev.Msg)
+			} else {
+				emit(fmt.Sprintf(`{"name":"deliver","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"latency":%d}}`,
+					ev.Time, ev.Msg, ev.Arg))
+			}
+		case EvDrop:
+			if open[ev.Msg] {
+				emit(fmt.Sprintf(`{"ph":"E","ts":%d,"pid":0,"tid":%d,"args":{"dropped_at":%d}}`,
+					ev.Time, ev.Msg, ev.Arg))
+				delete(open, ev.Msg)
+			} else {
+				emit(fmt.Sprintf(`{"name":"drop","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"frontier":%d}}`,
+					ev.Time, ev.Msg, ev.Arg))
+			}
+		case EvCredit:
+			emit(fmt.Sprintf(`{"name":"credit","ph":"i","s":"t","ts":%d,"pid":1,"tid":%d,"args":{"occ":%d}}`,
+				ev.Time, ev.Msg, ev.Arg))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

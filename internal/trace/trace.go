@@ -16,6 +16,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -25,10 +26,21 @@ import (
 	"wormhole/internal/vcsim"
 )
 
+// ErrDeepRun is returned by Observe for deep-engine configurations
+// (LaneDepth > 1 or SharedPool): the recorder's reconstruction assumes
+// rigid worms, whose full flit configuration is determined by the frontier
+// alone. A deep worm compresses — its flits pile up at non-consecutive
+// progress values the advance stream does not carry — so the diagram would
+// silently show flits on edges they never occupied. Use the telemetry
+// event stream (wormtrace -format chrome) for deep runs instead.
+var ErrDeepRun = errors.New("trace: Recorder cannot reconstruct deep-engine runs (LaneDepth > 1 or SharedPool); use the telemetry event stream instead")
+
 // Recorder implements vcsim.Observer and reconstructs per-step buffer
 // occupancy from the advance stream. Because worms are rigid, a worm's
 // full flit configuration at any time is determined by its frontier, so
-// recording (time, frontier) pairs suffices.
+// recording (time, frontier) pairs suffices. That assumption is exactly
+// the rigid engine's; attach the recorder through Observe, which rejects
+// deep-engine configurations with ErrDeepRun.
 type Recorder struct {
 	set *message.Set
 	// advances[m] lists the times at which message m advanced.
@@ -47,6 +59,18 @@ func NewRecorder(set *message.Set) *Recorder {
 		drops:    make(map[message.ID]int),
 		delivers: make(map[message.ID]int),
 	}
+}
+
+// Observe validates that cfg runs on the rigid engine and installs the
+// recorder as its Observer. Deep-engine configurations (LaneDepth > 1 or
+// SharedPool) are rejected with ErrDeepRun — the frontier-only advance
+// stream cannot reconstruct a compressed worm's flit placement.
+func (r *Recorder) Observe(cfg *vcsim.Config) error {
+	if cfg.LaneDepth > 1 || cfg.SharedPool {
+		return ErrDeepRun
+	}
+	cfg.Observer = r
+	return nil
 }
 
 // OnAdvance implements vcsim.Observer.

@@ -150,3 +150,34 @@ func TestSingleWormDiagonal(t *testing.T) {
 		}
 	}
 }
+
+func TestObserveRejectsDeepConfigs(t *testing.T) {
+	set := lineSet(1, 3, 2)
+	for _, cfg := range []vcsim.Config{
+		{VirtualChannels: 1, LaneDepth: 2},
+		{VirtualChannels: 2, SharedPool: true},
+	} {
+		rec := NewRecorder(set)
+		if err := rec.Observe(&cfg); err != ErrDeepRun {
+			t.Errorf("Observe(%+v) = %v, want ErrDeepRun", cfg, err)
+		}
+		if cfg.Observer != nil {
+			t.Errorf("Observe(%+v) installed the recorder despite rejecting it", cfg)
+		}
+	}
+}
+
+func TestObserveAcceptsRigidConfigs(t *testing.T) {
+	set := lineSet(1, 3, 2)
+	rec := NewRecorder(set)
+	// LaneDepth 0 and 1 both mean the rigid engine.
+	for _, depth := range []int{0, 1} {
+		cfg := vcsim.Config{VirtualChannels: 1, LaneDepth: depth}
+		if err := rec.Observe(&cfg); err != nil {
+			t.Fatalf("Observe(depth=%d) = %v, want nil", depth, err)
+		}
+		if cfg.Observer != vcsim.Observer(rec) {
+			t.Errorf("Observe(depth=%d) did not install the recorder", depth)
+		}
+	}
+}

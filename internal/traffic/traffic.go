@@ -31,6 +31,7 @@ import (
 
 	"wormhole/internal/message"
 	"wormhole/internal/rng"
+	"wormhole/internal/telemetry"
 	"wormhole/internal/vcsim"
 )
 
@@ -94,6 +95,30 @@ type Config struct {
 	// the naive scan just re-attempts every blocked worm every step, so
 	// saturated runs cost far more wall clock.
 	NaiveScan bool
+
+	// Metrics, when non-nil, attaches a flight-recorder counter registry
+	// to the underlying simulator (vcsim.Config.Metrics): stall-cause
+	// attribution, park/wake totals, per-edge heatmap accumulators. Every
+	// hot-path site is nil-gated, so a nil Metrics costs nothing and
+	// results are byte-identical either way.
+	Metrics *telemetry.Metrics
+	// Trace, when non-nil, attaches the structured event stream
+	// (vcsim.Config.Trace) to the underlying simulator.
+	Trace *telemetry.Trace
+	// Window, when > 0, splits a run into fixed-length windows of that
+	// many flit steps and records a per-window time series: accepted
+	// throughput, latency quantiles (over deliveries completing in the
+	// window, whatever their release time), and backlog at window close.
+	// A final partial window flushes when the run ends. Windowing
+	// allocates only at window boundaries, never per step.
+	Window int
+	// OnWindow, when non-nil (requires Window > 0), fires at every window
+	// boundary with that window's stats.
+	OnWindow func(telemetry.WindowStats)
+	// Publish, when non-nil (requires Window > 0), receives a metrics
+	// snapshot — with the window series attached — at every window
+	// boundary: the live feed behind wormbench -http.
+	Publish *telemetry.Publisher
 }
 
 func (c *Config) onOffMeans() (on, off float64) {
@@ -169,6 +194,12 @@ func (c *Config) validate() error {
 			return fmt.Errorf("traffic: %s pattern needs a power-of-two endpoint count, have %d", c.Pattern, n)
 		}
 	}
+	if c.Window < 0 {
+		return fmt.Errorf("traffic: Window %d < 0", c.Window)
+	}
+	if c.Window == 0 && (c.OnWindow != nil || c.Publish != nil) {
+		return errors.New("traffic: OnWindow/Publish require Window > 0")
+	}
 	return nil
 }
 
@@ -221,6 +252,15 @@ type Runner struct {
 	sketch           Sketch
 	trackedDone      int
 	deliveredMeasure int
+
+	// Windowed time-series state (Config.Window > 0 only). winSketch
+	// collects the latencies of deliveries completing in the current
+	// window; windows holds this run's flushed series.
+	winSketch    Sketch
+	winDelivered int64
+	winInjBase   int
+	winIndex     int
+	windows      []telemetry.WindowStats
 }
 
 // NewRunner validates cfg and builds a reusable open-loop runner.
@@ -247,6 +287,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 			r.trackedDone++
 			r.sketch.Add(st.Latency())
 		}
+		if cfg.Window > 0 {
+			r.winDelivered++
+			r.winSketch.Add(st.Latency())
+		}
 	}
 	sim, err := vcsim.NewSim(cfg.Net.G, vcsim.Config{
 		VirtualChannels:     cfg.VirtualChannels,
@@ -258,6 +302,8 @@ func NewRunner(cfg Config) (*Runner, error) {
 		MaxSteps:            r.horizon + cfg.Drain,
 		OnComplete:          onComplete,
 		NaiveScan:           cfg.NaiveScan,
+		Metrics:             cfg.Metrics,
+		Trace:               cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -277,6 +323,11 @@ func (r *Runner) Run() (Result, error) {
 	r.sketch = Sketch{}
 	r.trackedDone = 0
 	r.deliveredMeasure = 0
+	r.winSketch = Sketch{}
+	r.winDelivered = 0
+	r.winInjBase = 0
+	r.winIndex = 0
+	r.windows = r.windows[:0]
 	// Per-endpoint sources are pre-split in index order, so endpoint i's
 	// arrival and destination stream depends only on (Seed, i).
 	r.parent.Reseed(cfg.Seed)
@@ -317,6 +368,9 @@ func (r *Runner) Run() (Result, error) {
 			break
 		}
 		injectSteps++
+		if w := cfg.Window; w > 0 && (t+1)%w == 0 {
+			r.flushWindow(t+1-w, t+1)
+		}
 		if cfg.MaxBacklog > 0 && sim.Active() > cfg.MaxBacklog {
 			res.EarlyStop = true
 			break
@@ -332,6 +386,14 @@ func (r *Runner) Run() (Result, error) {
 				res.Deadlocked = errors.Is(err, vcsim.ErrDeadlocked)
 				break
 			}
+		}
+	}
+	if cfg.Window > 0 {
+		// Flush the final partial window (drain steps included) so the
+		// series covers the whole run.
+		start := r.winIndex * cfg.Window
+		if end := sim.Now(); end > start || r.winDelivered > 0 {
+			r.flushWindow(start, end)
 		}
 	}
 
@@ -375,6 +437,48 @@ func (r *Runner) Run() (Result, error) {
 		float64(r.deliveredMeasure) < shortfall
 	return res, nil
 }
+
+// flushWindow closes the window [start, end): records its stats, fires
+// OnWindow, and — when a Publisher is configured — publishes a metrics
+// snapshot with the series attached. Runs at window boundaries only; this
+// is where all windowing allocation happens.
+func (r *Runner) flushWindow(start, end int) {
+	ws := telemetry.WindowStats{
+		Index:     r.winIndex,
+		Start:     int64(start),
+		End:       int64(end),
+		Injected:  int64(r.sim.Injected() - r.winInjBase),
+		Delivered: r.winDelivered,
+		Backlog:   int64(r.sim.Active()),
+	}
+	if r.winSketch.Count() > 0 {
+		ws.LatMean = r.winSketch.Mean()
+		ws.LatP50 = r.winSketch.Quantile(0.50)
+		ws.LatP95 = r.winSketch.Quantile(0.95)
+		ws.LatP99 = r.winSketch.Quantile(0.99)
+		ws.LatMax = int64(r.winSketch.Max())
+	}
+	r.windows = append(r.windows, ws)
+	r.winIndex++
+	r.winInjBase = r.sim.Injected()
+	r.winDelivered = 0
+	r.winSketch = Sketch{}
+	if cb := r.cfg.OnWindow; cb != nil {
+		cb(ws)
+	}
+	if p := r.cfg.Publish; p != nil {
+		var s telemetry.Snapshot
+		if r.cfg.Metrics != nil {
+			s = r.cfg.Metrics.Snapshot()
+		}
+		s.Windows = append([]telemetry.WindowStats(nil), r.windows...)
+		p.Publish(s)
+	}
+}
+
+// Windows returns the last Run's per-window time series (nil unless
+// Config.Window > 0). The slice is reused by the next Run.
+func (r *Runner) Windows() []telemetry.WindowStats { return r.windows }
 
 // Run executes one open-loop simulation and returns its measurements: a
 // one-shot NewRunner + Runner.Run. Drivers that replay similar

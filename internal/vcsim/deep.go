@@ -78,6 +78,7 @@ import (
 	"fmt"
 
 	"wormhole/internal/message"
+	"wormhole/internal/telemetry"
 )
 
 func panicf(format string, args ...any) {
@@ -121,10 +122,16 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 				// timing never changes results; see the park-hysteresis
 				// suite).
 				w.streak = si.parkStreak - 1
+				if m := si.met; m != nil {
+					m.EdgeStall(telemetry.CtrStallSharedPool, e)
+				}
 				return false, b
 			}
 		} else if si.laneFree[e] <= 0 || (si.shared && si.flitFree[e] <= 0) {
 			w.streak = si.parkStreak - 1
+			if m := si.met; m != nil {
+				m.EdgeStall(telemetry.CtrStallLaneCredit, e)
+			}
 			return false, b
 		}
 		w.blockedOn = -1
@@ -133,9 +140,10 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 		return si.finishDeepMove(w)
 	}
 	var (
-		moved    bool
-		parkEdge int32 = -1   // the one foreign-blocked edge, if unique
-		parkable       = true // false on bandwidth or multi-edge blocks
+		moved     bool
+		parkEdge  int32 = -1   // the one foreign-blocked edge, if unique
+		parkable        = true // false on bandwidth or multi-edge blocks
+		bwBlocked bool         // any flit hit the crossing cap (telemetry)
 		// Predecessor state, in start-of-step (old) values: the deep rules
 		// only ever consult the previous flit and its buffered group, so a
 		// single left-to-right pass needs no second array.
@@ -206,6 +214,7 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 				if cw := crossings[e]; cw >= stamp && int32(cw-stamp) >= cap32 {
 					fits = false
 					parkable = false // bandwidth resets every step: transient
+					bwBlocked = true
 				}
 			}
 			if fits {
@@ -267,6 +276,12 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 				w.lastInj = int32(j)
 				if w.injectTime < 0 {
 					w.injectTime = int32(si.now + 1)
+					if m := si.met; m != nil {
+						m.Inc(telemetry.CtrInjects)
+					}
+					if tr := si.trc; tr != nil {
+						tr.Inject(si.now+1, w.id, w.d)
+					}
 				}
 			}
 			if c == w.d-1 {
@@ -291,8 +306,25 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 	}
 	if !moved {
 		if parkable && parkEdge >= 0 {
+			if m := si.met; m != nil {
+				if parkEdge&parkFlitBit != 0 {
+					m.EdgeStall(telemetry.CtrStallSharedPool, parkEdge&^parkFlitBit)
+				} else {
+					m.EdgeStall(telemetry.CtrStallLaneCredit, parkEdge&^parkFlitBit)
+				}
+			}
 			w.blockedOn = parkEdge
 			return false, parkEdge
+		}
+		if m := si.met; m != nil {
+			// No single foreign edge to blame: a transient bandwidth block,
+			// or head-of-line pressure (FIFO / own-lane-full / multi-edge
+			// blocks, all resolvable only by the worm's own movement).
+			if bwBlocked {
+				m.Inc(telemetry.CtrStallBandwidth)
+			} else {
+				m.Inc(telemetry.CtrStallHeadOfLine)
+			}
 		}
 		return false, -1
 	}
@@ -403,6 +435,12 @@ func (si *Sim) tryAdvanceStretched(w *worm) bool {
 		w.lastInj = int32(last) + 1
 		if w.injectTime < 0 {
 			w.injectTime = int32(si.now + 1)
+			if m := si.met; m != nil {
+				m.Inc(telemetry.CtrInjects)
+			}
+			if tr := si.trc; tr != nil {
+				tr.Inject(si.now+1, w.id, w.d)
+			}
 		}
 	}
 	if c == w.d-1 {
@@ -416,6 +454,12 @@ func (si *Sim) tryAdvanceStretched(w *worm) bool {
 //
 //wormvet:hotpath
 func (si *Sim) finishDeepMove(w *worm) (bool, int32) {
+	if m := si.met; m != nil {
+		m.Inc(telemetry.CtrAdvances)
+	}
+	if tr := si.trc; tr != nil {
+		tr.Advance(si.now+1, w.id, w.prog[0])
+	}
 	if obs := si.cfg.Observer; obs != nil {
 		obs.OnAdvance(si.now+1, message.ID(w.id), int(w.prog[0])) //wormvet:allow hotalloc -- per-event observer hook; nil in measured configs
 	}
@@ -423,6 +467,12 @@ func (si *Sim) finishDeepMove(w *worm) (bool, int32) {
 		w.status = StatusDelivered
 		w.deliverTime = int32(si.now + 1)
 		si.delivered++
+		if m := si.met; m != nil {
+			m.Inc(telemetry.CtrDelivers)
+		}
+		if tr := si.trc; tr != nil {
+			tr.Deliver(si.now+1, w.id, w.deliverTime-w.injectTime)
+		}
 		si.freePath(w)
 		si.freeProg(w)
 		if obs := si.cfg.Observer; obs != nil {

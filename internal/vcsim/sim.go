@@ -183,6 +183,9 @@ func (si *Sim) StepTo(t int) error {
 			if next > si.maxSteps {
 				next = si.maxSteps
 			}
+			if m := si.met; m != nil && next > si.now {
+				m.Jump(int64(next - si.now))
+			}
 			si.now = next
 			continue
 		}

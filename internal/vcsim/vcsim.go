@@ -32,6 +32,7 @@ import (
 
 	"wormhole/internal/message"
 	"wormhole/internal/rng"
+	"wormhole/internal/telemetry"
 )
 
 // Policy selects how contending headers are ordered within a flit step.
@@ -116,6 +117,18 @@ type Config struct {
 	// loop drivers use it to stream latencies without retaining per-message
 	// state; it must not call back into the simulator.
 	OnComplete func(message.ID, MessageStats)
+	// Metrics, when non-nil, receives flight-recorder counters from the hot
+	// path: stall-cause attribution, park/wake totals, per-edge
+	// occupancy/stall accumulators, fast-forward histogram. Every site is
+	// nil-check gated, so a nil Metrics costs one predictable branch and the
+	// simulation schedule is byte-identical either way. A Metrics must not
+	// be shared by concurrently running simulators.
+	Metrics *telemetry.Metrics
+	// Trace, when non-nil, receives the structured event stream — a strict
+	// superset of the Observer callbacks (inject/park/wake/credit events
+	// have no Observer equivalent). Same nil-gating and identity guarantees
+	// as Metrics.
+	Trace *telemetry.Trace
 }
 
 // MaxHorizon is the largest supported MaxSteps / release time: event
@@ -285,6 +298,10 @@ type worm struct {
 	// wake; parking waits out a short probation (parkStreak) so brief
 	// blocked episodes never pay the park/wake machinery.
 	streak int32
+	// woken marks a worm between a wake and its next advance, so telemetry
+	// can classify a re-park without progress as a spurious wake. Pure
+	// observation — never consulted by the engine itself.
+	woken bool
 
 	// Deep-engine cursors: fHead is the first undelivered flit, lastInj
 	// the last injected one (−1 before the header enters the network).
@@ -604,6 +621,11 @@ type Sim struct {
 
 	shuffler *rng.Source
 
+	// Flight-recorder sinks (Config.Metrics / Config.Trace). Both nil in
+	// measured configurations; every hot-path use is nil-gated.
+	met *telemetry.Metrics
+	trc *telemetry.Trace
+
 	totalStalls int
 	flitHops    int64
 	maxOccupied int
@@ -662,6 +684,11 @@ func emptySim(numEdges int, cfg Config) *Sim {
 	}
 	if cfg.Arbitration == ArbRandom {
 		si.shuffler = rng.New(cfg.Seed)
+	}
+	si.met = cfg.Metrics
+	si.trc = cfg.Trace
+	if si.met != nil {
+		si.met.EnsureEdges(numEdges)
 	}
 	if !si.naive {
 		si.waitQ = make([][]uint64, numEdges)
@@ -949,9 +976,13 @@ func (si *Sim) Drain() {
 		// at the horizon instead of executing steps past the bound that
 		// Step() enforces.
 		if si.inFlight() == 0 && keyRelease(si.pendFirst()) > si.now {
+			prev := si.now
 			si.now = keyRelease(si.pendFirst())
 			if si.now > si.maxSteps {
 				si.now = si.maxSteps
+			}
+			if m := si.met; m != nil && si.now > prev {
+				m.Jump(int64(si.now - prev))
 			}
 		}
 		if si.now >= si.maxSteps {
@@ -1028,6 +1059,9 @@ func (si *Sim) enqueue(idx int) {
 //
 //wormvet:hotpath
 func (si *Sim) step() {
+	if m := si.met; m != nil {
+		m.Inc(telemetry.CtrSteps)
+	}
 	if si.naive {
 		si.stepNaive()
 	} else {
@@ -1134,6 +1168,14 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 		w.deliverTime = int32(si.now + 1)
 		si.delivered++
 		si.freeProg(w)
+		if m := si.met; m != nil {
+			m.Inc(telemetry.CtrInjects)
+			m.Inc(telemetry.CtrDelivers)
+		}
+		if tr := si.trc; tr != nil {
+			tr.Inject(si.now+1, w.id, w.d)
+			tr.Deliver(si.now+1, w.id, 0)
+		}
 		if obs := si.cfg.Observer; obs != nil {
 			obs.OnDeliver(si.now+1, message.ID(w.id)) //wormvet:allow hotalloc -- per-event observer hook; nil in measured configs
 		}
@@ -1149,6 +1191,9 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 	if w.frontier < w.d-1 {
 		e := path[w.frontier]
 		if si.laneFree[e] <= 0 {
+			if m := si.met; m != nil {
+				m.EdgeStall(telemetry.CtrStallLaneCredit, e)
+			}
 			return false, e
 		}
 		needSlot = e
@@ -1159,6 +1204,9 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 	lo, hi := w.crossed()
 	for i := lo; i <= hi; i++ {
 		if cw := si.crossings[path[i]]; cw >= stamp && int32(cw-stamp) >= si.capI32 {
+			if m := si.met; m != nil {
+				m.EdgeStall(telemetry.CtrStallBandwidth, path[i])
+			}
 			return false, -1
 		}
 	}
@@ -1185,8 +1233,20 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 	}
 	if w.injectTime < 0 {
 		w.injectTime = int32(si.now + 1)
+		if m := si.met; m != nil {
+			m.Inc(telemetry.CtrInjects)
+		}
+		if tr := si.trc; tr != nil {
+			tr.Inject(si.now+1, w.id, w.d)
+		}
 	}
 	w.frontier++
+	if m := si.met; m != nil {
+		m.Inc(telemetry.CtrAdvances)
+	}
+	if tr := si.trc; tr != nil {
+		tr.Advance(si.now+1, w.id, w.frontier)
+	}
 	if obs := si.cfg.Observer; obs != nil {
 		obs.OnAdvance(si.now+1, message.ID(w.id), int(w.frontier)) //wormvet:allow hotalloc -- per-event observer hook; nil in measured configs
 	}
@@ -1194,6 +1254,12 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 		w.status = StatusDelivered
 		w.deliverTime = int32(si.now + 1)
 		si.delivered++
+		if m := si.met; m != nil {
+			m.Inc(telemetry.CtrDelivers)
+		}
+		if tr := si.trc; tr != nil {
+			tr.Deliver(si.now+1, w.id, w.deliverTime-w.injectTime)
+		}
 		// The path is never consulted again; freeing it shrinks a
 		// completed worm to its fixed-size struct and stats. (The struct
 		// itself is retained so IDs keep indexing worms and Result can
@@ -1229,6 +1295,12 @@ func (si *Sim) drop(w *worm) {
 	si.freePath(w)
 	si.freeProg(w)
 	si.dropped++
+	if m := si.met; m != nil {
+		m.Inc(telemetry.CtrDrops)
+	}
+	if tr := si.trc; tr != nil {
+		tr.Drop(si.now+1, w.id, w.frontier)
+	}
 	if obs := si.cfg.Observer; obs != nil {
 		obs.OnDrop(si.now+1, message.ID(w.id))
 	}
@@ -1297,18 +1369,32 @@ func (si *Sim) touchMax(e int32) {
 //
 //wormvet:hotpath
 func (si *Sim) applyStepEnd() {
+	m := si.met
+	if m != nil {
+		m.StepGauges(len(si.dirty), si.parked)
+	}
 	for _, e := range si.dirty {
 		si.dirtyFlag[e] = 0
 		si.laneFree[e] += si.relLane[e]
 		si.relLane[e] = 0
+		var occ int32
 		if si.deepMode {
 			si.flitFree[e] += si.relFlit[e]
 			si.relFlit[e] = 0
-			if occ := int(si.poolCap - si.flitFree[e]); occ > si.maxOccupied {
-				si.maxOccupied = occ
-			}
-		} else if occ := int(si.bI32 - si.laneFree[e]); occ > si.maxOccupied {
-			si.maxOccupied = occ
+			occ = si.poolCap - si.flitFree[e]
+		} else {
+			occ = si.bI32 - si.laneFree[e]
+		}
+		if int(occ) > si.maxOccupied {
+			si.maxOccupied = int(occ)
+		}
+		if m != nil {
+			// Dirty edges are exactly the ones whose persistent occupancy
+			// can have changed, so folding the integral here is exact.
+			m.EdgeOccupancy(e, int64(occ), int64(si.now)+1)
+		}
+		if tr := si.trc; tr != nil {
+			tr.Credit(si.now+1, e, occ)
 		}
 		if si.waitQ != nil && (len(si.waitQ[e]) > 0 ||
 			(si.waitQFlit != nil && len(si.waitQFlit[e]) > 0)) {
@@ -1323,12 +1409,17 @@ func (si *Sim) applyStepEnd() {
 			continue
 		}
 		si.dirtyFlag[e] = 0
+		var occ int32
 		if si.deepMode {
-			if occ := int(si.poolCap - si.flitFree[e]); occ > si.maxOccupied {
-				si.maxOccupied = occ
-			}
-		} else if occ := int(si.bI32 - si.laneFree[e]); occ > si.maxOccupied {
-			si.maxOccupied = occ
+			occ = si.poolCap - si.flitFree[e]
+		} else {
+			occ = si.bI32 - si.laneFree[e]
+		}
+		if int(occ) > si.maxOccupied {
+			si.maxOccupied = int(occ)
+		}
+		if m != nil {
+			m.EdgeOccupancy(e, int64(occ), int64(si.now)+1)
 		}
 	}
 	si.dirtyMax = si.dirtyMax[:0]
@@ -1418,6 +1509,21 @@ func (si *Sim) checkInvariants() {
 // at any point in a Sim's life; per-message stats of in-flight messages
 // appear with their current (partial) values.
 func (si *Sim) Result() Result {
+	if m := si.met; m != nil {
+		// Result calls are snapshot boundaries: sample arena occupancy here
+		// rather than on the hot path.
+		var used, total int64
+		for i, c := range si.arena.chunks {
+			total += int64(len(c))
+			if i < si.arena.cur {
+				used += int64(len(c))
+			}
+		}
+		if si.arena.cur < len(si.arena.chunks) {
+			used += int64(si.arena.off)
+		}
+		m.Arena(used, total)
+	}
 	res := Result{
 		Delivered:   si.delivered,
 		Dropped:     si.dropped,

@@ -52,6 +52,7 @@ import (
 	"sort"
 
 	"wormhole/internal/message"
+	"wormhole/internal/telemetry"
 )
 
 // defaultParkStreak is the probation length when Config.ParkStreak is
@@ -95,6 +96,7 @@ func (si *Sim) stepWakeup() {
 			case ok:
 				moved = true
 				w.streak = 0
+				w.woken = false
 				if w.status == StatusDelivered {
 					needCompact = true
 				}
@@ -128,6 +130,7 @@ func (si *Sim) stepWakeup() {
 			case ok:
 				moved = true
 				w.streak = 0
+				w.woken = false
 				if w.status != StatusDelivered {
 					keep = append(keep, k)
 				}
@@ -176,6 +179,18 @@ func (si *Sim) stepWakeup() {
 func (si *Sim) park(w *worm, k uint64, e int32) {
 	w.parkedAt = int32(si.now)
 	w.waitEdge = e
+	if m := si.met; m != nil {
+		m.Inc(telemetry.CtrParks)
+		if w.woken {
+			// Woken since its last advance and parking again without
+			// progress: the wake bought nothing.
+			m.Inc(telemetry.CtrSpuriousWakes)
+		}
+	}
+	w.woken = false
+	if tr := si.trc; tr != nil {
+		tr.Park(si.now+1, w.id, e)
+	}
 	if e&parkFlitBit != 0 {
 		si.heapPush(&si.waitQFlit[e&^parkFlitBit], k)
 	} else {
@@ -395,6 +410,26 @@ func (si *Sim) stampParked(k uint64, through int32) {
 	stall := through - w.parkedAt + 1
 	w.stalls += stall
 	si.totalStalls += int(stall)
+	if m := si.met; m != nil {
+		// The whole parked span is attributed to the edge (and credit kind)
+		// the worm was waiting on — these are the steps its attempt would
+		// have failed there.
+		m.Inc(telemetry.CtrWakes)
+		cause := telemetry.CtrStallLaneCredit
+		e := w.waitEdge
+		if e&parkFlitBit != 0 {
+			cause = telemetry.CtrStallSharedPool
+			e &^= parkFlitBit
+		}
+		// The park-step attempt itself was already recorded by tryMove's
+		// EdgeStall, so only the remaining parked steps are added here —
+		// keeping the stall counters in lockstep with Result.TotalStalls.
+		m.StallSpan(cause, e, int64(stall)-1)
+	}
+	if tr := si.trc; tr != nil {
+		tr.Wake(int(through)+1, w.id, w.waitEdge)
+	}
+	w.woken = true
 	w.parkedAt = -1
 	si.parked--
 	// A woken worm skips the park probation: its block is already proven
