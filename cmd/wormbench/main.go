@@ -71,7 +71,8 @@ func run() int {
 		quick     = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
 		trials    = flag.Int("trials", 0, "override trial count (0 = default)")
 		workers   = flag.Int("workers", 0, "parallel harness workers (0 = GOMAXPROCS)")
-		scale     = flag.Int("scale", 0, "network-size override for scale experiments (T14; 0 = default)")
+		scale     = flag.Int("scale", 0, "network-size override for scale experiments (T14, T15; 0 = default)")
+		shards    = flag.Int("shards", 0, "simulator shard count for open-loop experiments (0/1 = sequential; outputs are byte-identical for every value)")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		doBench   = flag.Bool("bench", false, "run the benchmark suite instead of experiments")
 		benchOut  = flag.String("benchout", "BENCH.json", "benchmark report output path")
@@ -126,7 +127,7 @@ func run() int {
 		}()
 	}
 
-	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers, Scale: *scale}
+	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers, Scale: *scale, Shards: *shards}
 	if *telOut != "" {
 		cfg.Telemetry = telemetry.NewAggregate()
 	}

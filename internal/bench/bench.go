@@ -55,6 +55,10 @@ type Report struct {
 	// final repeat (wormbench -telemetry exports it). Not compared by the
 	// gate.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// NumCPU is GOMAXPROCS on the collecting machine. The shard-speedup
+	// ratchet in Compare only applies when the current report was
+	// collected with enough parallelism for sharding to plausibly win.
+	NumCPU int `json:"num_cpu,omitempty"`
 }
 
 // NsTolerance is the default allowed calibration-normalized ns/step
@@ -152,9 +156,37 @@ func kneeConfig() traffic.Config {
 	return cfg
 }
 
+// wideKneeConfig is the sharded stepper's operating point: a 256-input
+// butterfly near its knee (B=2 saturates just above 0.21 at this size),
+// whose standing backlog of in-flight worms clears the per-shard
+// activity cutoff at the benchmarked shard counts. The sequential twin
+// (Shards unset) is the denominator of the shard speedup the Compare
+// ratchet enforces on multicore collectors.
+func wideKneeConfig() traffic.Config {
+	return traffic.Config{
+		Net:             traffic.NewButterflyNet(256),
+		VirtualChannels: 2,
+		MessageLength:   8,
+		Arbitration:     vcsim.ArbAge,
+		Process:         traffic.Poisson,
+		Rate:            0.20,
+		Pattern:         traffic.Uniform,
+		Warmup:          256,
+		Measure:         1024,
+		Drain:           8192,
+		MaxBacklog:      1 << 16,
+		Seed:            17,
+	}
+}
+
 func workloads() []workload {
 	openLight := lightConfig()
 	openKnee := kneeConfig()
+	wideKnee := wideKneeConfig()
+	wideSharded2 := wideKneeConfig()
+	wideSharded2.Shards = 2
+	wideSharded4 := wideKneeConfig()
+	wideSharded4.Shards = 4
 
 	// Deep-buffer knee workloads: the same B=2 near-saturation operating
 	// point, but with 4-flit lanes (static and shared pool) — the deep
@@ -180,6 +212,9 @@ func workloads() []workload {
 		{name: "OpenLoopStep/knee-telemetry", unit: "step", run: openLoop(kneeTelemetry), snap: met.Snapshot},
 		{name: "OpenLoopStep/deepknee-static", unit: "step", run: openLoop(deepKneeStatic)},
 		{name: "OpenLoopStep/deepknee-shared", unit: "step", run: openLoop(deepKneeShared)},
+		{name: "OpenLoopStep/knee-wide", unit: "step", run: openLoop(wideKnee)},
+		{name: "OpenLoopStep/knee-sharded-2", unit: "step", run: openLoop(wideSharded2)},
+		{name: "OpenLoopStep/knee-sharded-4", unit: "step", run: openLoop(wideSharded4)},
 	}
 	for _, b := range []int{1, 2, 4} {
 		b := b
@@ -233,7 +268,7 @@ func Collect(repeats int) (Report, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
-	rep := Report{CalibrationNs: calibrate()}
+	rep := Report{CalibrationNs: calibrate(), NumCPU: runtime.GOMAXPROCS(0)}
 	var ms runtime.MemStats
 	for _, w := range workloads() {
 		bestNs, bestAllocs := 1e18, 1e18
@@ -302,8 +337,31 @@ func TelemetrySmoke() (telemetry.Snapshot, error) {
 // regression (empty means the gate passes). ns/step is compared after
 // normalizing by the calibration ratio with the given fractional
 // tolerance; allocs/step regresses on any increase beyond rounding.
+//
+// One relational check rides along: when the current report was
+// collected with at least four CPUs, the 4-shard knee workload must
+// outrun its sequential twin — the sharded stepper earns its complexity
+// in wall clock, not just byte-identity. Single- and dual-core
+// collectors skip it (there the fan-out barriers are pure overhead by
+// construction), so the gate binds exactly where the speedup claim does.
 func Compare(baseline, current Report, nsTol float64) []string {
 	var bad []string
+	if current.NumCPU >= 4 {
+		var wide, sh4 Entry
+		for _, e := range current.Entries {
+			switch e.Name {
+			case "OpenLoopStep/knee-wide":
+				wide = e
+			case "OpenLoopStep/knee-sharded-4":
+				sh4 = e
+			}
+		}
+		if wide.NsPerStep > 0 && sh4.NsPerStep > 0 && sh4.NsPerStep >= wide.NsPerStep {
+			bad = append(bad, fmt.Sprintf(
+				"OpenLoopStep/knee-sharded-4: %.0f ns/step does not beat the sequential twin's %.0f on a %d-CPU machine",
+				sh4.NsPerStep, wide.NsPerStep, current.NumCPU))
+		}
+	}
 	norm := 1.0
 	if baseline.CalibrationNs > 0 && current.CalibrationNs > 0 {
 		norm = current.CalibrationNs / baseline.CalibrationNs

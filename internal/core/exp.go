@@ -22,10 +22,17 @@ type Config struct {
 	// Tables are byte-identical for every worker count; see parallel.go.
 	Workers int
 	// Scale overrides the network size of the experiments that sweep it
-	// (currently T14's butterfly input count; 0 = the experiment's
+	// (the T14/T15 butterfly input counts; 0 = the experiment's
 	// default). CI runs the default; larger scales — the documented
-	// offline 1024-input T14 — are opt-in via wormbench -scale.
+	// offline 1024-input T14 and 4096-input T15 — are opt-in via
+	// wormbench -scale.
 	Scale int
+	// Shards steps every open-loop simulator the experiment runs on that
+	// many goroutines (traffic.Config.Shards → vcsim.Config.Shards).
+	// Tables are byte-identical for every value — CI's shard-determinism
+	// matrix diffs them — so sharding is purely a wall-clock lever for
+	// the scale studies.
+	Shards int
 	// Telemetry, when non-nil, collects hot-path counters from every
 	// simulator the experiment runs. Each concurrent job gets its own
 	// child registry (via metrics), folded deterministically at

@@ -382,6 +382,28 @@ func (m *Metrics) Merge(other *Metrics) {
 	}
 }
 
+// DrainInto folds m's accumulated totals into dst exactly as Merge
+// would, then resets m to zero — so repeated drains never double-count.
+// The sharded simulator uses it at snapshot boundaries to fold each
+// shard's child registry into the parent. A nil dst just resets m.
+func (m *Metrics) DrainInto(dst *Metrics) {
+	if dst != nil {
+		dst.Merge(m)
+	}
+	m.ctr = [NumCounters]int64{}
+	m.jump = [jumpBuckets]int64{}
+	m.gaugeSteps, m.dirtySum, m.dirtyMax = 0, 0, 0
+	m.parkedSum, m.parkedMax = 0, 0
+	m.arenaChunks, m.arenaCapacity = 0, 0
+	m.horizon = 0
+	for e := range m.edgeStall {
+		m.edgeStall[e] = 0
+		m.occInt[e] = 0
+		m.lastOcc[e] = 0
+		m.lastT[e] = 0
+	}
+}
+
 // WriteSnapshotFile writes s as indented JSON to path.
 func WriteSnapshotFile(path string, s Snapshot) error {
 	b, err := json.MarshalIndent(s, "", "  ")

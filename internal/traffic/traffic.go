@@ -96,6 +96,14 @@ type Config struct {
 	// saturated runs cost far more wall clock.
 	NaiveScan bool
 
+	// Shards ≥ 2 steps the underlying simulator on that many goroutines
+	// (vcsim.Config.Shards). Results are byte-identical to the
+	// sequential stepper for every value; steps outside the provable
+	// sharding regime fall back transparently. The simulator's worker
+	// goroutines live for the Runner's lifetime — call Runner.Close when
+	// retiring a sharded Runner (the one-shot Run does).
+	Shards int
+
 	// Metrics, when non-nil, attaches a flight-recorder counter registry
 	// to the underlying simulator (vcsim.Config.Metrics): stall-cause
 	// attribution, park/wake totals, per-edge heatmap accumulators. Every
@@ -302,6 +310,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		MaxSteps:            r.horizon + cfg.Drain,
 		OnComplete:          onComplete,
 		NaiveScan:           cfg.NaiveScan,
+		Shards:              cfg.Shards,
 		Metrics:             cfg.Metrics,
 		Trace:               cfg.Trace,
 	})
@@ -480,6 +489,17 @@ func (r *Runner) flushWindow(start, end int) {
 // Config.Window > 0). The slice is reused by the next Run.
 func (r *Runner) Windows() []telemetry.WindowStats { return r.windows }
 
+// Close releases the underlying simulator's sharded-stepper worker
+// goroutines, if any. The Runner stays usable — workers restart on the
+// next sharded step — so Close marks idle points, not end of life.
+func (r *Runner) Close() { r.sim.Close() }
+
+// ShardedSteps reports how many simulator steps of the last (or
+// current) Run actually executed on the sharded stepper — zero for
+// sequential configs, and for sharded ones whose active backlog never
+// reached the per-shard cutoff.
+func (r *Runner) ShardedSteps() int64 { return r.sim.ShardedSteps() }
+
 // Run executes one open-loop simulation and returns its measurements: a
 // one-shot NewRunner + Runner.Run. Drivers that replay similar
 // configurations repeatedly (benchmarks, saturation searches at one
@@ -489,5 +509,6 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer r.Close()
 	return r.Run()
 }

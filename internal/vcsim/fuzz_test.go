@@ -9,7 +9,9 @@ package vcsim
 //     worms' configurations and the per-edge credit accounting, occupancy
 //     never above capacity) — enforced by Config.CheckInvariants, which
 //     panics at the first bad step;
-//  2. the wakeup engine and the naive scan are byte-identical;
+//  2. the wakeup engine and the naive scan are byte-identical — at the
+//     fuzzed Config.Shards, so the sharded stepper (and its fallback
+//     boundary) is held to the same oracle;
 //  3. a drained simulator leaks nothing: no worm left parked, no wait
 //     queue entry, no buffer credit still held once every message is
 //     delivered or dropped (deadlocks strand credits by design and are
@@ -183,13 +185,13 @@ func FuzzSimInvariants(f *testing.F) {
 	// Seed corpus: one entry per topology family crossed with the
 	// interesting config corners (deep lanes, shared pool, restricted
 	// bandwidth, drop-on-delay, every policy).
-	f.Add(uint64(1), uint8(0), uint8(12), uint8(1), uint8(1), false, false, false, uint8(0))
-	f.Add(uint64(2), uint8(0), uint8(20), uint8(2), uint8(2), false, true, false, uint8(1))
-	f.Add(uint64(3), uint8(1), uint8(16), uint8(1), uint8(3), true, false, false, uint8(2))
-	f.Add(uint64(4), uint8(1), uint8(24), uint8(3), uint8(1), true, true, true, uint8(0))
-	f.Add(uint64(5), uint8(2), uint8(8), uint8(1), uint8(2), false, false, false, uint8(2))
-	f.Add(uint64(6), uint8(2), uint8(10), uint8(2), uint8(4), true, true, false, uint8(1))
-	f.Fuzz(func(t *testing.T, seed uint64, topoSel, msgs, b, depth uint8, shared, restricted, drop bool, pol uint8) {
+	f.Add(uint64(1), uint8(0), uint8(12), uint8(1), uint8(1), false, false, false, uint8(0), uint8(2))
+	f.Add(uint64(2), uint8(0), uint8(20), uint8(2), uint8(2), false, true, false, uint8(1), uint8(0))
+	f.Add(uint64(3), uint8(1), uint8(16), uint8(1), uint8(3), true, false, false, uint8(2), uint8(3))
+	f.Add(uint64(4), uint8(1), uint8(24), uint8(3), uint8(1), true, true, true, uint8(0), uint8(4))
+	f.Add(uint64(5), uint8(2), uint8(8), uint8(1), uint8(2), false, false, false, uint8(2), uint8(1))
+	f.Add(uint64(6), uint8(2), uint8(10), uint8(2), uint8(4), true, true, false, uint8(1), uint8(8))
+	f.Fuzz(func(t *testing.T, seed uint64, topoSel, msgs, b, depth uint8, shared, restricted, drop bool, pol, shards uint8) {
 		m := 1 + int(msgs)%32
 		set, releases := fuzzWorkload(seed, topoSel, m)
 		cfg := Config{
@@ -201,11 +203,16 @@ func FuzzSimInvariants(f *testing.F) {
 			Arbitration:         Policy(pol % 3),
 			Seed:                seed,
 			ParkStreak:          1 + int(seed%11),
-			CheckInvariants:     true, // property 1: per-step invariants
+			Shards:              int(shards) % 9, // sharded stepper (or its fallback) in every property
+			CheckInvariants:     true,            // property 1: per-step invariants
 		}
 
-		// Property 2: wakeup ≡ naive, with internals inspectable.
+		// Property 2: wakeup ≡ naive, with internals inspectable. The
+		// activity cutoff drops to 1 so fuzz-sized workloads engage the
+		// sharded stepper whenever the config is inside its regime.
 		wake := newBatchSim(set, releases, cfg)
+		wake.shardMin = 1
+		defer wake.Close()
 		wake.Drain()
 		wakeRes := wake.Result()
 		naiveCfg := cfg
@@ -268,6 +275,8 @@ func FuzzSimInvariants(f *testing.F) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			ff.shardMin = 1
+			defer ff.Close()
 			for round := 0; round < 2; round++ {
 				for i := 0; i < set.Len(); i++ {
 					if _, err := ff.Inject(set.Get(message.ID(i)), releases[i]); err != nil {

@@ -1,0 +1,479 @@
+package vcsim
+
+// This file is the sharded stepper: the rigid wakeup engine's step loop
+// fanned out over Config.Shards goroutines, byte-identical to the
+// sequential stepper for every shard count. The network's edges are
+// partitioned into contiguous ID bands — edge IDs are stage-banded on
+// the butterfly and tile-banded on meshes, so a band is a topological
+// slab — and each worm belongs, for exactly one step, to the shard that
+// owns its *contest edge*: the single edge whose state can decide the
+// worm's verdict this step.
+//
+// The contest edge is well defined in the regime this stepper accepts
+// (rigid worms, cap == B, unmixed edge roles, deterministic policies):
+//
+//   - a worm with frontier < d−1 contends only on the slot of
+//     path[frontier]. Its bandwidth checks can never bind: every other
+//     edge it would cross is a body edge on which it already holds a
+//     buffer slot, so at most B−1 rival crossings can precede it there,
+//     and on the slot edge itself every prior crossing is backed by a
+//     distinct held-or-granted slot, of which fewer than B remain once
+//     laneFree > 0 admits the worm. (With mixed edge roles a final-edge
+//     crossing holds no slot and the count breaks — exactly the
+//     mixedFinal fallback the wakeup engine already takes.)
+//   - a worm with frontier ≥ d−1 has its slot already granted and
+//     contends only on the bandwidth meter of its final edge
+//     path[d−1] — which, roles unmixed, is final for every path
+//     through it.
+//
+// Worms contesting the same edge land on the same shard, so laneFree,
+// crossings, and the wait queue of each edge are touched by exactly one
+// goroutine, in that shard's policy-order subsequence — the same
+// relative order the sequential stepper uses, against the same
+// start-of-step credit state, so every verdict matches. The crossings
+// writes a sequential commit performs on non-contest edges are skipped
+// outright: no contender reads them this step (slot contenders skip
+// bandwidth checks; final contenders read only final edges), and the
+// epoch stamp makes them invisible next step.
+//
+// Everything the step mutates *across* shards is deferred into
+// per-shard buffers — tail-slot releases, grant-probe (dirtyMax) edges,
+// stall/hop/park tallies, telemetry counters — and folded serially
+// after the workers join. Completions, drops, and the active-list
+// compaction replay serially in global policy (creation-key) order from
+// per-worm verdicts, so OnComplete fires in the sequential order and
+// the surviving active list is byte-identical. Release folding, wake
+// order, and occupancy probes are order-free beyond that: wakeups sort
+// through mergeWoken, and the per-edge folds commute.
+//
+// Everything else — admissions, applyStepEnd with its wakes, deadlock
+// detection, fast-forward — is reused unchanged from the sequential
+// engine, running serially between steps.
+
+import (
+	"runtime"
+	"sync"
+
+	"wormhole/internal/message"
+	"wormhole/internal/telemetry"
+)
+
+// shardMinActive is the adaptive cutoff: a step is sharded only when the
+// active list carries at least this many worms per shard. Below it the
+// fan-out's fixed cost (two barrier crossings) outweighs the work, so
+// the step runs sequentially — byte-identity makes the switch free.
+const shardMinActive = 64
+
+// Per-worm step verdicts, recorded by the parallel phase and replayed
+// serially in policy order by shardMerge.
+const (
+	shardKeep    = uint8(iota) // stays on the active list
+	shardPark                  // parked on its contest edge's wait queue
+	shardDeliver               // completed: delivered++, freePath, OnComplete
+	shardDrop                  // failed under DropOnDelay: full drop at merge
+)
+
+// shardState is one shard's private accumulator set. Everything a
+// sequential step would write to shared Sim state (other than the
+// owner-exclusive per-edge arrays) lands here and folds in at merge.
+type shardState struct {
+	// met is the shard's telemetry child (nil when the Sim has none):
+	// scalar counters and per-edge stall attribution accumulate here
+	// race-free and drain into the parent at snapshot boundaries.
+	met *telemetry.Metrics
+	// rel buffers tail-slot releases (relLane[e]++ plus the dirty-list
+	// touch), which may target edges owned by other shards.
+	rel []int32
+	// gmax buffers this shard's first-grant edges for the MaxOccupied
+	// probe; dirtyFlag bit 2 dedups them (owner-exclusive, so the
+	// phase-B read-modify-write is race-free).
+	gmax     []int32
+	stalls   int
+	flitHops int64
+	parked   int
+	moved    bool
+	dropped  bool
+}
+
+// shardPool owns the shards−1 worker goroutines. Workers capture only
+// the pool — never the Sim — so an abandoned Sim stays collectable and
+// its finalizer can stop them; Close releases them deterministically.
+type shardPool struct {
+	work []chan func(int)
+	wg   sync.WaitGroup
+}
+
+func newShardPool(extra int) *shardPool {
+	p := &shardPool{work: make([]chan func(int), extra)}
+	for i := range p.work {
+		ch := make(chan func(int))
+		p.work[i] = ch
+		shard := i + 1 // shard 0 runs on the stepping goroutine
+		go func() {
+			for fn := range ch {
+				fn(shard)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(shard) for every shard and returns when all are done.
+// The channel sends publish the stepping goroutine's writes to the
+// workers and wg.Wait publishes theirs back — the two barriers of the
+// sharded step. fn is one of the Sim's pre-bound phase funcs, so the
+// steady-state step allocates nothing.
+//
+//wormvet:hotpath
+func (p *shardPool) run(fn func(int)) {
+	p.wg.Add(len(p.work)) //wormvet:allow hotalloc -- WaitGroup.Add is an atomic counter update, no allocation
+	for _, ch := range p.work {
+		ch <- fn
+	}
+	fn(0)       //wormvet:allow hotalloc -- pre-bound method value (classifyFn/processFn), created once at ensureShards
+	p.wg.Wait() //wormvet:allow hotalloc -- semaphore wait on warm sudog caches, no steady-state allocation
+}
+
+func (p *shardPool) stop() {
+	for _, ch := range p.work {
+		close(ch)
+	}
+}
+
+// Close stops the sharded stepper's worker goroutines, if any were ever
+// started. The Sim remains usable — the next sharded step restarts
+// them — so Close is safe to call at any idle point; long-lived drivers
+// (the traffic Runner, batch Run) call it when the Sim is retired. A
+// finalizer covers abandoned Sims, so leaking goroutines requires
+// actively keeping the Sim alive.
+func (si *Sim) Close() {
+	if si.pool != nil {
+		si.pool.stop()
+		si.pool = nil
+	}
+}
+
+// ensureShards lazily builds the sharded stepper's state on first use:
+// per-shard accumulators (with telemetry children when the Sim records
+// metrics), the pre-bound phase funcs, and the worker pool with its
+// finalizer safety net.
+func (si *Sim) ensureShards() {
+	if si.shardStates != nil {
+		return
+	}
+	si.shardStates = make([]*shardState, si.shards)
+	for s := range si.shardStates {
+		st := &shardState{}
+		if si.met != nil {
+			st.met = telemetry.NewMetrics()
+			st.met.EnsureEdges(len(si.laneFree))
+		}
+		si.shardStates[s] = st
+	}
+	si.classifyFn = si.shardClassify
+	si.processFn = si.shardProcess
+	si.pool = newShardPool(si.shards - 1)
+	runtime.SetFinalizer(si, func(s *Sim) {
+		if s.pool != nil {
+			s.pool.stop()
+			s.pool = nil
+		}
+	})
+}
+
+// shardable reports whether this step runs sharded: enough parallel work
+// (see shardMinActive), and a configuration inside the contest-edge
+// regime the file comment proves — the rigid engine at full crossing
+// bandwidth with unmixed edge roles, a deterministic policy, and no
+// per-event sinks (which observe mid-step order the parallel phase does
+// not reproduce). Everything else falls back to the sequential stepper,
+// byte-identically.
+//
+//wormvet:hotpath
+func (si *Sim) shardable() bool {
+	return si.shards > 1 && !si.deepMode && !si.mixedFinal &&
+		si.cap == si.b && si.cfg.Arbitration != ArbRandom &&
+		si.trc == nil && si.cfg.Observer == nil &&
+		len(si.active) >= si.shardMin*si.shards
+}
+
+// stepSharded advances one flit step on the worker pool: parallel
+// classify (which shard owns each worm's contest edge), barrier,
+// parallel per-shard verdicts against owner-exclusive edge state,
+// barrier, serial merge and step end.
+//
+//wormvet:hotpath
+func (si *Sim) stepSharded() {
+	si.ensureShards() //wormvet:allow hotalloc -- one-time lazy construction of pool and shard state
+	n := len(si.active)
+	if cap(si.shardOwner) < n {
+		si.shardOwner = make([]uint8, n+n/4)   //wormvet:allow hotalloc -- amortized: grows to peak active size, then reused
+		si.shardVerdict = make([]uint8, n+n/4) //wormvet:allow hotalloc -- amortized: grows to peak active size, then reused
+	}
+	si.shardOwner = si.shardOwner[:n]
+	si.shardVerdict = si.shardVerdict[:n]
+	// Parked worms are eligible-but-blocked, exactly as in stepWakeup.
+	anyEligible := n > 0 || si.parked > 0
+
+	si.pool.run(si.classifyFn)
+	si.pool.run(si.processFn)
+	moved, droppedAny := si.shardMerge()
+	si.shardSteps++
+
+	si.applyStepEnd()
+	si.now++
+
+	if si.cfg.CheckInvariants {
+		si.checkInvariants() //wormvet:allow hotalloc -- debug-gated by Config.CheckInvariants
+	}
+
+	if !moved && !droppedAny && anyEligible {
+		si.deadlocked = true
+		// stampDeadlock's order argument is only consulted under
+		// ArbRandom, which never shards.
+		si.stampDeadlock(nil)   //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
+		si.finishAsDeadlocked() //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
+	}
+}
+
+// shardClassify is phase A: over its index range of the active list,
+// record each worm's owner — the shard of its contest edge. Reads worm
+// state and writes only owner bytes, so the ranges race with nothing.
+//
+//wormvet:hotpath
+func (si *Sim) shardClassify(s int) {
+	order := si.active
+	n := len(order)
+	owner := si.shardOwner
+	for i := n * s / si.shards; i < n*(s+1)/si.shards; i++ {
+		w := si.wormK(order[i])
+		if w.d == 0 {
+			// Empty path: delivers unconditionally; any owner works.
+			owner[i] = uint8(i % si.shards)
+			continue
+		}
+		f := w.frontier
+		if f > w.d-1 {
+			f = w.d - 1
+		}
+		owner[i] = si.edgeShard[w.path[f]]
+	}
+}
+
+// shardProcess is phase B: walk the whole active list in policy order,
+// attempting exactly the worms this shard owns — the same relative
+// order, against the same start-of-step credit state, as the sequential
+// stepper — and record verdicts. Mirrors stepWakeup's deterministic
+// branch with completions, drops, and the list compaction deferred to
+// shardMerge.
+//
+//wormvet:hotpath
+func (si *Sim) shardProcess(s int) {
+	sh := si.shardStates[s]
+	order := si.active
+	owner := si.shardOwner
+	verdict := si.shardVerdict
+	su := uint8(s)
+	for i, k := range order {
+		if owner[i] != su {
+			continue
+		}
+		w := si.wormK(k)
+		ok, slotEdge := si.tryAdvanceShard(w, sh)
+		switch {
+		case ok:
+			sh.moved = true
+			w.streak = 0
+			w.woken = false
+			if w.status == StatusDelivered {
+				verdict[i] = shardDeliver
+			} else {
+				verdict[i] = shardKeep
+			}
+		case si.cfg.DropOnDelay:
+			// The failed worm is untouched here; shardMerge performs the
+			// full drop in policy order.
+			verdict[i] = shardDrop
+			sh.dropped = true
+		case slotEdge >= 0 && w.streak >= si.parkStreak-1:
+			w.streak = 0
+			si.parkShard(w, k, slotEdge, sh)
+			verdict[i] = shardPark
+		default:
+			// Probation, or a transient bandwidth block: retry next step.
+			w.streak++
+			w.stalls++
+			sh.stalls++
+			verdict[i] = shardKeep
+		}
+	}
+}
+
+// tryAdvanceShard is tryAdvance restricted to the sharded regime: the
+// contest-edge check decides the verdict, the commit touches only
+// owner-exclusive edge state plus the shard's deferred buffers, and the
+// completion side effects (delivered count, path recycling, OnComplete)
+// wait for shardMerge.
+//
+//wormvet:hotpath
+func (si *Sim) tryAdvanceShard(w *worm, sh *shardState) (bool, int32) {
+	if w.d == 0 {
+		w.frontier = w.l // mark complete
+		w.status = StatusDelivered
+		w.injectTime = int32(si.now + 1)
+		w.deliverTime = int32(si.now + 1)
+		if m := sh.met; m != nil {
+			m.Inc(telemetry.CtrInjects)
+			m.Inc(telemetry.CtrDelivers)
+		}
+		return true, -1
+	}
+	path := w.path
+	if w.frontier < w.d-1 {
+		// Slot contest on path[frontier]; bandwidth can never bind (see
+		// the file comment), so the sequential bandwidth loop — and its
+		// crossings writes, which no contender reads — is skipped whole.
+		e := path[w.frontier]
+		if si.laneFree[e] <= 0 {
+			if m := sh.met; m != nil {
+				m.EdgeStall(telemetry.CtrStallLaneCredit, e)
+			}
+			return false, e
+		}
+		si.laneFree[e]--
+		if si.dirtyFlag[e]&2 == 0 {
+			si.dirtyFlag[e] |= 2
+			sh.gmax = append(sh.gmax, e)
+		}
+	} else {
+		// Final contest: only crossings[path[d−1]] can fail the worm, and
+		// only that meter is read by later contenders, so it is the one
+		// bandwidth write the commit must perform.
+		f := path[w.d-1]
+		stamp := si.crossStamp()
+		cw := si.crossings[f]
+		if cw >= stamp && int32(cw-stamp) >= si.capI32 {
+			if m := sh.met; m != nil {
+				m.EdgeStall(telemetry.CtrStallBandwidth, f)
+			}
+			return false, -1
+		}
+		if cw < stamp {
+			cw = stamp
+		}
+		si.crossings[f] = cw + 1
+	}
+	lo, hi := w.crossed()
+	sh.flitHops += int64(hi - lo + 1)
+	if rel := w.frontier - w.l; rel >= 0 && rel <= w.d-2 {
+		sh.rel = append(sh.rel, path[rel])
+	}
+	if w.injectTime < 0 {
+		w.injectTime = int32(si.now + 1)
+		if m := sh.met; m != nil {
+			m.Inc(telemetry.CtrInjects)
+		}
+	}
+	w.frontier++
+	if m := sh.met; m != nil {
+		m.Inc(telemetry.CtrAdvances)
+	}
+	if w.complete() {
+		w.status = StatusDelivered
+		w.deliverTime = int32(si.now + 1)
+		if m := sh.met; m != nil {
+			m.Inc(telemetry.CtrDelivers)
+		}
+	} else {
+		w.status = StatusActive
+	}
+	return true, -1
+}
+
+// parkShard is park() under shard ownership: the wait queue of the
+// contest edge belongs to this shard, the tallies to its accumulator.
+// (Traces never shard, so the trc hook has no counterpart here.)
+//
+//wormvet:hotpath
+func (si *Sim) parkShard(w *worm, k uint64, e int32, sh *shardState) {
+	w.parkedAt = int32(si.now)
+	w.waitEdge = e
+	if m := sh.met; m != nil {
+		m.Inc(telemetry.CtrParks)
+		if w.woken {
+			m.Inc(telemetry.CtrSpuriousWakes)
+		}
+	}
+	w.woken = false
+	si.heapPush(&si.waitQ[e], k)
+	sh.parked++
+}
+
+// shardMerge folds the per-shard buffers into the Sim and replays the
+// verdicts in global policy order: the active list compacts in place
+// and completions and drops fire their side effects in exactly the
+// sequence the sequential stepper would.
+//
+//wormvet:hotpath
+func (si *Sim) shardMerge() (moved, droppedAny bool) {
+	for _, sh := range si.shardStates {
+		moved = moved || sh.moved
+		droppedAny = droppedAny || sh.dropped
+		si.totalStalls += sh.stalls
+		si.flitHops += sh.flitHops
+		si.parked += sh.parked
+		for _, e := range sh.rel {
+			si.relLane[e]++
+			si.touch(e)
+		}
+		si.dirtyMax = append(si.dirtyMax, sh.gmax...)
+		sh.moved, sh.dropped = false, false
+		sh.stalls, sh.flitHops, sh.parked = 0, 0, 0
+		sh.rel = sh.rel[:0]
+		sh.gmax = sh.gmax[:0]
+	}
+	keep := si.active[:0]
+	cb := si.cfg.OnComplete
+	for i, k := range si.active {
+		switch si.shardVerdict[i] {
+		case shardKeep:
+			keep = append(keep, k)
+		case shardPark:
+			// Already on its wait queue.
+		case shardDeliver:
+			w := si.wormK(k)
+			si.delivered++
+			si.freePath(w)
+			si.freeProg(w)
+			if cb != nil {
+				cb(message.ID(w.id), w.messageStats()) //wormvet:allow hotalloc -- once-per-message completion hook
+			}
+		case shardDrop:
+			si.drop(si.wormK(k)) //wormvet:allow hotalloc -- drop path: per-drop cost is accepted in drop-on-delay runs
+		}
+	}
+	si.active = keep
+	return moved, droppedAny
+}
+
+// drainShardMetrics folds the per-shard telemetry children into the
+// parent registry, in shard order, and zeroes them — idempotent, so
+// every snapshot boundary (Result, Reset) can call it. Counters are
+// pure sums, so the parent's totals match a sequential run exactly.
+func (si *Sim) drainShardMetrics() {
+	if si.met == nil {
+		return
+	}
+	for _, sh := range si.shardStates {
+		if sh.met != nil {
+			sh.met.DrainInto(si.met)
+		}
+	}
+}
+
+// ShardedSteps reports how many steps have actually run on the sharded
+// stepper since construction or Reset — the fallback conditions and the
+// per-step activity cutoff make sharding adaptive, so tests and scale
+// studies use this to confirm the parallel path really engaged.
+func (si *Sim) ShardedSteps() int64 { return si.shardSteps }

@@ -1,0 +1,417 @@
+package vcsim
+
+// Differential and structural tests for the sharded stepper. The
+// byte-identity contract — Config.Shards is a pure wall-clock lever —
+// is pinned by running identical workloads through the sequential
+// stepper, the naive scan, and the sharded stepper at several shard
+// counts, comparing full Results (and telemetry snapshots) deeply.
+// Batch-sized fixtures force engagement by dropping the per-shard
+// activity cutoff to 1, then assert via ShardedSteps that the parallel
+// path really ran.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"wormhole/internal/graph"
+	"wormhole/internal/message"
+	"wormhole/internal/telemetry"
+	"wormhole/internal/topology"
+)
+
+// runSharded replicates batch Run with the per-shard activity cutoff
+// lowered so small fixtures actually engage the parallel path, and
+// returns how many steps ran sharded alongside the Result.
+func runSharded(set *message.Set, releases []int, cfg Config, shardMin int) (Result, int64) {
+	si := newBatchSim(set, releases, cfg)
+	si.shardMin = shardMin
+	si.Drain()
+	res := si.Result()
+	steps := si.ShardedSteps()
+	si.Close()
+	return res, steps
+}
+
+// TestShardedMatchesSequentialBatch is the broad identity grid: every
+// topology family × deterministic policy × drop mode × shard count runs
+// the same workload sharded and sequentially (plus the naive oracle) and
+// must produce deeply equal Results. Ring workloads usually classify as
+// mixed-final and fall back — identity must hold there too, trivially —
+// so the engagement assertion quantifies over butterfly runs only.
+func TestShardedMatchesSequentialBatch(t *testing.T) {
+	var engaged int64
+	for _, topoSel := range []uint8{0, 1, 2} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			set, releases := fuzzWorkload(seed*31+uint64(topoSel), topoSel, 48)
+			for _, pol := range []Policy{ArbByID, ArbAge} {
+				for _, drop := range []bool{false, true} {
+					cfg := Config{
+						VirtualChannels: 1 + int(seed%3),
+						Arbitration:     pol,
+						DropOnDelay:     drop,
+						Seed:            seed,
+						CheckInvariants: true,
+					}
+					seq := Run(set, releases, cfg)
+					naiveCfg := cfg
+					naiveCfg.NaiveScan = true
+					naive := Run(set, releases, naiveCfg)
+					if !reflect.DeepEqual(seq, naive) {
+						t.Fatalf("topo %d seed %d %s drop=%v: sequential and naive differ", topoSel, seed, pol, drop)
+					}
+					for _, shards := range []int{2, 3, 4, 8, 256} {
+						shCfg := cfg
+						shCfg.Shards = shards
+						res, steps := runSharded(set, releases, shCfg, 1)
+						if !reflect.DeepEqual(seq, res) {
+							t.Fatalf("topo %d seed %d %s drop=%v shards=%d: sharded diverged\nseq:     %+v\nsharded: %+v",
+								topoSel, seed, pol, drop, shards, seq, res)
+						}
+						if topoSel == 0 && shards <= 8 {
+							engaged += steps
+						}
+					}
+				}
+			}
+		}
+	}
+	if engaged == 0 {
+		t.Fatal("no butterfly run ever took a sharded step; the grid tested nothing")
+	}
+}
+
+// TestShardedLockstepSnapshots steps a sharded and a sequential Sim in
+// lockstep over a contended butterfly workload and compares the full
+// Result snapshot after every step — the strongest identity check, since
+// any divergence is caught at the step it first appears.
+func TestShardedLockstepSnapshots(t *testing.T) {
+	set, releases := fuzzWorkload(7, 0, 64)
+	cfg := Config{VirtualChannels: 2, Arbitration: ArbAge, MaxSteps: 4096, CheckInvariants: true}
+	shCfg := cfg
+	shCfg.Shards = 4
+	seq, err := NewSim(set.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSim(set.G, shCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	sh.shardMin = 1
+	for i := 0; i < set.Len(); i++ {
+		if _, err := seq.Inject(set.Get(message.ID(i)), releases[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sh.Inject(set.Get(message.ID(i)), releases[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; seq.Active() > 0 && step < 4096; step++ {
+		errS := seq.Step()
+		errP := sh.Step()
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("step %d: error mismatch: sequential %v, sharded %v", step, errS, errP)
+		}
+		rs, rp := seq.Result(), sh.Result()
+		if !reflect.DeepEqual(rs, rp) {
+			t.Fatalf("step %d: snapshots differ\nsequential: %+v\n   sharded: %+v", step, rs, rp)
+		}
+		if errS != nil {
+			break
+		}
+	}
+	if sh.ShardedSteps() == 0 {
+		t.Fatal("sharded Sim never took a sharded step")
+	}
+}
+
+// TestShardedFallbackConfigs pins the fallback set: configurations
+// outside the contest-edge regime must run sequentially (ShardedSteps
+// stays 0) and still match the sequential Result exactly.
+func TestShardedFallbackConfigs(t *testing.T) {
+	set, releases := fuzzWorkload(11, 0, 64)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"deep-lanes", func(c *Config) { c.LaneDepth = 2 }},
+		{"shared-pool", func(c *Config) { c.SharedPool = true }},
+		{"restricted-bandwidth", func(c *Config) { c.RestrictedBandwidth = true }},
+		{"arb-random", func(c *Config) { c.Arbitration = ArbRandom }},
+		{"trace", func(c *Config) { c.Trace = telemetry.NewTrace(1 << 16) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{VirtualChannels: 2, Arbitration: ArbByID, Seed: 11, CheckInvariants: true}
+			tc.mut(&cfg)
+			seq := Run(set, releases, cfg)
+			shCfg := cfg
+			shCfg.Shards = 4
+			if shCfg.Trace != nil {
+				shCfg.Trace = telemetry.NewTrace(1 << 16) // a fresh buffer for the second run
+			}
+			res, steps := runSharded(set, releases, shCfg, 1)
+			if steps != 0 {
+				t.Fatalf("%s took %d sharded steps; must fall back", tc.name, steps)
+			}
+			if !reflect.DeepEqual(seq, res) {
+				t.Fatalf("%s: fallback result diverged\nseq:    %+v\nshards: %+v", tc.name, seq, res)
+			}
+		})
+	}
+}
+
+// TestShardedMixedFinalFlip re-runs the mid-run classification flip with
+// the sharded stepper engaged before the flip: a streamed message that
+// mixes edge roles must eject the Sim from the sharded regime (the
+// contest-edge lemma needs unmixed roles) without disturbing identity.
+func TestShardedMixedFinalFlip(t *testing.T) {
+	g := topology.NewLinearArray(7)
+	route := message.ShortestPathRouter(g)
+	long := message.Message{Src: 0, Dst: 6, Length: 5, Path: route(0, 6)}
+	flip := message.Message{Src: 0, Dst: 5, Length: 2, Path: route(0, 5)}
+	cfg := Config{VirtualChannels: 1, Arbitration: ArbAge, Seed: 9, MaxSteps: 4096, CheckInvariants: true}
+	shCfg := cfg
+	shCfg.Shards = 2
+	seq, err := NewSim(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSim(g, shCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	sh.shardMin = 1
+	inject := func(m message.Message, rel int) {
+		t.Helper()
+		if _, err := seq.Inject(m, rel); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sh.Inject(m, rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step := func() {
+		t.Helper()
+		if err := seq.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.Step(); err != nil {
+			t.Fatal(err)
+		}
+		rs, rp := seq.Result(), sh.Result()
+		if !reflect.DeepEqual(rs, rp) {
+			t.Fatalf("snapshots differ at step %d\nsequential: %+v\n   sharded: %+v", seq.Now(), rs, rp)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		inject(long, 0)
+	}
+	for i := 0; i < 30; i++ {
+		step()
+	}
+	if sh.ShardedSteps() == 0 {
+		t.Fatal("sharded stepper never engaged before the flip")
+	}
+	if sh.mixedFinal {
+		t.Fatal("classification mixed before the flip message")
+	}
+	before := sh.ShardedSteps()
+	inject(flip, sh.Now())
+	if !sh.mixedFinal {
+		t.Fatal("flip message did not mix the classification")
+	}
+	for sh.Active() > 0 {
+		step()
+	}
+	if sh.ShardedSteps() != before {
+		t.Fatalf("sharded steps advanced from %d to %d across the flip; mixed-final must fall back",
+			before, sh.ShardedSteps())
+	}
+}
+
+// TestShardedPartitionBands checks the static edge partition: contiguous,
+// monotone bands that start at shard 0, end at shard S−1, and stay
+// balanced to within one edge of the even split.
+func TestShardedPartitionBands(t *testing.T) {
+	bf := topology.NewButterfly(16)
+	for _, shards := range []int{2, 3, 4, 8} {
+		si, err := NewSim(bf.G, Config{VirtualChannels: 2, Shards: shards, MaxSteps: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := len(si.edgeShard)
+		counts := make([]int, shards)
+		prev := uint8(0)
+		for e, s := range si.edgeShard {
+			if s < prev {
+				t.Fatalf("shards=%d: edgeShard not monotone at edge %d: %d after %d", shards, e, s, prev)
+			}
+			if int(s) >= shards {
+				t.Fatalf("shards=%d: edge %d assigned to shard %d", shards, e, s)
+			}
+			counts[s]++
+			prev = s
+		}
+		if si.edgeShard[0] != 0 || si.edgeShard[edges-1] != uint8(shards-1) {
+			t.Fatalf("shards=%d: bands span [%d, %d], want [0, %d]",
+				shards, si.edgeShard[0], si.edgeShard[edges-1], shards-1)
+		}
+		for s, c := range counts {
+			if lo, hi := edges/shards, edges/shards+1; c < lo || c > hi {
+				t.Fatalf("shards=%d: shard %d owns %d edges, want %d or %d", shards, s, c, lo, hi)
+			}
+		}
+	}
+}
+
+// TestShardedTelemetryMatchesSequential runs the same workload with a
+// flight recorder attached under both steppers: after Result drains the
+// per-shard children, the aggregated snapshots must be deeply equal —
+// the counters are sums and the per-edge attribution is exact, not
+// merely consistent.
+func TestShardedTelemetryMatchesSequential(t *testing.T) {
+	set, releases := fuzzWorkload(13, 0, 96)
+	base := Config{VirtualChannels: 2, Arbitration: ArbByID, Seed: 13}
+	seqMet := telemetry.NewMetrics()
+	cfg := base
+	cfg.Metrics = seqMet
+	seqRes := Run(set, releases, cfg)
+	shMet := telemetry.NewMetrics()
+	shCfg := base
+	shCfg.Shards = 4
+	shCfg.Metrics = shMet
+	shRes, steps := runSharded(set, releases, shCfg, 1)
+	if steps == 0 {
+		t.Fatal("sharded run never engaged; the telemetry merge path is untested")
+	}
+	if !reflect.DeepEqual(seqRes, shRes) {
+		t.Fatalf("results diverged\nseq:     %+v\nsharded: %+v", seqRes, shRes)
+	}
+	if s, p := seqMet.Snapshot(), shMet.Snapshot(); !reflect.DeepEqual(s, p) {
+		t.Fatalf("telemetry snapshots diverged\nsequential: %+v\n   sharded: %+v", s, p)
+	}
+}
+
+// TestShardedDrainIdempotent pins the snapshot-boundary contract: calling
+// Result repeatedly after a sharded run must not double-count the drained
+// shard children.
+func TestShardedDrainIdempotent(t *testing.T) {
+	set, releases := fuzzWorkload(17, 0, 64)
+	met := telemetry.NewMetrics()
+	cfg := Config{VirtualChannels: 2, Arbitration: ArbAge, Seed: 17, Shards: 2, Metrics: met}
+	si := newBatchSim(set, releases, cfg)
+	si.shardMin = 1
+	defer si.Close()
+	si.Drain()
+	first := si.Result()
+	snap := met.Snapshot()
+	again := si.Result()
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("repeated Result diverged\nfirst: %+v\nagain: %+v", first, again)
+	}
+	if s := met.Snapshot(); !reflect.DeepEqual(snap, s) {
+		t.Fatalf("repeated Result changed the telemetry snapshot\nfirst: %+v\nagain: %+v", snap, s)
+	}
+}
+
+// TestShardedCloseStopsWorkers asserts Close releases the pool's
+// goroutines: after a sharded run is closed, the goroutine count returns
+// to its pre-run baseline.
+func TestShardedCloseStopsWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	set, releases := fuzzWorkload(19, 0, 64)
+	cfg := Config{VirtualChannels: 2, Arbitration: ArbByID, Seed: 19, Shards: 8}
+	if _, steps := runSharded(set, releases, cfg, 1); steps == 0 {
+		t.Fatal("sharded run never engaged; no workers were ever started")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("%d goroutines outlive Close (baseline %d)", n, base)
+	}
+}
+
+// TestShardedStepZeroAllocSteadyState is the sharded counterpart of the
+// wakeup zero-alloc gate: once the pool, verdict arrays, and per-shard
+// buffers are warm, a sharded step must not allocate — the phase funcs
+// are pre-bound and the deferred buffers are reused.
+func TestShardedStepZeroAllocSteadyState(t *testing.T) {
+	bf := topology.NewButterfly(16)
+	sim, err := NewSim(bf.G, Config{VirtualChannels: 2, Arbitration: ArbAge, MaxSteps: 1 << 30, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	sim.shardMin = 1
+	for i := 0; i < 400; i++ {
+		src, dst := i%16, (i*7+3)%16
+		m := message.Message{Src: bf.Input(src), Dst: bf.Output(dst), Length: 4, Path: bf.Route(src, dst)}
+		if _, err := sim.Inject(m, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sim.ShardedSteps() == 0 {
+		t.Fatal("warmup never took a sharded step")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sharded Step allocates %.2f times per step, want 0", allocs)
+	}
+}
+
+// TestShardedDeadlockParity freezes a deadlock inside the sharded regime
+// and checks the frozen snapshot matches the sequential stepper — the
+// detector runs serially off the merged moved/dropped verdicts, so the
+// stamp must land on the same step. Ring deadlocks classify mixed-final
+// and fall back, so the fixture is hand-built to keep roles unmixed: two
+// worms holding each other's wanted body slot (W1 crosses e1 and wants
+// e2, W2 the reverse), with final-only exit edges.
+func TestShardedDeadlockParity(t *testing.T) {
+	g := graph.New(0, 0)
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	x := g.AddNode("x")
+	y := g.AddNode("y")
+	as := g.AddNode("as")
+	bs := g.AddNode("bs")
+	e1 := g.AddEdge(u, v)
+	e2 := g.AddEdge(v, u)
+	f1 := g.AddEdge(u, x)
+	f2 := g.AddEdge(v, y)
+	eA := g.AddEdge(as, u)
+	eB := g.AddEdge(bs, v)
+	set := message.NewSet(g)
+	set.Add(as, x, 4, graph.Path{eA, e1, e2, f1})
+	set.Add(bs, y, 4, graph.Path{eB, e2, e1, f2})
+	releases := []int{0, 0}
+	cfg := Config{VirtualChannels: 1, Arbitration: ArbByID, CheckInvariants: true}
+	seq := Run(set, releases, cfg)
+	if !seq.Deadlocked {
+		t.Fatal("fixture did not deadlock; the parity claim is vacuous")
+	}
+	shCfg := cfg
+	shCfg.Shards = 2
+	res, steps := runSharded(set, releases, shCfg, 1)
+	if steps == 0 {
+		t.Fatal("deadlock run never engaged the sharded stepper")
+	}
+	if !reflect.DeepEqual(seq, res) {
+		t.Fatalf("deadlock snapshots diverged\nseq:     %+v\nsharded: %+v", seq, res)
+	}
+}

@@ -129,6 +129,18 @@ type Config struct {
 	// have no Observer equivalent). Same nil-gating and identity guarantees
 	// as Metrics.
 	Trace *telemetry.Trace
+	// Shards ≥ 2 steps the simulation on that many goroutines, each
+	// owning a contiguous band of edge IDs (topological slabs: butterfly
+	// stages, mesh tiles); ≤ 256. Results are byte-identical to the
+	// sequential stepper for every value — sharding is pure mechanism,
+	// pinned by differential, lockstep, and fuzz suites (see shard.go
+	// for the contest-edge argument). Steps outside the provable regime
+	// (deep lanes, restricted bandwidth, ArbRandom, mixed edge roles,
+	// trace/observer sinks, or too few active worms to pay the fan-out)
+	// transparently run sequentially. Worker goroutines start lazily on
+	// the first sharded step; Sim.Close releases them (a finalizer
+	// covers abandoned Sims). 0 and 1 mean sequential.
+	Shards int
 }
 
 // MaxHorizon is the largest supported MaxSteps / release time: event
@@ -462,7 +474,9 @@ func (a *i32Arena) reset() { a.cur, a.off = 0, 0 }
 func Run(s *message.Set, release []int, cfg Config) Result {
 	sim := newBatchSim(s, release, cfg)
 	sim.Drain()
-	return sim.Result()
+	res := sim.Result()
+	sim.Close()
+	return res
 }
 
 // Sim is the incremental simulation engine: a resumable simulator state
@@ -626,6 +640,22 @@ type Sim struct {
 	met *telemetry.Metrics
 	trc *telemetry.Trace
 
+	// Sharded-stepper state (Config.Shards ≥ 2; see shard.go). The
+	// phase funcs are bound once so the per-step pool dispatch does not
+	// allocate; shardMin is the per-shard activity cutoff
+	// (shardMinActive, overridable by tests to force tiny workloads
+	// onto the parallel path).
+	shards       int
+	shardMin     int
+	edgeShard    []uint8 // owning shard per edge: contiguous ID bands
+	shardStates  []*shardState
+	shardOwner   []uint8 // per-active-worm owner, rebuilt each sharded step
+	shardVerdict []uint8 // per-active-worm verdict (see shardKeep etc.)
+	pool         *shardPool
+	classifyFn   func(int)
+	processFn    func(int)
+	shardSteps   int64
+
 	totalStalls int
 	flitHops    int64
 	maxOccupied int
@@ -651,6 +681,10 @@ func emptySim(numEdges int, cfg Config) *Sim {
 	if cfg.VirtualChannels*depth > MaxHorizon {
 		panic(fmt.Sprintf("vcsim: VirtualChannels %d × LaneDepth %d overflows the 32-bit pool layout", cfg.VirtualChannels, depth))
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	si := &Sim{
 		cfg:        cfg,
 		b:          cfg.VirtualChannels,
@@ -661,11 +695,23 @@ func emptySim(numEdges int, cfg Config) *Sim {
 		poolCap:    int32(cfg.VirtualChannels * depth),
 		naive:      cfg.NaiveScan,
 		parkStreak: int32(parkStreak),
+		shards:     shards,
+		shardMin:   shardMinActive,
 		laneFree:   make([]int32, numEdges),
 		relLane:    make([]int32, numEdges),
 		crossings:  make([]uint64, numEdges),
 		dirtyFlag:  make([]uint8, numEdges),
 		maxSteps:   cfg.MaxSteps,
+	}
+	if shards > 1 && numEdges > 0 {
+		// Contiguous, balanced edge-ID bands: edge IDs are laid out
+		// stage-major on the butterfly and tile-major on meshes, so a
+		// band is a topological slab and same-edge contention stays
+		// shard-local.
+		si.edgeShard = make([]uint8, numEdges)
+		for e := range si.edgeShard {
+			si.edgeShard[e] = uint8(e * shards / numEdges)
+		}
 	}
 	if cfg.RestrictedBandwidth {
 		si.cap = 1
@@ -756,6 +802,11 @@ func (si *Sim) Reset() {
 	si.progFree = si.progFree[:0]
 	si.parked = 0
 	si.now = 0
+	si.shardSteps = 0
+	// Shard accumulators are empty between steps; only their telemetry
+	// children carry state, which must survive into the parent so a
+	// Reset-reused Sim loses no counts.
+	si.drainShardMetrics()
 	si.totalStalls = 0
 	si.flitHops = 0
 	si.maxOccupied = 0
@@ -874,6 +925,9 @@ func validateArch(cfg Config) error {
 	}
 	if cfg.MaxSteps > MaxHorizon {
 		return fmt.Errorf("vcsim: MaxSteps %d exceeds MaxHorizon %d", cfg.MaxSteps, MaxHorizon)
+	}
+	if cfg.Shards < 0 || cfg.Shards > 256 {
+		return fmt.Errorf("vcsim: Shards %d outside [0, 256]", cfg.Shards)
 	}
 	return nil
 }
@@ -1062,9 +1116,12 @@ func (si *Sim) step() {
 	if m := si.met; m != nil {
 		m.Inc(telemetry.CtrSteps)
 	}
-	if si.naive {
+	switch {
+	case si.naive:
 		si.stepNaive()
-	} else {
+	case si.shardable():
+		si.stepSharded()
+	default:
 		si.stepWakeup()
 	}
 }
@@ -1509,6 +1566,7 @@ func (si *Sim) checkInvariants() {
 // at any point in a Sim's life; per-message stats of in-flight messages
 // appear with their current (partial) values.
 func (si *Sim) Result() Result {
+	si.drainShardMetrics()
 	if m := si.met; m != nil {
 		// Result calls are snapshot boundaries: sample arena occupancy here
 		// rather than on the hot path.
