@@ -46,6 +46,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -82,6 +83,7 @@ func run() int {
 		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 		telOut    = flag.String("telemetry", "", "write a telemetry snapshot JSON to this file (attaches counters to whatever runs; alone it runs the knee smoke workload)")
 		httpAddr  = flag.String("http", "", "serve live telemetry (/metrics) and net/http/pprof (/debug/pprof) on this address")
+		ckptDir   = flag.String("checkpoint", "", "memoize completed harness jobs under this directory so an interrupted run resumes on re-invocation (long offline sweeps; tables are byte-identical with or without it)")
 	)
 	flag.Parse()
 
@@ -128,7 +130,10 @@ func run() int {
 	}
 
 	cfg := core.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers, Scale: *scale, Shards: *shards}
-	if *telOut != "" {
+	if *telOut != "" || *shards >= 2 {
+		// With -shards the aggregate is attached even without -telemetry:
+		// its sharded_steps / shard_fallback_steps counters back the
+		// fallback warning below. Tables are byte-identical either way.
 		cfg.Telemetry = telemetry.NewAggregate()
 	}
 
@@ -141,15 +146,17 @@ func run() int {
 		}
 	case *all:
 		for _, e := range core.Experiments() {
-			if code := runOne(e.ID, cfg, *csvOut); code != 0 {
+			if code := runOne(e.ID, cfg, *csvOut, *ckptDir); code != 0 {
 				return code
 			}
 		}
+		warnShardFallback(*shards, cfg.Telemetry)
 		return writeTelemetry(*telOut, cfg.Telemetry)
 	case *run != "":
-		if code := runOne(*run, cfg, *csvOut); code != 0 {
+		if code := runOne(*run, cfg, *csvOut, *ckptDir); code != 0 {
 			return code
 		}
+		warnShardFallback(*shards, cfg.Telemetry)
 		return writeTelemetry(*telOut, cfg.Telemetry)
 	case *telOut != "":
 		// Standalone -telemetry: run the knee smoke workload with the full
@@ -172,10 +179,28 @@ func run() int {
 	return 0
 }
 
+// warnShardFallback reports — on stderr, never stdout, which CI
+// byte-diffs across shard counts — when -shards requested a parallel
+// stepper but every simulator step silently fell back to the
+// sequential path (see vcsim.Sim.ShardFallbackReason for the standing
+// conditions that cause this).
+func warnShardFallback(shards int, agg *telemetry.Aggregate) {
+	if shards < 2 || agg == nil {
+		return
+	}
+	snap := agg.Snapshot()
+	if snap.Counter("steps") > 0 && snap.Counter("sharded_steps") == 0 {
+		fmt.Fprintf(os.Stderr,
+			"wormbench: warning: -shards %d requested but no step ran sharded (%d of %d steps hit a fallback condition; the rest were below the activity cutoff)\n",
+			shards, snap.Counter("shard_fallback_steps"), snap.Counter("steps"))
+	}
+}
+
 // writeTelemetry publishes and exports the aggregate collected across the
-// experiments just run. A nil aggregate (no -telemetry flag) is a no-op.
+// experiments just run. A nil aggregate (no -telemetry flag) is a no-op,
+// as is an empty path (aggregate attached only for the fallback warning).
 func writeTelemetry(path string, agg *telemetry.Aggregate) int {
-	if agg == nil {
+	if agg == nil || path == "" {
 		return 0
 	}
 	snap := agg.Snapshot()
@@ -234,7 +259,12 @@ func runBench(out, baselinePath string, reps int, telOut string) int {
 	return 0
 }
 
-func runOne(id string, cfg core.Config, csvOut bool) int {
+func runOne(id string, cfg core.Config, csvOut bool, ckptDir string) int {
+	if ckptDir != "" {
+		// A Checkpoint must be fresh per experiment run; keying the store
+		// by experiment ID keeps -all runs resumable per experiment.
+		cfg.Checkpoint = &core.Checkpoint{Store: core.DirStore{Dir: filepath.Join(ckptDir, id)}}
+	}
 	start := time.Now()
 	tables, err := core.Run(id, cfg)
 	if err != nil {

@@ -1,0 +1,341 @@
+package main
+
+// In-process daemon tests: the API contract (including the typed 400s
+// for engine-rejected workloads), the sweep/experiment job lifecycle,
+// and graceful-shutdown resume — all against real managers over real
+// state directories, with the HTTP layer exercised through httptest.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wormhole/internal/core"
+	"wormhole/internal/traffic"
+)
+
+func testSweepSpec() *SweepSpec {
+	return &SweepSpec{
+		Topology:        "butterfly",
+		Size:            8,
+		VirtualChannels: 2,
+		MessageLength:   4,
+		Process:         "bernoulli",
+		Rates:           []float64{0.02, 0.05},
+		Warmup:          40,
+		Measure:         160,
+		Drain:           400,
+		Window:          50,
+		Seed:            17,
+	}
+}
+
+func startTestServer(t *testing.T, stateDir string, ckptEvery int) (*httptest.Server, *manager) {
+	t.Helper()
+	m, err := newManager(stateDir, 2, ckptEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newAPI(m))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeStatus(t *testing.T, resp *http.Response) JobStatus {
+	t.Helper()
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, srv *httptest.Server, id string, want jobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(srv.URL + "/api/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeStatus(t, resp)
+		switch st.State {
+		case want:
+			return st
+		case stateFailed:
+			if want != stateFailed {
+				t.Fatalf("job %s failed: %s", id, st.Error)
+			}
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobStatus{}
+}
+
+func fetch(t *testing.T, url string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, wantCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+// TestSubmitValidation pins the 400 contract, including the typed
+// engine errors surfaced at submission time.
+func TestSubmitValidation(t *testing.T) {
+	srv, m := startTestServer(t, t.TempDir(), 0)
+	defer m.Shutdown()
+
+	for name, tc := range map[string]struct {
+		spec     JobSpec
+		wantKind string // engine_error field, "" = don't check
+	}{
+		"unknown type":       {JobSpec{Type: "nonsense"}, ""},
+		"sweep without spec": {JobSpec{Type: "sweep"}, ""},
+		"no rates": {JobSpec{Type: "sweep", Sweep: func() *SweepSpec {
+			s := testSweepSpec()
+			s.Rates = nil
+			return s
+		}()}, ""},
+		"bad topology": {JobSpec{Type: "sweep", Sweep: func() *SweepSpec {
+			s := testSweepSpec()
+			s.Topology = "hypercube"
+			return s
+		}()}, ""},
+		"bad arbitration": {JobSpec{Type: "sweep", Sweep: func() *SweepSpec {
+			s := testSweepSpec()
+			s.Arbitration = "fifo"
+			return s
+		}()}, ""},
+		"zero virtual channels": {JobSpec{Type: "sweep", Sweep: func() *SweepSpec {
+			s := testSweepSpec()
+			s.VirtualChannels = 0
+			return s
+		}()}, ""},
+		"over horizon": {JobSpec{Type: "sweep", Sweep: func() *SweepSpec {
+			s := testSweepSpec()
+			s.Warmup = 1 << 30
+			s.Measure = 1 << 30
+			s.Drain = 1 << 30
+			return s
+		}()}, "over_horizon"},
+		"unknown experiment": {JobSpec{Type: "experiment", Experiment: &ExperimentSpec{ID: "T99"}}, ""},
+	} {
+		resp := postJSON(t, srv.URL+"/api/v1/jobs", tc.spec)
+		body := map[string]string{}
+		json.NewDecoder(resp.Body).Decode(&body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", name, resp.StatusCode, body)
+		}
+		if tc.wantKind != "" && body["engine_error"] != tc.wantKind {
+			t.Errorf("%s: engine_error %q, want %q", name, body["engine_error"], tc.wantKind)
+		}
+	}
+}
+
+// TestSweepJobMatchesDirectRun: a completed sweep job's CSV must equal
+// the rendering of direct traffic.Run results, and its per-point window
+// series must be served at the metrics endpoint.
+func TestSweepJobMatchesDirectRun(t *testing.T) {
+	srv, m := startTestServer(t, t.TempDir(), 0)
+	defer m.Shutdown()
+
+	spec := testSweepSpec()
+	st := decodeStatus(t, postJSON(t, srv.URL+"/api/v1/jobs", JobSpec{Type: "sweep", Sweep: spec}))
+	if st.PointsTotal != 2 {
+		t.Fatalf("points_total = %d, want 2", st.PointsTotal)
+	}
+	// Result before completion is a 409.
+	deadline := time.Now().Add(time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/api/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusConflict {
+			break
+		}
+		if resp.StatusCode == http.StatusOK || time.Now().After(deadline) {
+			break // finished too fast to observe the 409; fine
+		}
+	}
+	done := waitState(t, srv, st.ID, stateDone)
+	if done.PointsDone != 2 {
+		t.Fatalf("points_done = %d, want 2", done.PointsDone)
+	}
+	got := fetch(t, srv.URL+"/api/v1/jobs/"+st.ID+"/result", http.StatusOK)
+
+	var points []pointResult
+	net, err := spec.network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range spec.Rates {
+		cfg, err := spec.config(net, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := traffic.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, pointResult{Rate: rate, Result: res})
+	}
+	if want := renderSweepCSV(points); string(got) != want {
+		t.Fatalf("sweep CSV diverged from direct runs\nwant:\n%s\ngot:\n%s", want, got)
+	}
+
+	// The per-window series was published while the job ran.
+	snap := fetch(t, srv.URL+"/api/v1/jobs/"+st.ID+"/metrics", http.StatusOK)
+	if !bytes.Contains(snap, []byte("windows")) {
+		t.Fatalf("metrics snapshot has no window series: %s", snap)
+	}
+}
+
+// TestExperimentJobMatchesWormbenchCSV: experiment jobs must render
+// exactly what `wormbench -run ID -quick -csv` prints.
+func TestExperimentJobMatchesWormbenchCSV(t *testing.T) {
+	srv, m := startTestServer(t, t.TempDir(), 0)
+	defer m.Shutdown()
+
+	st := decodeStatus(t, postJSON(t, srv.URL+"/api/v1/jobs",
+		JobSpec{Type: "experiment", Experiment: &ExperimentSpec{ID: "T12", Seed: 42, Quick: true}}))
+	waitState(t, srv, st.ID, stateDone)
+	got := fetch(t, srv.URL+"/api/v1/jobs/"+st.ID+"/result", http.StatusOK)
+
+	tables, err := core.Run("T12", core.Config{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	for _, tab := range tables {
+		fmt.Fprintf(&want, "# %s\n", tab.Title())
+		if err := tab.WriteCSV(&want); err != nil {
+			t.Fatal(err)
+		}
+		want.WriteString("\n")
+	}
+	if want.String() != string(got) {
+		t.Fatalf("experiment CSV diverged from the CLI rendering\nwant:\n%s\ngot:\n%s", want.String(), got)
+	}
+}
+
+// TestGracefulShutdownResumes is the SIGTERM round trip in-process: a
+// manager is shut down mid-sweep, a second manager over the same state
+// directory resumes from the checkpoint, and the final CSV is
+// byte-identical to an uninterrupted job's.
+func TestGracefulShutdownResumes(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Measure = 2000 // long enough to catch mid-run
+	spec.Drain = 800
+
+	// Oracle: the same job, uninterrupted.
+	oracleDir := t.TempDir()
+	srvO, mO := startTestServer(t, oracleDir, 0)
+	stO := decodeStatus(t, postJSON(t, srvO.URL+"/api/v1/jobs", JobSpec{Type: "sweep", Sweep: spec}))
+	waitState(t, srvO, stO.ID, stateDone)
+	want := fetch(t, srvO.URL+"/api/v1/jobs/"+stO.ID+"/result", http.StatusOK)
+	mO.Shutdown()
+
+	// Victim: shut down while running.
+	dir := t.TempDir()
+	srv1, m1 := startTestServer(t, dir, 100)
+	st := decodeStatus(t, postJSON(t, srv1.URL+"/api/v1/jobs", JobSpec{Type: "sweep", Sweep: spec}))
+	waitState(t, srv1, st.ID, stateRunning)
+	m1.Shutdown()
+	srv1.Close()
+
+	// The interrupted job was re-queued with a checkpoint on disk.
+	blob, err := os.ReadFile(filepath.Join(dir, "jobs", st.ID, "job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var persisted JobStatus
+	if err := json.Unmarshal(blob, &persisted); err != nil {
+		t.Fatal(err)
+	}
+	if persisted.State != stateQueued {
+		t.Fatalf("interrupted job persisted as %q, want queued", persisted.State)
+	}
+
+	// Restart over the same state dir: the job resumes and completes.
+	srv2, m2 := startTestServer(t, dir, 100)
+	defer m2.Shutdown()
+	waitState(t, srv2, st.ID, stateDone)
+	got := fetch(t, srv2.URL+"/api/v1/jobs/"+st.ID+"/result", http.StatusOK)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed sweep diverged from uninterrupted oracle\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestCancelJob: canceling a running job reaches a terminal canceled
+// state and its result stays unavailable.
+func TestCancelJob(t *testing.T) {
+	srv, m := startTestServer(t, t.TempDir(), 0)
+	defer m.Shutdown()
+
+	spec := testSweepSpec()
+	spec.Rates = []float64{0.05}
+	spec.Measure = 200_000_000 // effectively unbounded: only cancel ends it
+	st := decodeStatus(t, postJSON(t, srv.URL+"/api/v1/jobs", JobSpec{Type: "sweep", Sweep: spec}))
+	waitState(t, srv, st.ID, stateRunning)
+	resp := postJSON(t, srv.URL+"/api/v1/jobs/"+st.ID+"/cancel", struct{}{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+	waitState(t, srv, st.ID, stateCanceled)
+	fetch(t, srv.URL+"/api/v1/jobs/"+st.ID+"/result", http.StatusConflict)
+}
+
+// TestHealthAndMetricsEndpoints covers the ops surface.
+func TestHealthAndMetricsEndpoints(t *testing.T) {
+	srv, m := startTestServer(t, t.TempDir(), 0)
+	defer m.Shutdown()
+
+	if body := fetch(t, srv.URL+"/healthz", http.StatusOK); !bytes.Contains(body, []byte("true")) {
+		t.Fatalf("healthz: %s", body)
+	}
+	var gauges map[string]any
+	if err := json.Unmarshal(fetch(t, srv.URL+"/metrics", http.StatusOK), &gauges); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"jobs_total", "jobs_running", "uptime_sec"} {
+		if _, ok := gauges[key]; !ok {
+			t.Fatalf("metrics missing %q: %v", key, gauges)
+		}
+	}
+	fetch(t, srv.URL+"/api/v1/jobs/nope", http.StatusNotFound)
+}

@@ -1,0 +1,778 @@
+package main
+
+// The job manager: a persistent, resumable queue of simulation jobs
+// fanned over a bounded worker pool. Every piece of job state lives
+// under one state directory so a daemon restart — graceful or kill -9 —
+// reconstructs the queue and resumes interrupted work from checkpoints:
+//
+//	STATE/jobs/<id>/job.json      job spec + status (atomic writes)
+//	STATE/jobs/<id>/point-K.snap  live Runner checkpoint for sweep point K
+//	STATE/jobs/<id>/point-K.json  completed sweep point (memoized)
+//	STATE/jobs/<id>/ckpt/         core.Checkpoint store for experiment jobs
+//	STATE/jobs/<id>/result.csv    final rendered output
+//
+// Sweep jobs run one open-loop traffic.Runner per offered rate and
+// checkpoint it periodically via Runner.Snapshot (and once more on
+// graceful shutdown); experiment jobs run the core registry under
+// core.Checkpoint job memoization. Either way a resumed job produces
+// output byte-identical to an uninterrupted run — the e2e test
+// kill -9s the daemon mid-sweep and diffs.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wormhole/internal/core"
+	"wormhole/internal/stats"
+	"wormhole/internal/telemetry"
+	"wormhole/internal/traffic"
+	"wormhole/internal/vcsim"
+)
+
+type jobState string
+
+const (
+	stateQueued   jobState = "queued"
+	stateRunning  jobState = "running"
+	stateDone     jobState = "done"
+	stateFailed   jobState = "failed"
+	stateCanceled jobState = "canceled"
+)
+
+// Pause sentinels returned through Config.OnStep / recovered from
+// core.ErrInterrupted. They are daemon control flow, never job failures.
+var (
+	errShutdown = errors.New("wormholed: shutting down")
+	errCanceled = errors.New("wormholed: job canceled")
+)
+
+// SweepSpec declares an open-loop rate sweep: one traffic run per entry
+// of Rates on a fixed network and traffic configuration.
+type SweepSpec struct {
+	Topology string `json:"topology"`       // butterfly | mesh | torus
+	Size     int    `json:"size,omitempty"` // butterfly input count
+	Dims     []int  `json:"dims,omitempty"` // mesh / torus extents
+
+	VirtualChannels     int    `json:"virtual_channels"`
+	LaneDepth           int    `json:"lane_depth,omitempty"`
+	SharedPool          bool   `json:"shared_pool,omitempty"`
+	MessageLength       int    `json:"message_length"`
+	Arbitration         string `json:"arbitration,omitempty"` // byid | age | random
+	RestrictedBandwidth bool   `json:"restricted_bandwidth,omitempty"`
+
+	Process string    `json:"process,omitempty"` // bernoulli | poisson | onoff
+	Rates   []float64 `json:"rates"`
+	OnMean  float64   `json:"on_mean,omitempty"`
+	OffMean float64   `json:"off_mean,omitempty"`
+
+	Pattern         string  `json:"pattern,omitempty"` // uniform | transpose | bitreverse | hotspot
+	HotspotCount    int     `json:"hotspot_count,omitempty"`
+	HotspotFraction float64 `json:"hotspot_fraction,omitempty"`
+
+	Warmup     int    `json:"warmup,omitempty"`
+	Measure    int    `json:"measure"`
+	Drain      int    `json:"drain,omitempty"`
+	Window     int    `json:"window,omitempty"`
+	MaxBacklog int    `json:"max_backlog,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+}
+
+func (s *SweepSpec) network() (*traffic.Network, error) {
+	switch s.Topology {
+	case "butterfly":
+		if s.Size < 2 {
+			return nil, fmt.Errorf("butterfly size %d < 2", s.Size)
+		}
+		return traffic.NewButterflyNet(s.Size), nil
+	case "mesh", "torus":
+		if len(s.Dims) == 0 {
+			return nil, fmt.Errorf("%s needs dims", s.Topology)
+		}
+		for _, d := range s.Dims {
+			if d < 2 {
+				return nil, fmt.Errorf("%s dim %d < 2", s.Topology, d)
+			}
+		}
+		if s.Topology == "mesh" {
+			return traffic.NewMeshNet(s.Dims...), nil
+		}
+		return traffic.NewTorusNet(s.Dims...), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want butterfly, mesh, or torus)", s.Topology)
+	}
+}
+
+func parseArbitration(s string) (vcsim.Policy, error) {
+	switch s {
+	case "", "byid":
+		return vcsim.ArbByID, nil
+	case "age":
+		return vcsim.ArbAge, nil
+	case "random":
+		return vcsim.ArbRandom, nil
+	}
+	return 0, fmt.Errorf("unknown arbitration %q (want byid, age, or random)", s)
+}
+
+func parseProcess(s string) (traffic.Process, error) {
+	switch s {
+	case "", "bernoulli":
+		return traffic.Bernoulli, nil
+	case "poisson":
+		return traffic.Poisson, nil
+	case "onoff":
+		return traffic.OnOff, nil
+	}
+	return 0, fmt.Errorf("unknown process %q (want bernoulli, poisson, or onoff)", s)
+}
+
+func parsePattern(s string) (traffic.Pattern, error) {
+	switch s {
+	case "", "uniform":
+		return traffic.Uniform, nil
+	case "transpose":
+		return traffic.Transpose, nil
+	case "bitreverse":
+		return traffic.BitReverse, nil
+	case "hotspot":
+		return traffic.Hotspot, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q (want uniform, transpose, bitreverse, or hotspot)", s)
+}
+
+// config builds the traffic.Config for one sweep point. net is shared
+// across points (it is read-only); rate varies per point.
+func (s *SweepSpec) config(net *traffic.Network, rate float64) (traffic.Config, error) {
+	arb, err := parseArbitration(s.Arbitration)
+	if err != nil {
+		return traffic.Config{}, err
+	}
+	proc, err := parseProcess(s.Process)
+	if err != nil {
+		return traffic.Config{}, err
+	}
+	pat, err := parsePattern(s.Pattern)
+	if err != nil {
+		return traffic.Config{}, err
+	}
+	return traffic.Config{
+		Net:                 net,
+		VirtualChannels:     s.VirtualChannels,
+		LaneDepth:           s.LaneDepth,
+		SharedPool:          s.SharedPool,
+		MessageLength:       s.MessageLength,
+		Arbitration:         arb,
+		RestrictedBandwidth: s.RestrictedBandwidth,
+		Process:             proc,
+		Rate:                rate,
+		OnMean:              s.OnMean,
+		OffMean:             s.OffMean,
+		Pattern:             pat,
+		HotspotCount:        s.HotspotCount,
+		HotspotFraction:     s.HotspotFraction,
+		Warmup:              s.Warmup,
+		Measure:             s.Measure,
+		Drain:               s.Drain,
+		Window:              s.Window,
+		MaxBacklog:          s.MaxBacklog,
+		Seed:                s.Seed,
+		Shards:              s.Shards,
+	}, nil
+}
+
+// validate builds and immediately retires a Runner for the first rate,
+// so a bad submission is rejected at POST time with the engine's typed
+// error (vcsim.ErrBadConfig / ErrBadMessage / ErrOverHorizon or the
+// traffic validation) instead of failing later in a worker.
+func (s *SweepSpec) validate() error {
+	if len(s.Rates) == 0 {
+		return errors.New("sweep has no rates")
+	}
+	net, err := s.network()
+	if err != nil {
+		return err
+	}
+	cfg, err := s.config(net, s.Rates[0])
+	if err != nil {
+		return err
+	}
+	r, err := traffic.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	r.Close()
+	for _, rate := range s.Rates[1:] {
+		if rate <= 0 || rate > cfg.MaxRate() {
+			return fmt.Errorf("rate %g outside (0, %g]", rate, cfg.MaxRate())
+		}
+	}
+	return nil
+}
+
+// ExperimentSpec names a core registry experiment to run.
+type ExperimentSpec struct {
+	ID     string `json:"id"`
+	Seed   uint64 `json:"seed,omitempty"`
+	Quick  bool   `json:"quick,omitempty"`
+	Trials int    `json:"trials,omitempty"`
+	Scale  int    `json:"scale,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+}
+
+func (e *ExperimentSpec) validate() error {
+	for _, known := range core.Experiments() {
+		if known.ID == e.ID {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", e.ID)
+}
+
+// JobSpec is the body of POST /api/v1/jobs.
+type JobSpec struct {
+	Type       string          `json:"type"` // sweep | experiment
+	Sweep      *SweepSpec      `json:"sweep,omitempty"`
+	Experiment *ExperimentSpec `json:"experiment,omitempty"`
+}
+
+func (s *JobSpec) validate() error {
+	switch s.Type {
+	case "sweep":
+		if s.Sweep == nil {
+			return errors.New(`"sweep" spec required for type "sweep"`)
+		}
+		return s.Sweep.validate()
+	case "experiment":
+		if s.Experiment == nil {
+			return errors.New(`"experiment" spec required for type "experiment"`)
+		}
+		return s.Experiment.validate()
+	default:
+		return fmt.Errorf("unknown job type %q (want sweep or experiment)", s.Type)
+	}
+}
+
+// JobStatus is the persisted and served view of one job.
+type JobStatus struct {
+	ID          string   `json:"id"`
+	Type        string   `json:"type"`
+	State       jobState `json:"state"`
+	Error       string   `json:"error,omitempty"`
+	PointsDone  int      `json:"points_done,omitempty"`
+	PointsTotal int      `json:"points_total,omitempty"`
+	// ShardNote reports — typed, per satellite contract — why a job that
+	// asked for Shards ≥ 2 never actually stepped sharded.
+	ShardNote   string  `json:"shard_note,omitempty"`
+	CreatedUnix int64   `json:"created_unix"`
+	Spec        JobSpec `json:"spec"`
+}
+
+// pointResult memoizes one completed sweep point.
+type pointResult struct {
+	Rate           float64                 `json:"rate"`
+	Result         traffic.Result          `json:"result"`
+	Windows        []telemetry.WindowStats `json:"windows,omitempty"`
+	ShardedSteps   int64                   `json:"sharded_steps,omitempty"`
+	FallbackReason string                  `json:"fallback_reason,omitempty"`
+}
+
+type job struct {
+	mu     sync.Mutex
+	status JobStatus
+	pub    *telemetry.Publisher // per-window series feed for this job
+	cancel atomic.Bool
+}
+
+func (j *job) snapshotStatus() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// manager owns the state directory and the worker pool.
+type manager struct {
+	dir       string // STATE/jobs
+	ckptEvery int    // checkpoint a live sweep runner every N steps
+	queue     chan *job
+	stop      chan struct{} // closed on graceful shutdown
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+
+	wg    sync.WaitGroup
+	start time.Time
+}
+
+func newManager(stateDir string, workers, ckptEvery int) (*manager, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	m := &manager{
+		dir:       filepath.Join(stateDir, "jobs"),
+		ckptEvery: ckptEvery,
+		queue:     make(chan *job, 1024),
+		stop:      make(chan struct{}),
+		jobs:      map[string]*job{},
+		start:     time.Now(),
+	}
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	for w := 0; w < workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// recover scans the state directory and reloads every persisted job.
+// Jobs that were queued or running when the previous process died are
+// re-queued; their checkpoints make the re-run a resume.
+func (m *manager) recover() error {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		blob, err := os.ReadFile(filepath.Join(m.dir, name, "job.json"))
+		if err != nil {
+			continue // half-created dir: ignore
+		}
+		var st JobStatus
+		if json.Unmarshal(blob, &st) != nil || st.ID != name {
+			continue
+		}
+		j := &job{status: st, pub: &telemetry.Publisher{}}
+		m.jobs[st.ID] = j
+		m.order = append(m.order, st.ID)
+		if n, err := strconv.Atoi(strings.TrimPrefix(st.ID, "j")); err == nil && n >= m.nextID {
+			m.nextID = n + 1
+		}
+		if st.State == stateQueued || st.State == stateRunning {
+			m.setState(j, stateQueued, "")
+			m.queue <- j
+		}
+	}
+	return nil
+}
+
+// Submit validates a spec, persists the new job, and queues it.
+func (m *manager) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.validate(); err != nil {
+		return JobStatus{}, err
+	}
+	m.mu.Lock()
+	id := fmt.Sprintf("j%06d", m.nextID)
+	m.nextID++
+	j := &job{
+		status: JobStatus{
+			ID:          id,
+			Type:        spec.Type,
+			State:       stateQueued,
+			CreatedUnix: time.Now().Unix(),
+			Spec:        spec,
+		},
+		pub: &telemetry.Publisher{},
+	}
+	if spec.Type == "sweep" {
+		j.status.PointsTotal = len(spec.Sweep.Rates)
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+
+	if err := os.MkdirAll(m.jobDir(id), 0o755); err != nil {
+		return JobStatus{}, err
+	}
+	m.persist(j)
+	select {
+	case m.queue <- j:
+	case <-m.stop:
+		return JobStatus{}, errShutdown
+	}
+	return j.snapshotStatus(), nil
+}
+
+func (m *manager) Get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns job statuses in submission order.
+func (m *manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].snapshotStatus())
+	}
+	return out
+}
+
+// Cancel flags a job; a queued job is canceled at pickup, a running one
+// at its next OnStep / Interrupt poll.
+func (m *manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	j.cancel.Store(true)
+	return true
+}
+
+// Shutdown begins a graceful stop: running jobs pause at their next
+// step poll, checkpoint, and go back to queued; workers then exit.
+// Blocks until the pool is drained.
+func (m *manager) Shutdown() {
+	close(m.stop)
+	m.wg.Wait()
+}
+
+func (m *manager) jobDir(id string) string { return filepath.Join(m.dir, id) }
+
+func (m *manager) setState(j *job, s jobState, errMsg string) {
+	j.mu.Lock()
+	j.status.State = s
+	j.status.Error = errMsg
+	j.mu.Unlock()
+	m.persist(j)
+}
+
+// persist atomically rewrites the job's job.json.
+func (m *manager) persist(j *job) {
+	st := j.snapshotStatus()
+	blob, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := atomicWrite(filepath.Join(m.jobDir(st.ID), "job.json"), blob); err != nil {
+		fmt.Fprintln(os.Stderr, "wormholed: persist:", err)
+	}
+}
+
+func atomicWrite(path string, blob []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+func (m *manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+func (m *manager) runJob(j *job) {
+	if j.cancel.Load() {
+		m.setState(j, stateCanceled, "")
+		return
+	}
+	m.setState(j, stateRunning, "")
+	var err error
+	switch j.status.Spec.Type {
+	case "sweep":
+		err = m.runSweep(j)
+	case "experiment":
+		err = m.runExperiment(j)
+	default:
+		err = fmt.Errorf("unknown job type %q", j.status.Spec.Type)
+	}
+	switch {
+	case err == nil:
+		m.setState(j, stateDone, "")
+	case errors.Is(err, errShutdown):
+		// Checkpointed; a restart re-queues and resumes.
+		m.setState(j, stateQueued, "")
+	case errors.Is(err, errCanceled):
+		m.setState(j, stateCanceled, "")
+	default:
+		m.setState(j, stateFailed, err.Error())
+	}
+}
+
+// --- sweep jobs --------------------------------------------------------------
+
+func (m *manager) runSweep(j *job) error {
+	st := j.snapshotStatus()
+	spec := st.Spec.Sweep
+	net, err := spec.network()
+	if err != nil {
+		return err
+	}
+	results := make([]pointResult, 0, len(spec.Rates))
+	for k, rate := range spec.Rates {
+		pr, ok := m.loadPoint(st.ID, k)
+		if !ok {
+			pr, err = m.runPoint(j, net, spec, k, rate)
+			if err != nil {
+				return err
+			}
+			m.savePoint(st.ID, k, pr)
+			os.Remove(m.pointSnapPath(st.ID, k))
+		}
+		results = append(results, pr)
+		j.mu.Lock()
+		j.status.PointsDone = k + 1
+		if note := shardNote(spec.Shards, pr); note != "" && j.status.ShardNote == "" {
+			j.status.ShardNote = note
+		}
+		j.mu.Unlock()
+		m.persist(j)
+	}
+	return atomicWrite(filepath.Join(m.jobDir(st.ID), "result.csv"), []byte(renderSweepCSV(results)))
+}
+
+// shardNote is the typed silent-fallback report: the tenant asked for a
+// parallel stepper and no step ever ran on it.
+func shardNote(shards int, pr pointResult) string {
+	if shards < 2 || pr.ShardedSteps > 0 {
+		return ""
+	}
+	if pr.FallbackReason != "" {
+		return fmt.Sprintf("shards=%d requested but every step fell back to the sequential stepper: %s", shards, pr.FallbackReason)
+	}
+	return fmt.Sprintf("shards=%d requested but no step ran sharded: active backlog stayed below the per-shard cutoff", shards)
+}
+
+// runPoint runs (or resumes) one sweep point. The runner checkpoints
+// itself every ckptEvery steps; on shutdown/cancel the pause error
+// surfaces through Run/Resume with the runner state intact, and one
+// final checkpoint is taken before handing the point back to the queue.
+func (m *manager) runPoint(j *job, net *traffic.Network, spec *SweepSpec, k int, rate float64) (pointResult, error) {
+	cfg, err := spec.config(net, rate)
+	if err != nil {
+		return pointResult{}, err
+	}
+	if cfg.Window > 0 {
+		cfg.Metrics = telemetry.NewMetrics()
+		cfg.Publish = j.pub
+	}
+	snapPath := m.pointSnapPath(j.snapshotStatus().ID, k)
+
+	var r *traffic.Runner
+	cfg.OnStep = func(step int) error {
+		if j.cancel.Load() {
+			return errCanceled
+		}
+		select {
+		case <-m.stop:
+			return errShutdown
+		default:
+		}
+		if m.ckptEvery > 0 && step > 0 && step%m.ckptEvery == 0 {
+			if err := checkpointRunner(r, snapPath); err != nil {
+				fmt.Fprintln(os.Stderr, "wormholed: checkpoint:", err)
+			}
+		}
+		return nil
+	}
+
+	resume := false
+	if blob, err := os.ReadFile(snapPath); err == nil {
+		r, err = traffic.RestoreRunner(cfg, strings.NewReader(string(blob)))
+		if err != nil {
+			// A corrupt or mismatched checkpoint falls back to a fresh run.
+			fmt.Fprintln(os.Stderr, "wormholed: restore:", err)
+			os.Remove(snapPath)
+		} else {
+			resume = true
+		}
+	}
+	if r == nil {
+		if r, err = traffic.NewRunner(cfg); err != nil {
+			return pointResult{}, err
+		}
+	}
+	defer r.Close()
+
+	var res traffic.Result
+	if resume {
+		res, err = r.Resume()
+	} else {
+		res, err = r.Run()
+	}
+	if errors.Is(err, errShutdown) || errors.Is(err, errCanceled) {
+		// Paused with state intact: take the final checkpoint now.
+		if cerr := checkpointRunner(r, snapPath); cerr != nil {
+			fmt.Fprintln(os.Stderr, "wormholed: checkpoint:", cerr)
+		}
+		return pointResult{}, err
+	}
+	if err != nil {
+		return pointResult{}, err
+	}
+	return pointResult{
+		Rate:           rate,
+		Result:         res,
+		Windows:        append([]telemetry.WindowStats(nil), r.Windows()...),
+		ShardedSteps:   r.ShardedSteps(),
+		FallbackReason: r.ShardFallbackReason(),
+	}, nil
+}
+
+// checkpointRunner snapshots a live runner to path, atomically.
+func checkpointRunner(r *traffic.Runner, path string) error {
+	var buf strings.Builder
+	if err := r.Snapshot(&buf); err != nil {
+		return err
+	}
+	return atomicWrite(path, []byte(buf.String()))
+}
+
+func (m *manager) pointSnapPath(id string, k int) string {
+	return filepath.Join(m.jobDir(id), fmt.Sprintf("point-%03d.snap", k))
+}
+
+func (m *manager) pointPath(id string, k int) string {
+	return filepath.Join(m.jobDir(id), fmt.Sprintf("point-%03d.json", k))
+}
+
+func (m *manager) loadPoint(id string, k int) (pointResult, bool) {
+	blob, err := os.ReadFile(m.pointPath(id, k))
+	if err != nil {
+		return pointResult{}, false
+	}
+	var pr pointResult
+	if json.Unmarshal(blob, &pr) != nil {
+		return pointResult{}, false
+	}
+	return pr, true
+}
+
+func (m *manager) savePoint(id string, k int, pr pointResult) {
+	blob, err := json.Marshal(pr)
+	if err != nil {
+		return
+	}
+	if err := atomicWrite(m.pointPath(id, k), blob); err != nil {
+		fmt.Fprintln(os.Stderr, "wormholed: point save:", err)
+	}
+}
+
+// renderSweepCSV renders the sweep's final output. Only schedule-
+// determined fields appear, so a resumed sweep renders byte-identically
+// to an uninterrupted one.
+func renderSweepCSV(points []pointResult) string {
+	var b strings.Builder
+	b.WriteString("rate,offered,accepted,mean_lat,p50,p95,p99,max_lat,steps,backlog,saturated,early_stop,truncated,deadlocked\n")
+	for _, p := range points {
+		r := p.Result
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%s,%s,%d,%d,%d,%t,%t,%t,%t\n",
+			g(p.Rate), g(r.Offered), g(r.Accepted), g(r.MeanLatency),
+			g(r.P50), g(r.P95), g(r.P99), r.MaxLatency,
+			r.Steps, r.Backlog, r.Saturated, r.EarlyStop, r.Truncated, r.Deadlocked)
+	}
+	return b.String()
+}
+
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// --- experiment jobs ---------------------------------------------------------
+
+// runExperiment runs a core registry experiment under checkpoint
+// memoization and renders its tables exactly as `wormbench -csv` does,
+// so daemon output byte-diffs cleanly against the CLI.
+func (m *manager) runExperiment(j *job) (err error) {
+	st := j.snapshotStatus()
+	spec := st.Spec.Experiment
+	cfg := core.Config{
+		Seed:       spec.Seed,
+		Quick:      spec.Quick,
+		Trials:     spec.Trials,
+		Scale:      spec.Scale,
+		Shards:     spec.Shards,
+		Checkpoint: &core.Checkpoint{Store: core.DirStore{Dir: filepath.Join(m.jobDir(st.ID), "ckpt")}},
+		Interrupt: func() bool {
+			if j.cancel.Load() {
+				return true
+			}
+			select {
+			case <-m.stop:
+				return true
+			default:
+				return false
+			}
+		},
+	}
+	var tables []*stats.Table
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if e, ok := r.(error); ok && errors.Is(e, core.ErrInterrupted) {
+					if j.cancel.Load() {
+						err = errCanceled
+					} else {
+						err = errShutdown
+					}
+					return
+				}
+				panic(r)
+			}
+		}()
+		tables, err = core.Run(spec.ID, cfg)
+	}()
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, t := range tables {
+		fmt.Fprintf(&b, "# %s\n", t.Title())
+		if err := t.WriteCSV(&b); err != nil {
+			return err
+		}
+		b.WriteString("\n")
+	}
+	return atomicWrite(filepath.Join(m.jobDir(st.ID), "result.csv"), []byte(b.String()))
+}
+
+// ResultPath returns the final output path for a done job.
+func (m *manager) ResultPath(id string) string {
+	return filepath.Join(m.jobDir(id), "result.csv")
+}

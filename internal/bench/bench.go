@@ -98,6 +98,9 @@ type workload struct {
 	unit string
 	run  func() (steps int64, err error)
 	snap func() telemetry.Snapshot
+	// close releases engine resources (the sharded stepper's worker
+	// goroutines) after the workload's last repeat.
+	close func()
 }
 
 // openLoop builds a repeatable open-loop workload on a lazily constructed
@@ -105,9 +108,9 @@ type workload struct {
 // and every later repeat replays the identical run over retained storage
 // with zero heap allocation — so the best-of-repeats allocs/step the gate
 // records is the steady-state figure, 0.000, not the setup amortization.
-func openLoop(cfg traffic.Config) func() (int64, error) {
+func openLoop(cfg traffic.Config) (run func() (int64, error), stop func()) {
 	var runner *traffic.Runner
-	return func() (int64, error) {
+	run = func() (int64, error) {
 		if runner == nil {
 			r, err := traffic.NewRunner(cfg)
 			if err != nil {
@@ -124,6 +127,12 @@ func openLoop(cfg traffic.Config) func() (int64, error) {
 		}
 		return int64(res.Steps), nil
 	}
+	stop = func() {
+		if runner != nil {
+			runner.Close()
+		}
+	}
+	return run, stop
 }
 
 // lightConfig is the light open-loop operating point (B=4, rate 0.1).
@@ -206,15 +215,19 @@ func workloads() []workload {
 	met := telemetry.NewMetrics()
 	kneeTelemetry.Metrics = met
 
+	open := func(name string, cfg traffic.Config, snap func() telemetry.Snapshot) workload {
+		run, stop := openLoop(cfg)
+		return workload{name: name, unit: "step", run: run, snap: snap, close: stop}
+	}
 	list := []workload{
-		{name: "OpenLoopStep/light", unit: "step", run: openLoop(openLight)},
-		{name: "OpenLoopStep/knee", unit: "step", run: openLoop(openKnee)},
-		{name: "OpenLoopStep/knee-telemetry", unit: "step", run: openLoop(kneeTelemetry), snap: met.Snapshot},
-		{name: "OpenLoopStep/deepknee-static", unit: "step", run: openLoop(deepKneeStatic)},
-		{name: "OpenLoopStep/deepknee-shared", unit: "step", run: openLoop(deepKneeShared)},
-		{name: "OpenLoopStep/knee-wide", unit: "step", run: openLoop(wideKnee)},
-		{name: "OpenLoopStep/knee-sharded-2", unit: "step", run: openLoop(wideSharded2)},
-		{name: "OpenLoopStep/knee-sharded-4", unit: "step", run: openLoop(wideSharded4)},
+		open("OpenLoopStep/light", openLight, nil),
+		open("OpenLoopStep/knee", openKnee, nil),
+		open("OpenLoopStep/knee-telemetry", kneeTelemetry, met.Snapshot),
+		open("OpenLoopStep/deepknee-static", deepKneeStatic, nil),
+		open("OpenLoopStep/deepknee-shared", deepKneeShared, nil),
+		open("OpenLoopStep/knee-wide", wideKnee, nil),
+		open("OpenLoopStep/knee-sharded-2", wideSharded2, nil),
+		open("OpenLoopStep/knee-sharded-4", wideSharded4, nil),
 	}
 	for _, b := range []int{1, 2, 4} {
 		b := b
@@ -306,6 +319,9 @@ func Collect(repeats int) (Report, error) {
 			s := w.snap()
 			rep.Telemetry = &s
 		}
+		if w.close != nil {
+			w.close()
+		}
 	}
 	return rep, nil
 }
@@ -325,6 +341,7 @@ func TelemetrySmoke() (telemetry.Snapshot, error) {
 	if err != nil {
 		return telemetry.Snapshot{}, err
 	}
+	defer r.Close()
 	if _, err := r.Run(); err != nil {
 		return telemetry.Snapshot{}, err
 	}

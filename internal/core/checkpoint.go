@@ -1,0 +1,130 @@
+package core
+
+// Optional experiment checkpointing: when Config.Checkpoint is set,
+// every job the harness fans out is memoized in a BlobStore keyed by
+// its (stage, index) coordinates. A re-run of the same experiment —
+// same ID, same Config — replays completed jobs from the store and
+// computes only the rest, so a long sweep (the offline T15/scale
+// studies, a daemon-hosted run) survives a process kill at the cost of
+// re-running at most the jobs that were in flight.
+//
+// Correctness over reuse: a memoized job result must be EXACTLY the
+// value the job would compute, or tables silently corrupt. Job results
+// are arbitrary Go values (some with unexported fields JSON cannot
+// carry), so the save side proves each blob faithful before storing it:
+// marshal, unmarshal into a fresh value, and deep-compare against the
+// live result. A type that does not round-trip is simply never stored —
+// those jobs re-run every time, which is slower but always right.
+//
+// The stage counter assigns each mapJobs/flatJobs call within one
+// experiment run a sequence number. Experiments issue their fan-outs in
+// deterministic program order (concurrency lives inside a fan-out,
+// never across fan-outs), so (stage, index) names the same logical job
+// in every run of the same experiment. A Checkpoint must be fresh per
+// run — reusing one across runs misaligns the stage counter.
+//
+// Config.Interrupt is the cooperative half of graceful shutdown: the
+// harness polls it before starting each job and panics with
+// ErrInterrupted once it reports true. In-flight jobs finish, completed
+// jobs are already in the store, and the caller recovers the sentinel —
+// the daemon's SIGTERM path — then re-runs after restart to resume.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+)
+
+// ErrInterrupted is the panic value forEachJob raises when
+// Config.Interrupt reports true. Callers that set Interrupt recover it;
+// everyone else never sees it.
+var ErrInterrupted = errors.New("core: experiment interrupted")
+
+// BlobStore persists checkpoint blobs. Save must be atomic (a partial
+// blob must never be observable under its key) and both methods must be
+// safe for concurrent use — jobs save from harness workers.
+type BlobStore interface {
+	Load(key string) ([]byte, bool)
+	Save(key string, blob []byte)
+}
+
+// Checkpoint memoizes harness jobs in a BlobStore. Create one fresh per
+// experiment run and set it as Config.Checkpoint.
+type Checkpoint struct {
+	Store BlobStore
+
+	mu    sync.Mutex
+	stage int
+}
+
+func (c *Checkpoint) nextStage() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stage
+	c.stage++
+	return s
+}
+
+// memoJob wraps one job with load-else-compute-and-prove semantics.
+func memoJob[T any](cp *Checkpoint, stage, i int, job func(i int) T) T {
+	key := fmt.Sprintf("s%03d-j%06d.json", stage, i)
+	if blob, ok := cp.Store.Load(key); ok {
+		var cached T
+		if json.Unmarshal(blob, &cached) == nil {
+			return cached
+		}
+	}
+	out := job(i)
+	if blob, err := json.Marshal(out); err == nil {
+		// Store only blobs proven faithful: unmarshal into a fresh value
+		// and require deep equality with the live result.
+		var check T
+		if json.Unmarshal(blob, &check) == nil && reflect.DeepEqual(out, check) {
+			cp.Store.Save(key, blob)
+		}
+	}
+	return out
+}
+
+// DirStore is a BlobStore over one directory: each key is a file,
+// written atomically (temp file + rename). Load tolerates a missing
+// directory; Save creates it on first use.
+type DirStore struct {
+	Dir string
+}
+
+// Load implements BlobStore.
+func (d DirStore) Load(key string) ([]byte, bool) {
+	blob, err := os.ReadFile(filepath.Join(d.Dir, key))
+	if err != nil {
+		return nil, false
+	}
+	return blob, true
+}
+
+// Save implements BlobStore. Failures are deliberately silent: a
+// checkpoint store that cannot write degrades to re-running jobs, which
+// is always correct.
+func (d DirStore) Save(key string, blob []byte) {
+	if os.MkdirAll(d.Dir, 0o755) != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(d.Dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if os.Rename(name, filepath.Join(d.Dir, key)) != nil {
+		os.Remove(name)
+	}
+}

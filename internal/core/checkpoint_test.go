@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wormhole/internal/stats"
+)
+
+// memStore is an in-memory BlobStore for tests.
+type memStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	loads atomic.Int64
+	saves atomic.Int64
+}
+
+func newMemStore() *memStore { return &memStore{blobs: map[string][]byte{}} }
+
+func (m *memStore) Load(key string) ([]byte, bool) {
+	m.loads.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[key]
+	return b, ok
+}
+
+func (m *memStore) Save(key string, blob []byte) {
+	m.saves.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs[key] = append([]byte(nil), blob...)
+}
+
+// TestCheckpointReplaysJobs: a second run of the same fan-out against
+// the same store must compute nothing and return identical results.
+func TestCheckpointReplaysJobs(t *testing.T) {
+	store := newMemStore()
+	var computed atomic.Int64
+	job := func(i int) int {
+		computed.Add(1)
+		return i*i + 7
+	}
+	cfg := Config{Workers: 4, Checkpoint: &Checkpoint{Store: store}}
+	first := mapJobs(cfg, 50, job)
+	if n := computed.Load(); n != 50 {
+		t.Fatalf("first run computed %d of 50 jobs", n)
+	}
+	if len(store.blobs) != 50 {
+		t.Fatalf("store holds %d blobs, want 50", len(store.blobs))
+	}
+
+	cfg.Checkpoint = &Checkpoint{Store: store} // fresh Checkpoint, same store
+	second := mapJobs(cfg, 50, job)
+	if n := computed.Load(); n != 50 {
+		t.Fatalf("replay recomputed jobs: %d total computations", n)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("replayed results diverged")
+	}
+}
+
+// TestCheckpointStageCounter: successive fan-outs under one Checkpoint
+// get distinct stages, so equal indices in different fan-outs never
+// collide.
+func TestCheckpointStageCounter(t *testing.T) {
+	store := newMemStore()
+	cfg := Config{Workers: 2, Checkpoint: &Checkpoint{Store: store}}
+	a := mapJobs(cfg, 5, func(i int) int { return i })
+	b := mapJobs(cfg, 5, func(i int) int { return 100 + i })
+	if len(store.blobs) != 10 {
+		t.Fatalf("store holds %d blobs, want 10 (stage collision?)", len(store.blobs))
+	}
+	// Replay both stages in program order with a fresh Checkpoint.
+	cfg.Checkpoint = &Checkpoint{Store: store}
+	a2 := mapJobs(cfg, 5, func(i int) int { t.Error("stage 0 recomputed"); return -1 })
+	b2 := mapJobs(cfg, 5, func(i int) int { t.Error("stage 1 recomputed"); return -1 })
+	if !reflect.DeepEqual(a, a2) || !reflect.DeepEqual(b, b2) {
+		t.Fatal("replay diverged across stages")
+	}
+}
+
+// TestCheckpointSkipsUnfaithfulTypes: a job result that does not
+// round-trip JSON (unexported fields) must never be stored — those jobs
+// re-run, which is slow but correct.
+func TestCheckpointSkipsUnfaithfulTypes(t *testing.T) {
+	type opaque struct {
+		Visible int
+		hidden  int
+	}
+	store := newMemStore()
+	cfg := Config{Workers: 2, Checkpoint: &Checkpoint{Store: store}}
+	out := mapJobs(cfg, 8, func(i int) opaque { return opaque{Visible: i, hidden: i*3 + 1} })
+	if len(store.blobs) != 0 {
+		t.Fatalf("%d unfaithful blobs were stored", len(store.blobs))
+	}
+	for i, o := range out {
+		if o.hidden != i*3+1 {
+			t.Fatalf("job %d result corrupted: %+v", i, o)
+		}
+	}
+}
+
+// TestInterruptAbortsAndResumes is the graceful-shutdown round trip:
+// an interrupted run panics with ErrInterrupted after persisting the
+// jobs that completed, and the re-run resumes from the store to the
+// exact result of an uninterrupted run.
+func TestInterruptAbortsAndResumes(t *testing.T) {
+	oracle := mapJobs(Config{Workers: 1}, 40, func(i int) int { return i * 11 })
+
+	store := newMemStore()
+	var done atomic.Int64
+	run := func() (out []int, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				e, ok := r.(error)
+				if !ok || !errors.Is(e, ErrInterrupted) {
+					panic(r)
+				}
+				err = e
+			}
+		}()
+		cfg := Config{
+			Workers:    1,
+			Checkpoint: &Checkpoint{Store: store},
+			Interrupt:  func() bool { return done.Load() >= 13 },
+		}
+		return mapJobs(cfg, 40, func(i int) int {
+			done.Add(1)
+			return i * 11
+		}), nil
+	}
+
+	if _, err := run(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	stored := len(store.blobs)
+	if stored == 0 || stored >= 40 {
+		t.Fatalf("interrupted run stored %d of 40 jobs", stored)
+	}
+
+	done.Store(-1 << 30) // disarm the interrupt; the re-run resumes
+	out, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oracle, out) {
+		t.Fatal("resumed run diverged from the uninterrupted oracle")
+	}
+	if n := done.Load(); n > -1<<30+40-int64(stored) {
+		t.Fatalf("resume recomputed too much: %d jobs re-ran with %d stored", n+1<<30, stored)
+	}
+}
+
+// TestCheckpointExperimentByteIdentity runs a real experiment through a
+// DirStore checkpoint: the checkpointed run, the resumed run, and the
+// plain run must render byte-identical tables.
+func TestCheckpointExperimentByteIdentity(t *testing.T) {
+	render := func(tables []*stats.Table) string {
+		var s string
+		for _, tab := range tables {
+			s += tab.String() + "\n"
+		}
+		return s
+	}
+	plain, err := Run("T12", Config{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	first, err := Run("T12", Config{Seed: 42, Quick: true,
+		Checkpoint: &Checkpoint{Store: DirStore{Dir: dir}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("checkpointed run stored nothing; T12 rows no longer round-trip JSON")
+	}
+	resumed, err := Run("T12", Config{Seed: 42, Quick: true,
+		Checkpoint: &Checkpoint{Store: DirStore{Dir: dir}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := render(plain), render(first); w != g {
+		t.Fatalf("checkpointed run diverged\nwant:\n%s\ngot:\n%s", w, g)
+	}
+	if w, g := render(plain), render(resumed); w != g {
+		t.Fatalf("resumed run diverged\nwant:\n%s\ngot:\n%s", w, g)
+	}
+}
+
+// TestDirStoreAtomicRoundTrip covers the filesystem BlobStore.
+func TestDirStoreAtomicRoundTrip(t *testing.T) {
+	d := DirStore{Dir: t.TempDir() + "/nested/store"}
+	if _, ok := d.Load("missing.json"); ok {
+		t.Fatal("Load invented a blob")
+	}
+	d.Save("a.json", []byte(`{"x":1}`))
+	blob, ok := d.Load("a.json")
+	if !ok || string(blob) != `{"x":1}` {
+		t.Fatalf("round trip: %q %v", blob, ok)
+	}
+	d.Save("a.json", []byte(`{"x":2}`)) // overwrite
+	if blob, _ := d.Load("a.json"); string(blob) != `{"x":2}` {
+		t.Fatalf("overwrite: %q", blob)
+	}
+}
+
+// TestDirStoreSaveFailureIsSilent pins the degradation contract: a
+// store that cannot write (here, the directory path is occupied by a
+// regular file) drops the blob without panicking, and a later Load
+// simply misses — the checkpoint layer re-runs the job.
+func TestDirStoreSaveFailureIsSilent(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := DirStore{Dir: filepath.Join(file, "store")}
+	d.Save("a.json", []byte(`{"x":1}`))
+	if _, ok := d.Load("a.json"); ok {
+		t.Fatal("Load found a blob the failed Save should have dropped")
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"wormhole/internal/vcsim"
 )
@@ -115,6 +117,33 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestExperimentsLeakNoGoroutines pins the simulator lifecycle across
+// the harness: experiments that run open-loop simulators — including
+// sharded ones, whose stepper pools own worker goroutines — must leave
+// no goroutines behind. A leak here means some Runner/Sim creation site
+// lost its Close.
+func TestExperimentsLeakNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for _, id := range []string{"T12", "T15"} {
+		cfg := quickCfg
+		cfg.Shards = 2 // engage the sharded stepper's worker pools
+		if _, err := Run(id, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pool workers exit asynchronously after Close; give them a bounded
+	// grace period before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("%d goroutines outlive the experiments (baseline %d)\n%s",
+			n, base, buf[:runtime.Stack(buf, true)])
 	}
 }
 

@@ -38,6 +38,16 @@ type Config struct {
 	// child registry (via metrics), folded deterministically at
 	// Telemetry.Snapshot(). Tables stay byte-identical either way.
 	Telemetry *telemetry.Aggregate
+	// Checkpoint, when non-nil, memoizes completed harness jobs in its
+	// BlobStore so a re-run of the same experiment resumes instead of
+	// recomputing (see checkpoint.go). Must be fresh per run. Tables
+	// stay byte-identical with or without it.
+	Checkpoint *Checkpoint
+	// Interrupt, when non-nil, is polled before each harness job; once
+	// it reports true the run aborts by panicking with ErrInterrupted,
+	// which the caller recovers. Combined with Checkpoint this is
+	// graceful shutdown: completed jobs are stored, the re-run resumes.
+	Interrupt func() bool
 }
 
 func (c Config) trials(def int) int {

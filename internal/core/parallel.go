@@ -92,10 +92,23 @@ func runJob(job func(i int), i int, once *sync.Once, val *any, flag *atomic.Bool
 }
 
 // mapJobs runs n independent jobs under cfg's worker budget and collects
-// their results in index order.
+// their results in index order. With Config.Checkpoint set, completed
+// jobs are memoized and replayed across runs; with Config.Interrupt
+// set, the fan-out aborts with an ErrInterrupted panic once it reports
+// true (see checkpoint.go for both contracts).
 func mapJobs[T any](cfg Config, n int, job func(i int) T) []T {
+	run := job
+	if cp := cfg.Checkpoint; cp != nil && cp.Store != nil {
+		stage := cp.nextStage()
+		run = func(i int) T { return memoJob(cp, stage, i, job) }
+	}
 	out := make([]T, n)
-	forEachJob(cfg.workers(), n, func(i int) { out[i] = job(i) })
+	forEachJob(cfg.workers(), n, func(i int) {
+		if f := cfg.Interrupt; f != nil && f() {
+			panic(ErrInterrupted)
+		}
+		out[i] = run(i)
+	})
 	return out
 }
 

@@ -31,6 +31,12 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// State returns the source's current internal state. Reseed(State())
+// on a fresh Source reproduces the remaining stream exactly; together
+// they let checkpoint codecs persist a mid-run source across process
+// restarts.
+func (s *Source) State() uint64 { return s.state }
+
 // Reseed resets the source to the stream New(seed) would produce,
 // reusing the allocation. Engines that are Reset for reuse (vcsim.Sim,
 // the traffic Runner) reseed their sources in place so a reused run

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestPublisherServeHTTP pins the live-metrics endpoint contract: 204
+// before the first publication, then the latest snapshot as JSON.
+func TestPublisherServeHTTP(t *testing.T) {
+	p := &Publisher{}
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("pre-publish status = %d, want 204", rec.Code)
+	}
+
+	snap := populatedMetrics().Snapshot()
+	snap.Windows = append(snap.Windows, WindowStats{Index: 3, Delivered: 41})
+	p.Publish(snap)
+
+	rec = httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Windows) != 1 || got.Windows[0].Delivered != 41 {
+		t.Errorf("served snapshot lost the window series: %+v", got.Windows)
+	}
+}

@@ -45,6 +45,8 @@ const (
 	CtrStallBandwidth
 	CtrStallHeadOfLine
 	CtrFastForwards
+	CtrShardedSteps
+	CtrShardFallback
 	NumCounters // sentinel: number of counter slots
 )
 
@@ -63,6 +65,8 @@ var counterNames = [NumCounters]string{
 	"stall_bandwidth",
 	"stall_head_of_line",
 	"fast_forwards",
+	"sharded_steps",
+	"shard_fallback_steps",
 }
 
 // Name returns the stable snapshot name of the counter slot.

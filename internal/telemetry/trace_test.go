@@ -26,6 +26,29 @@ func TestTraceRecordsInOrder(t *testing.T) {
 	if got := tr.Events(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Events() = %+v, want %+v", got, want)
 	}
+	if err := tr.Err(); err != nil {
+		t.Errorf("spill-free trace reports error %v", err)
+	}
+	for i, e := range want {
+		if got := e.Kind.String(); got != []string{"inject", "advance", "park", "wake", "deliver"}[i] {
+			t.Errorf("kind %d renders as %q", e.Kind, got)
+		}
+	}
+	if got := EventKind(0).String(); got != "kind_0" {
+		t.Errorf("zero kind renders as %q", got)
+	}
+}
+
+func TestTraceDropEvent(t *testing.T) {
+	tr := NewTrace(4)
+	tr.Drop(6, 2, 3)
+	want := []Event{{Time: 6, Msg: 2, Arg: 3, Kind: EvDrop}}
+	if got := tr.Events(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Events() = %+v, want %+v", got, want)
+	}
+	if got := EvDrop.String(); got != "drop" {
+		t.Errorf("EvDrop renders as %q", got)
+	}
 }
 
 func TestTraceRingDropsOldestWithoutSpill(t *testing.T) {

@@ -120,6 +120,13 @@ type Config struct {
 	// A final partial window flushes when the run ends. Windowing
 	// allocates only at window boundaries, never per step.
 	Window int
+	// OnStep, when non-nil, fires after every completed flit step of a
+	// run — injection and drain phases alike — with the simulator's
+	// current step. Returning a non-nil error pauses the run with all
+	// state intact: Run (or Resume) returns that error verbatim, and
+	// Resume continues the run where it stopped. Runner.Snapshot is
+	// legal inside OnStep; that is how a driver checkpoints a live run.
+	OnStep func(step int) error
 	// OnWindow, when non-nil (requires Window > 0), fires at every window
 	// boundary with that window's stats.
 	OnWindow func(telemetry.WindowStats)
@@ -269,12 +276,32 @@ type Runner struct {
 	winInjBase   int
 	winIndex     int
 	windows      []telemetry.WindowStats
+
+	// Run-in-progress state: Run is begin + Resume over these, so a
+	// paused (or snapshot-restored) run continues exactly where it
+	// stopped.
+	phase       runPhase
+	t           int    // next injection step (phaseInject)
+	injectSteps int    // completed injection-phase steps
+	res         Result // partial result, finalized by finish
 }
 
-// NewRunner validates cfg and builds a reusable open-loop runner.
-func NewRunner(cfg Config) (*Runner, error) {
+// runPhase is the position of an in-progress run within its window
+// structure.
+type runPhase uint8
+
+const (
+	phaseIdle   runPhase = iota // no run in progress
+	phaseInject                 // warmup + measurement: injection on
+	phaseDrain                  // injection off, in-flight worms finishing
+)
+
+// newRunnerShell validates cfg and builds everything but the simulator:
+// the runner, its measurement closures, and the vcsim.Config the caller
+// feeds to NewSim (NewRunner) or RestoreSim (RestoreRunner).
+func newRunnerShell(cfg Config) (*Runner, vcsim.Config, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, vcsim.Config{}, err
 	}
 	r := &Runner{
 		cfg:     cfg,
@@ -300,7 +327,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			r.winSketch.Add(st.Latency())
 		}
 	}
-	sim, err := vcsim.NewSim(cfg.Net.G, vcsim.Config{
+	return r, vcsim.Config{
 		VirtualChannels:     cfg.VirtualChannels,
 		LaneDepth:           cfg.LaneDepth,
 		SharedPool:          cfg.SharedPool,
@@ -313,7 +340,16 @@ func NewRunner(cfg Config) (*Runner, error) {
 		Shards:              cfg.Shards,
 		Metrics:             cfg.Metrics,
 		Trace:               cfg.Trace,
-	})
+	}, nil
+}
+
+// NewRunner validates cfg and builds a reusable open-loop runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	r, simCfg, err := newRunnerShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := vcsim.NewSim(cfg.Net.G, simCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -323,12 +359,17 @@ func NewRunner(cfg Config) (*Runner, error) {
 
 // Run executes one open-loop simulation and returns its measurements.
 // Every call replays the same Config from scratch — same seed, same
-// windows — over the retained storage.
+// windows — over the retained storage. With Config.OnStep set, a
+// paused run returns the OnStep error and Resume continues it.
 func (r *Runner) Run() (Result, error) {
+	r.begin()
+	return r.Resume()
+}
+
+// begin resets the runner's per-run state for a fresh replay of cfg.
+func (r *Runner) begin() {
 	cfg := &r.cfg
-	net := cfg.Net
-	sim := r.sim
-	sim.Reset()
+	r.sim.Reset()
 	r.sketch = Sketch{}
 	r.trackedDone = 0
 	r.deliveredMeasure = 0
@@ -344,11 +385,25 @@ func (r *Runner) Run() (Result, error) {
 		r.parent.SplitInto(&r.sources[i])
 		r.inject[i] = newInjector(cfg, &r.sources[i])
 	}
-	injectors := r.inject
+	r.res = Result{Offered: cfg.Rate, LastRelease: -1}
+	r.t = 0
+	r.injectSteps = 0
+	r.phase = phaseInject
+}
 
-	res := Result{Offered: cfg.Rate, LastRelease: -1}
-	injectSteps := 0
-	for t := 0; t < r.horizon; t++ {
+// Resume continues a run paused by an OnStep error (or reconstructed by
+// RestoreRunner) until it completes or pauses again. Calling Resume
+// with no run in progress is an error.
+func (r *Runner) Resume() (Result, error) {
+	cfg := &r.cfg
+	net := cfg.Net
+	sim := r.sim
+	if r.phase == phaseIdle {
+		return Result{}, errors.New("traffic: Resume with no run in progress")
+	}
+	injectors := r.inject
+	for r.phase == phaseInject {
+		t := r.t
 		for e := range injectors {
 			for k := injectors[e].arrivals(cfg, t); k > 0; k-- {
 				dst := cfg.dest(e, injectors[e].r)
@@ -359,11 +414,12 @@ func (r *Runner) Run() (Result, error) {
 					Path:   net.Route(e, dst),
 				}
 				if _, err := sim.Inject(msg, t); err != nil {
+					r.phase = phaseIdle
 					return Result{}, fmt.Errorf("traffic: inject at step %d: %w", t, err)
 				}
-				res.LastRelease = t
+				r.res.LastRelease = t
 				if t >= cfg.Warmup {
-					res.Tracked++
+					r.res.Tracked++
 				}
 			}
 		}
@@ -373,30 +429,51 @@ func (r *Runner) Run() (Result, error) {
 		// (light loads and saturation-search probes sit idle for long
 		// stretches between arrivals).
 		if err := sim.StepTo(t + 1); err != nil {
-			res.Deadlocked = errors.Is(err, vcsim.ErrDeadlocked)
-			break
+			// A failed run skips the drain: the verdict is in, and a
+			// deadlocked network will not drain anyway.
+			r.res.Deadlocked = errors.Is(err, vcsim.ErrDeadlocked)
+			return r.finish(), nil
 		}
-		injectSteps++
-		if w := cfg.Window; w > 0 && (t+1)%w == 0 {
-			r.flushWindow(t+1-w, t+1)
+		r.t++
+		r.injectSteps++
+		if w := cfg.Window; w > 0 && r.t%w == 0 {
+			r.flushWindow(r.t-w, r.t)
 		}
 		if cfg.MaxBacklog > 0 && sim.Active() > cfg.MaxBacklog {
-			res.EarlyStop = true
-			break
+			r.res.EarlyStop = true
+			return r.finish(), nil
 		}
-	}
-	// Drain: injection off; let in-flight messages finish inside the
-	// remaining step budget. A run that already failed skips it — the
-	// verdict is in, and a deadlocked or over-backlogged network will not
-	// drain anyway.
-	if !res.Deadlocked && !res.EarlyStop {
-		for sim.Active() > 0 {
-			if err := sim.Step(); err != nil {
-				res.Deadlocked = errors.Is(err, vcsim.ErrDeadlocked)
-				break
+		if r.t >= r.horizon {
+			// Injection off; in-flight messages finish inside the
+			// remaining step budget.
+			r.phase = phaseDrain
+		}
+		if cb := cfg.OnStep; cb != nil {
+			if err := cb(r.t); err != nil {
+				return Result{}, err
 			}
 		}
 	}
+	for sim.Active() > 0 {
+		if err := sim.Step(); err != nil {
+			r.res.Deadlocked = errors.Is(err, vcsim.ErrDeadlocked)
+			break
+		}
+		if cb := cfg.OnStep; cb != nil {
+			if err := cb(sim.Now()); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return r.finish(), nil
+}
+
+// finish flushes the final partial window, derives the run's statistics
+// from the streamed state, and retires the in-progress run.
+func (r *Runner) finish() Result {
+	cfg := &r.cfg
+	net := cfg.Net
+	sim := r.sim
 	if cfg.Window > 0 {
 		// Flush the final partial window (drain steps included) so the
 		// series covers the whole run.
@@ -406,6 +483,7 @@ func (r *Runner) Run() (Result, error) {
 		}
 	}
 
+	res := r.res
 	res.Injected = sim.Injected()
 	res.Steps = sim.Now()
 	res.Backlog = sim.Active()
@@ -423,7 +501,7 @@ func (r *Runner) Run() (Result, error) {
 	// Accepted throughput normalizes deliveries over the measurement
 	// steps the run actually executed, so an early stop still yields a
 	// meaningful (and damning) number.
-	measured := injectSteps - cfg.Warmup
+	measured := r.injectSteps - cfg.Warmup
 	if measured > cfg.Measure {
 		measured = cfg.Measure
 	}
@@ -444,7 +522,9 @@ func (r *Runner) Run() (Result, error) {
 	shortfall := saturationShortfall*expected - 3*math.Sqrt(expected)
 	res.Saturated = res.Deadlocked || res.EarlyStop ||
 		float64(r.deliveredMeasure) < shortfall
-	return res, nil
+	r.res = res
+	r.phase = phaseIdle
+	return res
 }
 
 // flushWindow closes the window [start, end): records its stats, fires
@@ -499,6 +579,12 @@ func (r *Runner) Close() { r.sim.Close() }
 // sequential configs, and for sharded ones whose active backlog never
 // reached the per-shard cutoff.
 func (r *Runner) ShardedSteps() int64 { return r.sim.ShardedSteps() }
+
+// ShardFallbackReason names the standing condition keeping a
+// Shards ≥ 2 run on the sequential stepper, or "" when none applies
+// (see vcsim.Sim.ShardFallbackReason). Services report it so a tenant
+// who asked for sharding learns why it silently never engaged.
+func (r *Runner) ShardFallbackReason() string { return r.sim.ShardFallbackReason() }
 
 // Run executes one open-loop simulation and returns its measurements: a
 // one-shot NewRunner + Runner.Run. Drivers that replay similar

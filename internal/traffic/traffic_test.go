@@ -393,3 +393,28 @@ func TestShardByteIdentity(t *testing.T) {
 		r.Close()
 	}
 }
+
+// TestShardFallbackReason pins the runner-level pass-through: a config
+// with a standing inhibitor names it, a shardable one reports none.
+func TestShardFallbackReason(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Shards = 4
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.ShardFallbackReason(); got != "" {
+		t.Errorf("shardable config reports %q", got)
+	}
+
+	cfg.RestrictedBandwidth = true
+	rb, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	if got := rb.ShardFallbackReason(); got == "" {
+		t.Error("restricted-bandwidth config reports no fallback reason")
+	}
+}

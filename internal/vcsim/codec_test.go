@@ -1,0 +1,395 @@
+package vcsim
+
+// Checkpoint/restore differentials: a Sim snapshotted mid-run, restored
+// into a fresh process-equivalent Sim, must continue the run
+// byte-identically to the uninterrupted original — across both steppers,
+// every policy, deep lanes, shared pools, and cross-shard restores
+// (snapshot under one Shards setting, restore under another). The decode
+// path is additionally held to never panic on corrupt or truncated
+// input.
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wormhole/internal/message"
+	"wormhole/internal/rng"
+	"wormhole/internal/telemetry"
+)
+
+// snapInject streams the whole workload into an incremental Sim.
+func snapInject(t *testing.T, si *Sim, set *message.Set, releases []int) {
+	t.Helper()
+	for i := 0; i < set.Len(); i++ {
+		if _, err := si.Inject(set.Get(message.ID(i)), releases[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// snapDrain steps until quiescent or the sim errors (horizon/deadlock —
+// both are legitimate terminal states the snapshot must preserve).
+func snapDrain(si *Sim) {
+	for si.Active() > 0 {
+		if err := si.Step(); err != nil {
+			return
+		}
+	}
+}
+
+// roundTrip drives the full differential: oracle runs uninterrupted;
+// victim runs to snapStep, snapshots, and its restoration (under
+// restoreCfg, which may differ on mechanism-only fields) finishes the
+// run. Both finals must be deeply equal, and a second snapshot taken at
+// the end must be byte-identical between the victim's original and its
+// restoration — the strongest statement that no schedule state was lost.
+func roundTrip(t *testing.T, name string, set *message.Set, releases []int, cfg, restoreCfg Config, snapStep int) {
+	t.Helper()
+
+	oracle, err := NewSim(set.G, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	defer oracle.Close()
+	snapInject(t, oracle, set, releases)
+	snapDrain(oracle)
+	want := oracle.Result()
+
+	victim, err := NewSim(set.G, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	defer victim.Close()
+	snapInject(t, victim, set, releases)
+	for victim.Now() < snapStep && victim.Active() > 0 {
+		if victim.Step() != nil {
+			break
+		}
+	}
+	var blob bytes.Buffer
+	if err := victim.Snapshot(&blob); err != nil {
+		t.Fatalf("%s: snapshot: %v", name, err)
+	}
+
+	restored, err := RestoreSim(set.G, restoreCfg, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatalf("%s: restore: %v", name, err)
+	}
+	defer restored.Close()
+	if restored.Now() != victim.Now() || restored.Active() != victim.Active() {
+		t.Fatalf("%s: restored at step %d with %d active, victim at %d with %d",
+			name, restored.Now(), restored.Active(), victim.Now(), victim.Active())
+	}
+
+	// Lockstep continuation: victim and its restoration must agree on
+	// every subsequent observable step, and end equal to the oracle.
+	for restored.Active() > 0 {
+		errV := victim.Step()
+		errR := restored.Step()
+		if (errV == nil) != (errR == nil) {
+			t.Fatalf("%s: step %d: victim err %v, restored err %v", name, restored.Now(), errV, errR)
+		}
+		if errR != nil {
+			break
+		}
+		if victim.Now()%5 == 0 {
+			rv, rr := victim.Result(), restored.Result()
+			if !reflect.DeepEqual(rv, rr) {
+				t.Fatalf("%s: step %d: restored run diverged\nvictim:   %+v\nrestored: %+v", name, restored.Now(), rv, rr)
+			}
+		}
+	}
+	got := restored.Result()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: restored final diverged from uninterrupted oracle\noracle:   %+v\nrestored: %+v", name, want, got)
+	}
+
+	var endV, endR bytes.Buffer
+	if err := victim.Snapshot(&endV); err != nil {
+		t.Fatalf("%s: victim end snapshot: %v", name, err)
+	}
+	if err := restored.Snapshot(&endR); err != nil {
+		t.Fatalf("%s: restored end snapshot: %v", name, err)
+	}
+	if !bytes.Equal(endV.Bytes(), endR.Bytes()) {
+		t.Fatalf("%s: end-of-run snapshots differ between the original and its restoration", name)
+	}
+}
+
+// TestSnapshotRoundTripDifferential fuzzes the snapshot step across the
+// (policy × LaneDepth × SharedPool × Shards) grid, restoring each
+// snapshot under a different Shards setting than it was taken with —
+// checkpoint migration across stepper mechanisms must be invisible.
+func TestSnapshotRoundTripDifferential(t *testing.T) {
+	r := rng.New(0xC0DEC)
+	caseID := 0
+	for _, pol := range []Policy{ArbByID, ArbAge, ArbRandom} {
+		for _, depth := range []int{1, 2} {
+			for _, shared := range []bool{false, true} {
+				for _, shards := range []int{0, 4} {
+					topo := uint8(caseID % 3)
+					seed := uint64(1000 + caseID)
+					set, releases := fuzzWorkload(seed, topo, 18)
+					cfg := Config{
+						VirtualChannels:     1 + caseID%3,
+						LaneDepth:           depth,
+						SharedPool:          shared,
+						RestrictedBandwidth: caseID%4 == 1,
+						DropOnDelay:         caseID%5 == 2,
+						Arbitration:         pol,
+						Seed:                seed,
+						MaxSteps:            1 << 16,
+						Shards:              shards,
+						CheckInvariants:     true,
+					}
+					restoreCfg := cfg
+					restoreCfg.Shards = 4 - shards // 0↔4: cross-mechanism restore
+					snapStep := 1 + r.Intn(40)
+					roundTrip(t, pol.String(), set, releases, cfg, restoreCfg, snapStep)
+					caseID++
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotNaiveAndEdgeStates covers the serialization branches the
+// main grid misses: the naive scan (no wait heaps, materialized byID
+// view) and a snapshot taken before any worm is released.
+func TestSnapshotNaiveAndEdgeStates(t *testing.T) {
+	set, releases := fuzzWorkload(7, 1, 12)
+	for _, pol := range []Policy{ArbByID, ArbAge} {
+		cfg := Config{
+			VirtualChannels: 2,
+			Arbitration:     pol,
+			NaiveScan:       true,
+			Seed:            7,
+			MaxSteps:        1 << 16,
+			CheckInvariants: true,
+		}
+		roundTrip(t, "naive-"+pol.String(), set, releases, cfg, cfg, 6)
+	}
+	cfg := Config{VirtualChannels: 1, Seed: 7, MaxSteps: 1 << 16, CheckInvariants: true}
+	roundTrip(t, "pre-release", set, releases, cfg, cfg, 0)
+}
+
+// TestSnapshotResumesInjection pins the post-restore injection path: a
+// restored Sim accepts new messages and schedules them exactly like the
+// uninterrupted original (the daemon resumes open-loop runs this way,
+// injecting the remainder of the workload after the restart).
+func TestSnapshotResumesInjection(t *testing.T) {
+	set, releases := fuzzWorkload(11, 0, 16)
+	cfg := Config{VirtualChannels: 2, Arbitration: ArbAge, Seed: 11, MaxSteps: 1 << 16, CheckInvariants: true}
+	half := set.Len() / 2
+
+	inject := func(si *Sim, from, to int, offset int) {
+		t.Helper()
+		for i := from; i < to; i++ {
+			if _, err := si.Inject(set.Get(message.ID(i)), offset+releases[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	oracle, err := NewSim(set.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	victim, err := NewSim(set.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	for _, si := range []*Sim{oracle, victim} {
+		inject(si, 0, half, 0)
+		if err := si.StepTo(8); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var blob bytes.Buffer
+	if err := victim.Snapshot(&blob); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSim(set.G, cfg, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	// Second wave of injections lands on the oracle and the restoration.
+	inject(oracle, half, set.Len(), 8)
+	inject(restored, half, set.Len(), 8)
+	snapDrain(oracle)
+	snapDrain(restored)
+	if want, got := oracle.Result(), restored.Result(); !reflect.DeepEqual(want, got) {
+		t.Fatalf("post-restore injection diverged\noracle:   %+v\nrestored: %+v", want, got)
+	}
+}
+
+// TestSnapshotCarriesMetrics verifies a restored run resumes its
+// flight-recorder totals: the registry restored from a mid-run snapshot
+// and driven to completion reports the same step count as the
+// uninterrupted run, not a restart from zero.
+func TestSnapshotCarriesMetrics(t *testing.T) {
+	set, releases := fuzzWorkload(3, 0, 14)
+	base := Config{VirtualChannels: 2, Arbitration: ArbAge, Seed: 3, MaxSteps: 1 << 16}
+
+	full := telemetry.NewMetrics()
+	cfg := base
+	cfg.Metrics = full
+	oracle, err := NewSim(set.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	snapInject(t, oracle, set, releases)
+	snapDrain(oracle)
+
+	part := telemetry.NewMetrics()
+	cfg = base
+	cfg.Metrics = part
+	victim, err := NewSim(set.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	snapInject(t, victim, set, releases)
+	if err := victim.StepTo(9); err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := victim.Snapshot(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := telemetry.NewMetrics()
+	cfg = base
+	cfg.Metrics = resumed
+	restored, err := RestoreSim(set.G, cfg, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	snapDrain(restored)
+
+	want, got := full.Snapshot(), resumed.Snapshot()
+	for _, name := range []string{"steps", "injections", "deliveries", "flit_hops", "stall_events"} {
+		if want.Counter(name) != got.Counter(name) {
+			t.Errorf("counter %s: uninterrupted %d, resumed %d", name, want.Counter(name), got.Counter(name))
+		}
+	}
+}
+
+// TestRestoreRejectsMismatchedConfig exercises the ErrSnapshotConfig
+// contract on every verified field.
+func TestRestoreRejectsMismatchedConfig(t *testing.T) {
+	set, releases := fuzzWorkload(5, 0, 10)
+	cfg := Config{VirtualChannels: 2, LaneDepth: 2, Arbitration: ArbAge, Seed: 5, MaxSteps: 1 << 16}
+	si, err := NewSim(set.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer si.Close()
+	snapInject(t, si, set, releases)
+	if err := si.StepTo(5); err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := si.Snapshot(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := map[string]func(*Config){
+		"VirtualChannels":     func(c *Config) { c.VirtualChannels = 3 },
+		"LaneDepth":           func(c *Config) { c.LaneDepth = 3 },
+		"SharedPool":          func(c *Config) { c.SharedPool = true },
+		"RestrictedBandwidth": func(c *Config) { c.RestrictedBandwidth = true },
+		"DropOnDelay":         func(c *Config) { c.DropOnDelay = true },
+		"NaiveScan":           func(c *Config) { c.NaiveScan = true },
+		"Arbitration":         func(c *Config) { c.Arbitration = ArbRandom },
+		"ParkStreak":          func(c *Config) { c.ParkStreak = 3 },
+		"Seed":                func(c *Config) { c.Seed = 99 },
+		"MaxSteps":            func(c *Config) { c.MaxSteps = 123 },
+	}
+	for field, mutate := range mutations {
+		bad := cfg
+		mutate(&bad)
+		if _, err := RestoreSim(set.G, bad, bytes.NewReader(blob.Bytes())); !errors.Is(err, ErrSnapshotConfig) {
+			t.Errorf("%s mismatch: got %v, want ErrSnapshotConfig", field, err)
+		} else if !strings.Contains(err.Error(), field) {
+			t.Errorf("%s mismatch error does not name the field: %v", field, err)
+		}
+	}
+
+	// A different network is a config mismatch too.
+	other, _ := fuzzWorkload(5, 1, 4)
+	if _, err := RestoreSim(other.G, cfg, bytes.NewReader(blob.Bytes())); !errors.Is(err, ErrSnapshotConfig) {
+		t.Errorf("wrong network: got %v, want ErrSnapshotConfig", err)
+	}
+	// Mechanism-only fields restore freely.
+	free := cfg
+	free.Shards = 8
+	free.CheckInvariants = true
+	if _, err := RestoreSim(set.G, free, bytes.NewReader(blob.Bytes())); err != nil {
+		t.Errorf("Shards/CheckInvariants should be unverified: %v", err)
+	}
+}
+
+// TestRestoreNeverPanicsOnCorruptInput sweeps truncations and byte
+// corruptions of a valid snapshot through RestoreSim: every one must
+// come back as a typed error, never a panic or an OOM-sized allocation.
+func TestRestoreNeverPanicsOnCorruptInput(t *testing.T) {
+	set, releases := fuzzWorkload(9, 2, 12)
+	cfg := Config{VirtualChannels: 2, Arbitration: ArbAge, Seed: 9, MaxSteps: 1 << 16}
+	si, err := NewSim(set.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer si.Close()
+	snapInject(t, si, set, releases)
+	if err := si.StepTo(7); err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := si.Snapshot(&blob); err != nil {
+		t.Fatal(err)
+	}
+	valid := blob.Bytes()
+
+	if _, err := RestoreSim(set.G, cfg, bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid snapshot failed to restore: %v", err)
+	}
+	if _, err := RestoreSim(set.G, cfg, strings.NewReader("NOTASNAP....")); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("bad magic: got %v, want ErrSnapshotFormat", err)
+	}
+	vbad := append([]byte(nil), valid...)
+	vbad[8] = 99 // version field
+	if _, err := RestoreSim(set.G, cfg, bytes.NewReader(vbad)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("bad version: got %v, want ErrSnapshotFormat", err)
+	}
+
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := RestoreSim(set.G, cfg, bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d restored successfully", cut, len(valid))
+		}
+	}
+	r := rng.New(0xBAD)
+	for trial := 0; trial < 400; trial++ {
+		mut := append([]byte(nil), valid...)
+		pos := len(snapMagic) + 4 + r.Intn(len(mut)-len(snapMagic)-4)
+		mut[pos] ^= byte(1 + r.Intn(255))
+		si2, err := RestoreSim(set.G, cfg, bytes.NewReader(mut))
+		if err == nil {
+			// A flipped bit in a non-validated field (a counter, a
+			// timestamp) can still decode; it must at least not wedge
+			// the stepper.
+			snapDrain(si2)
+			si2.Close()
+		}
+	}
+}

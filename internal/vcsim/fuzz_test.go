@@ -28,6 +28,7 @@ package vcsim
 // replays the seed corpus below.
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -294,6 +295,53 @@ func FuzzSimInvariants(f *testing.F) {
 					t.Fatalf("round %d: fast-forward replay diverged from batch\nbatch: %+v\n   ff: %+v", round, wakeRes, ffRes)
 				}
 				ff.Reset()
+			}
+		}
+
+		// Property 6: checkpoint transparency. The workload replayed
+		// through a Sim that is snapshotted at a fuzzed mid-run step and
+		// restored — under the complementary Shards setting, so restores
+		// migrate across stepper mechanisms — must still match the batch
+		// result exactly.
+		if !wakeRes.Truncated {
+			cpCfg := cfg
+			cpCfg.MaxSteps = 1 << 20
+			cp, err := NewSim(set.G, cpCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp.shardMin = 1
+			defer cp.Close()
+			for i := 0; i < set.Len(); i++ {
+				if _, err := cp.Inject(set.Get(message.ID(i)), releases[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snapStep := 1 + int(seed%29)
+			for cp.Now() < snapStep && cp.Active() > 0 {
+				if cp.Step() != nil {
+					break
+				}
+			}
+			var blob bytes.Buffer
+			if err := cp.Snapshot(&blob); err != nil {
+				t.Fatal(err)
+			}
+			rcCfg := cpCfg
+			rcCfg.Shards = (cpCfg.Shards + 1) % 9
+			rc, err := RestoreSim(set.G, rcCfg, bytes.NewReader(blob.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc.shardMin = 1
+			defer rc.Close()
+			for rc.Active() > 0 {
+				if rc.Step() != nil {
+					break
+				}
+			}
+			if rcRes := rc.Result(); !reflect.DeepEqual(wakeRes, rcRes) {
+				t.Fatalf("checkpoint/restore replay diverged from batch\n   batch: %+v\nrestored: %+v", wakeRes, rcRes)
 			}
 		}
 	})

@@ -1,0 +1,131 @@
+package vcsim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"wormhole/internal/message"
+	"wormhole/internal/topology"
+)
+
+// Lifecycle pins for Sim.Close: it must be idempotent, must leave the
+// Sim usable (the next sharded step restarts the worker pool), and must
+// be safe to call concurrently with Reset or another Close — a retiring
+// driver goroutine may race the goroutine recycling the Sim.
+
+func lifecycleSim(t *testing.T) (*Sim, *topology.Butterfly) {
+	t.Helper()
+	bf := topology.NewButterfly(8)
+	sim, err := NewSim(bf.G, Config{VirtualChannels: 2, Arbitration: ArbByID, MaxSteps: 1 << 20, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.shardMin = 1
+	return sim, bf
+}
+
+func lifecycleLoad(t *testing.T, sim *Sim, bf *topology.Butterfly, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		src, dst := i%8, (i*5+2)%8
+		m := message.Message{Src: bf.Input(src), Dst: bf.Output(dst), Length: 3, Path: bf.Route(src, dst)}
+		if _, err := sim.Inject(m, sim.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCloseIdempotent: repeated Close calls are no-ops after the first.
+func TestCloseIdempotent(t *testing.T) {
+	sim, bf := lifecycleSim(t)
+	lifecycleLoad(t, sim, bf, 32)
+	sim.Drain()
+	for i := 0; i < 3; i++ {
+		sim.Close()
+	}
+}
+
+// TestCloseThenStepRestartsPool: Close marks an idle point, not end of
+// life — stepping again after Close must restart the sharded workers
+// and produce the same result as a never-closed run.
+func TestCloseThenStepRestartsPool(t *testing.T) {
+	want, bf := lifecycleSim(t)
+	defer want.Close()
+	lifecycleLoad(t, want, bf, 48)
+	want.Drain()
+
+	got, _ := lifecycleSim(t)
+	defer got.Close()
+	lifecycleLoad(t, got, bf, 48)
+	for i := 0; i < 5; i++ {
+		if err := got.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got.Close() // mid-run: workers stop...
+	got.Drain() // ...and the next sharded step restarts them
+	if got.ShardedSteps() == 0 {
+		t.Fatal("post-Close drain never took a sharded step; the restart path is untested")
+	}
+	if w, g := want.Result(), got.Result(); !reflect.DeepEqual(w, g) {
+		t.Fatalf("Close mid-run perturbed the schedule\nwant: %+v\n got: %+v", w, g)
+	}
+}
+
+// TestCloseConcurrentWithReset drives Close from one goroutine against
+// Reset on another — the documented retire-while-recycling race; run
+// under -race this pins the poolMu guard on the pool handoff. Stepping
+// stays single-goroutine per the Sim contract: the churn races only the
+// lifecycle calls, and the run afterwards proves the Sim survived.
+func TestCloseConcurrentWithReset(t *testing.T) {
+	sim, bf := lifecycleSim(t)
+	defer sim.Close()
+	lifecycleLoad(t, sim, bf, 16)
+	sim.Drain() // warm the pool so Close has workers to stop
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sim.Close()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		sim.Reset()
+	}
+	close(stop)
+	wg.Wait()
+
+	// The Sim survives the churn: one more clean run.
+	sim.Reset()
+	lifecycleLoad(t, sim, bf, 16)
+	sim.Drain()
+	if res := sim.Result(); res.Delivered != 16 {
+		t.Fatalf("post-race run delivered %d of 16", res.Delivered)
+	}
+}
+
+// TestCloseConcurrentClose: two goroutines closing the same Sim must
+// not double-close the pool's channels.
+func TestCloseConcurrentClose(t *testing.T) {
+	sim, bf := lifecycleSim(t)
+	lifecycleLoad(t, sim, bf, 32)
+	sim.Drain()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sim.Close()
+		}()
+	}
+	wg.Wait()
+}

@@ -144,42 +144,55 @@ func (p *shardPool) stop() {
 // Close stops the sharded stepper's worker goroutines, if any were ever
 // started. The Sim remains usable — the next sharded step restarts
 // them — so Close is safe to call at any idle point; long-lived drivers
-// (the traffic Runner, batch Run) call it when the Sim is retired. A
-// finalizer covers abandoned Sims, so leaking goroutines requires
-// actively keeping the Sim alive.
+// (the traffic Runner, batch Run) call it when the Sim is retired. It
+// is idempotent and safe to call concurrently with Reset (or another
+// Close): lifecycle calls may come from a retiring goroutine while the
+// stepping one is being recycled. A finalizer covers abandoned Sims, so
+// leaking goroutines requires actively keeping the Sim alive.
 func (si *Sim) Close() {
-	if si.pool != nil {
-		si.pool.stop()
-		si.pool = nil
+	si.poolMu.Lock()
+	p := si.pool
+	si.pool = nil
+	si.poolMu.Unlock()
+	if p != nil {
+		p.stop()
 	}
 }
 
 // ensureShards lazily builds the sharded stepper's state on first use:
 // per-shard accumulators (with telemetry children when the Sim records
 // metrics), the pre-bound phase funcs, and the worker pool with its
-// finalizer safety net.
+// finalizer safety net. The pool check is separate from the state check
+// so a Close-then-step sequence restarts the workers instead of
+// dispatching into a nil pool.
 func (si *Sim) ensureShards() {
-	if si.shardStates != nil {
-		return
-	}
-	si.shardStates = make([]*shardState, si.shards)
-	for s := range si.shardStates {
-		st := &shardState{}
-		if si.met != nil {
-			st.met = telemetry.NewMetrics()
-			st.met.EnsureEdges(len(si.laneFree))
+	if si.shardStates == nil {
+		si.shardStates = make([]*shardState, si.shards)
+		for s := range si.shardStates {
+			st := &shardState{}
+			if si.met != nil {
+				st.met = telemetry.NewMetrics()
+				st.met.EnsureEdges(len(si.laneFree))
+			}
+			si.shardStates[s] = st
 		}
-		si.shardStates[s] = st
+		si.classifyFn = si.shardClassify
+		si.processFn = si.shardProcess
 	}
-	si.classifyFn = si.shardClassify
-	si.processFn = si.shardProcess
-	si.pool = newShardPool(si.shards - 1)
-	runtime.SetFinalizer(si, func(s *Sim) {
-		if s.pool != nil {
-			s.pool.stop()
-			s.pool = nil
+	if si.pool == nil {
+		si.poolMu.Lock()
+		if si.pool == nil {
+			si.pool = newShardPool(si.shards - 1)
 		}
-	})
+		// The finalizer is per-Sim, not per-pool: setting one when one is
+		// already set is a runtime fatal error, and a Close-then-step
+		// sequence rebuilds the pool on the same Sim.
+		if !si.finalizerSet {
+			si.finalizerSet = true
+			runtime.SetFinalizer(si, (*Sim).Close)
+		}
+		si.poolMu.Unlock()
+	}
 }
 
 // shardable reports whether this step runs sharded: enough parallel work
@@ -477,3 +490,32 @@ func (si *Sim) drainShardMetrics() {
 // per-step activity cutoff make sharding adaptive, so tests and scale
 // studies use this to confirm the parallel path really engaged.
 func (si *Sim) ShardedSteps() int64 { return si.shardSteps }
+
+// ShardFallbackReason names the condition keeping a Shards ≥ 2 Sim on
+// the sequential stepper, or "" when no standing condition applies. It
+// inspects configuration-determined inhibitors plus the sticky
+// mixed-final flip; the per-step activity cutoff (too few active worms
+// to pay the fan-out) is adaptive and intentionally not reported —
+// check ShardedSteps to learn whether the parallel path ever engaged.
+func (si *Sim) ShardFallbackReason() string {
+	if si.shards < 2 {
+		return ""
+	}
+	switch {
+	case si.naive:
+		return "naive-scan oracle mode"
+	case si.deepMode:
+		return "deep lanes / shared pool (LaneDepth > 1 or SharedPool)"
+	case si.cap != si.b:
+		return "restricted bandwidth"
+	case si.cfg.Arbitration == ArbRandom:
+		return "random arbitration"
+	case si.trc != nil:
+		return "trace sink attached"
+	case si.cfg.Observer != nil:
+		return "observer sink attached"
+	case si.mixedFinal:
+		return "mixed final/body edge roles"
+	}
+	return ""
+}

@@ -292,7 +292,34 @@ func TestShardedTelemetryMatchesSequential(t *testing.T) {
 	if !reflect.DeepEqual(seqRes, shRes) {
 		t.Fatalf("results diverged\nseq:     %+v\nsharded: %+v", seqRes, shRes)
 	}
-	if s, p := seqMet.Snapshot(), shMet.Snapshot(); !reflect.DeepEqual(s, p) {
+	s, p := seqMet.Snapshot(), shMet.Snapshot()
+	// The stepper-attribution counters are the one intended difference:
+	// they record which stepper ran each step, so the sharded run must
+	// show engagement where the sequential run shows none.
+	if got := p.Counter("sharded_steps"); got != steps {
+		t.Fatalf("sharded_steps counter %d, want %d", got, steps)
+	}
+	if s.Counter("sharded_steps") != 0 {
+		t.Fatalf("sequential run reports %d sharded steps", s.Counter("sharded_steps"))
+	}
+	if s.Counter("shard_fallback_steps") != 0 {
+		t.Fatalf("Shards=0 run reports %d fallback steps", s.Counter("shard_fallback_steps"))
+	}
+	if shard, fall := p.Counter("sharded_steps"), p.Counter("shard_fallback_steps"); shard+fall != p.Counter("steps") {
+		t.Fatalf("sharded %d + fallback %d ≠ steps %d", shard, fall, p.Counter("steps"))
+	}
+	blank := func(sn *telemetry.Snapshot, name string) {
+		for i := range sn.Counters {
+			if sn.Counters[i].Name == name {
+				sn.Counters[i].Value = 0
+			}
+		}
+	}
+	for _, name := range []string{"sharded_steps", "shard_fallback_steps"} {
+		blank(&s, name)
+		blank(&p, name)
+	}
+	if !reflect.DeepEqual(s, p) {
 		t.Fatalf("telemetry snapshots diverged\nsequential: %+v\n   sharded: %+v", s, p)
 	}
 }

@@ -27,6 +27,28 @@ var (
 	// network: every eligible worm is slot-blocked, and slots only free
 	// when worms move, so no future injection can help.
 	ErrDeadlocked = errors.New("vcsim: network is deadlocked")
+
+	// The validation family below unifies the error contract across the
+	// incremental path (Inject/NewSim return them wrapped with context)
+	// and the batch path (newBatchSim panics with the same wrapped
+	// values, and RunChecked surfaces them as errors). Services in front
+	// of the simulator match with errors.Is to map a tenant's bad
+	// workload to a client error instead of crashing the job.
+
+	// ErrBadConfig wraps every Config rejection: VirtualChannels < 1,
+	// negative LaneDepth or ParkStreak, Shards outside [0, 256].
+	ErrBadConfig = errors.New("vcsim: invalid configuration")
+	// ErrOverHorizon wraps every rejection of a time or size above
+	// MaxHorizon: release times, message lengths, path lengths, and
+	// Config.MaxSteps (the engine keeps event times in 32-bit counters).
+	ErrOverHorizon = errors.New("vcsim: exceeds the MaxHorizon limit")
+	// ErrPastRelease wraps Inject's rejection of a release time before
+	// the simulator's current step.
+	ErrPastRelease = errors.New("vcsim: release time is in the past")
+	// ErrBadMessage wraps per-message rejections that are neither horizon
+	// nor config problems: non-positive lengths, out-of-range path edges,
+	// a release list whose length does not match the message set.
+	ErrBadMessage = errors.New("vcsim: invalid message")
 )
 
 // NewSim returns an empty incremental simulator over the network g.
@@ -35,7 +57,7 @@ var (
 // so a zero horizon is rejected with ErrNoHorizon rather than guessed at.
 func NewSim(g *graph.Graph, cfg Config) (*Sim, error) {
 	if cfg.VirtualChannels < 1 {
-		return nil, fmt.Errorf("vcsim: VirtualChannels %d < 1", cfg.VirtualChannels)
+		return nil, fmt.Errorf("%w: VirtualChannels %d < 1", ErrBadConfig, cfg.VirtualChannels)
 	}
 	if err := validateArch(cfg); err != nil {
 		return nil, err
@@ -56,21 +78,21 @@ func NewSim(g *graph.Graph, cfg Config) (*Sim, error) {
 // list entry.
 func (si *Sim) Inject(msg message.Message, release int) (message.ID, error) {
 	if release < si.now {
-		return -1, fmt.Errorf("vcsim: release %d is before the current step %d", release, si.now)
+		return -1, fmt.Errorf("%w: release %d is before the current step %d", ErrPastRelease, release, si.now)
 	}
 	if release > MaxHorizon {
-		return -1, fmt.Errorf("vcsim: release %d exceeds MaxHorizon %d", release, MaxHorizon)
+		return -1, fmt.Errorf("%w: release %d exceeds MaxHorizon %d", ErrOverHorizon, release, MaxHorizon)
 	}
 	if msg.Length < 1 {
-		return -1, fmt.Errorf("vcsim: message length %d < 1", msg.Length)
+		return -1, fmt.Errorf("%w: message length %d < 1", ErrBadMessage, msg.Length)
 	}
 	if msg.Length > MaxHorizon || len(msg.Path) > MaxHorizon {
-		return -1, fmt.Errorf("vcsim: message length %d / path %d exceeds MaxHorizon %d", msg.Length, len(msg.Path), MaxHorizon)
+		return -1, fmt.Errorf("%w: message length %d / path %d exceeds MaxHorizon %d", ErrOverHorizon, msg.Length, len(msg.Path), MaxHorizon)
 	}
 	p := si.newPath(len(msg.Path))
 	for j, e := range msg.Path {
 		if int(e) < 0 || int(e) >= len(si.laneFree) {
-			return -1, fmt.Errorf("vcsim: path edge %d out of range [0,%d)", e, len(si.laneFree))
+			return -1, fmt.Errorf("%w: path edge %d out of range [0,%d)", ErrBadMessage, e, len(si.laneFree))
 		}
 		p[j] = int32(e)
 	}

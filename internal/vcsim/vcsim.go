@@ -29,6 +29,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"sync"
 
 	"wormhole/internal/message"
 	"wormhole/internal/rng"
@@ -479,6 +480,18 @@ func Run(s *message.Set, release []int, cfg Config) Result {
 	return res
 }
 
+// RunChecked is Run with the workload validation surfaced as a typed
+// error — ErrBadConfig, ErrBadMessage, or ErrOverHorizon, the same
+// family Inject and NewSim return — instead of a panic. Services
+// running tenant-submitted workloads use it to report a client error
+// rather than crash the job.
+func RunChecked(s *message.Set, release []int, cfg Config) (Result, error) {
+	if err := validateBatch(s, release, cfg); err != nil {
+		return Result{}, err
+	}
+	return Run(s, release, cfg), nil
+}
+
 // Sim is the incremental simulation engine: a resumable simulator state
 // that messages can be injected into while time advances. The lifecycle
 // is
@@ -651,6 +664,11 @@ type Sim struct {
 	shardStates  []*shardState
 	shardOwner   []uint8 // per-active-worm owner, rebuilt each sharded step
 	shardVerdict []uint8 // per-active-worm verdict (see shardKeep etc.)
+	// pool is guarded by poolMu: Close may race a concurrent Reset (or a
+	// second Close, or the finalizer) in long-lived drivers that retire
+	// Sims from a different goroutine than the one stepping them.
+	poolMu       sync.Mutex
+	finalizerSet bool // the Close finalizer is set at most once per Sim
 	pool         *shardPool
 	classifyFn   func(int)
 	processFn    func(int)
@@ -915,35 +933,64 @@ func (si *Sim) markPathRoles(p []int32) {
 
 // validateArch rejects nonsensical buffer-architecture and hysteresis
 // settings; both constructors share it (the batch path panics on the
-// returned error, the incremental path returns it).
+// returned error, the incremental path returns it). Every rejection
+// wraps ErrBadConfig or — for the 32-bit time-counter bound —
+// ErrOverHorizon, so callers can errors.Is-classify it.
 func validateArch(cfg Config) error {
 	if cfg.LaneDepth < 0 {
-		return fmt.Errorf("vcsim: LaneDepth %d < 0", cfg.LaneDepth)
+		return fmt.Errorf("%w: LaneDepth %d < 0", ErrBadConfig, cfg.LaneDepth)
 	}
 	if cfg.ParkStreak < 0 {
-		return fmt.Errorf("vcsim: ParkStreak %d < 0", cfg.ParkStreak)
+		return fmt.Errorf("%w: ParkStreak %d < 0", ErrBadConfig, cfg.ParkStreak)
 	}
 	if cfg.MaxSteps > MaxHorizon {
-		return fmt.Errorf("vcsim: MaxSteps %d exceeds MaxHorizon %d", cfg.MaxSteps, MaxHorizon)
+		return fmt.Errorf("%w: MaxSteps %d exceeds MaxHorizon %d", ErrOverHorizon, cfg.MaxSteps, MaxHorizon)
 	}
 	if cfg.Shards < 0 || cfg.Shards > 256 {
-		return fmt.Errorf("vcsim: Shards %d outside [0, 256]", cfg.Shards)
+		return fmt.Errorf("%w: Shards %d outside [0, 256]", ErrBadConfig, cfg.Shards)
+	}
+	return nil
+}
+
+// validateBatch applies the batch wrapper's workload checks, returning
+// the same typed error family the incremental path (NewSim, Inject)
+// uses: ErrBadConfig, ErrBadMessage, ErrOverHorizon.
+func validateBatch(s *message.Set, release []int, cfg Config) error {
+	if cfg.VirtualChannels < 1 {
+		return fmt.Errorf("%w: VirtualChannels %d < 1", ErrBadConfig, cfg.VirtualChannels)
+	}
+	if err := validateArch(cfg); err != nil {
+		return err
+	}
+	if release != nil && len(release) != s.Len() {
+		return fmt.Errorf("%w: %d release times for %d messages", ErrBadMessage, len(release), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		msg := s.Get(message.ID(i))
+		if msg.Length > MaxHorizon || len(msg.Path) > MaxHorizon {
+			return fmt.Errorf("%w: message %d length %d / path %d exceeds MaxHorizon", ErrOverHorizon, i, msg.Length, len(msg.Path))
+		}
+		if release == nil {
+			continue
+		}
+		if release[i] < 0 {
+			return fmt.Errorf("%w: negative release time for message %d", ErrBadMessage, i)
+		}
+		if release[i] > MaxHorizon {
+			return fmt.Errorf("%w: release time %d for message %d exceeds MaxHorizon", ErrOverHorizon, release[i], i)
+		}
 	}
 	return nil
 }
 
 // newBatchSim loads a complete message set, deriving the MaxSteps safety
 // bound from the workload when the config leaves it at 0 (which is only
-// meaningful here: the batch workload is finite and fully known).
+// meaningful here: the batch workload is finite and fully known). A bad
+// workload panics with the typed validation error — RunChecked is the
+// non-panicking front end.
 func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
-	if cfg.VirtualChannels < 1 {
-		panic(fmt.Sprintf("vcsim: VirtualChannels %d < 1", cfg.VirtualChannels))
-	}
-	if err := validateArch(cfg); err != nil {
-		panic(err.Error())
-	}
-	if release != nil && len(release) != s.Len() {
-		panic(fmt.Sprintf("vcsim: %d release times for %d messages", len(release), s.Len()))
+	if err := validateBatch(s, release, cfg); err != nil {
+		panic(err)
 	}
 	n := s.Len()
 	si := emptySim(s.G.NumEdges(), cfg)
@@ -953,18 +1000,9 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 	maxRelease := 0
 	for i := 0; i < n; i++ {
 		msg := s.Get(message.ID(i))
-		if msg.Length > MaxHorizon || len(msg.Path) > MaxHorizon {
-			panic(fmt.Sprintf("vcsim: message %d length %d / path %d exceeds MaxHorizon", i, msg.Length, len(msg.Path)))
-		}
 		rel := 0
 		if release != nil {
 			rel = release[i]
-			if rel < 0 {
-				panic(fmt.Sprintf("vcsim: negative release time for message %d", i))
-			}
-			if rel > MaxHorizon {
-				panic(fmt.Sprintf("vcsim: release time %d for message %d exceeds MaxHorizon", rel, i))
-			}
 		}
 		if rel > maxRelease {
 			maxRelease = rel
@@ -977,8 +1015,8 @@ func newBatchSim(s *message.Set, release []int, cfg Config) *Sim {
 		*w = worm{
 			id:          int32(id), //wormvet:allow horizon -- addWorm pins id < MaxHorizon
 			path:        p,
-			d:           int32(len(msg.Path)),
-			l:           int32(msg.Length),
+			d:           int32(len(msg.Path)), //wormvet:allow horizon -- validateBatch bounds len(msg.Path) ≤ MaxHorizon above
+			l:           int32(msg.Length),    //wormvet:allow horizon -- validateBatch bounds msg.Length ≤ MaxHorizon above
 			release:     int32(rel),
 			key:         si.policyKey(rel, id),
 			injectTime:  -1,
@@ -1118,10 +1156,19 @@ func (si *Sim) step() {
 	}
 	switch {
 	case si.naive:
+		if m := si.met; m != nil && si.shards > 1 {
+			m.Inc(telemetry.CtrShardFallback)
+		}
 		si.stepNaive()
 	case si.shardable():
+		if m := si.met; m != nil {
+			m.Inc(telemetry.CtrShardedSteps)
+		}
 		si.stepSharded()
 	default:
+		if m := si.met; m != nil && si.shards > 1 {
+			m.Inc(telemetry.CtrShardFallback)
+		}
 		si.stepWakeup()
 	}
 }
