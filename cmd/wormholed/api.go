@@ -16,6 +16,8 @@ package main
 // Invalid submissions — including workloads the engine rejects with its
 // typed errors (vcsim.ErrBadConfig, ErrBadMessage, ErrOverHorizon) —
 // are 400s carrying the engine's message, never worker-side failures.
+// Submissions over the -max-queued admission cap are 429s with a
+// Retry-After header; bodies over 1 MiB are 413s (MaxBytesReader).
 
 import (
 	"encoding/json"
@@ -27,11 +29,21 @@ import (
 	"wormhole/internal/vcsim"
 )
 
+// maxJobBody bounds a job submission; a JobSpec is a few hundred bytes,
+// so 1 MiB is generous without letting a client buffer gigabytes.
+const maxJobBody = 1 << 20
+
 func newAPI(m *manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxJobBody)
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+				return
+			}
 			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 			return
 		}
@@ -39,6 +51,11 @@ func newAPI(m *manager) http.Handler {
 		if err != nil {
 			if errors.Is(err, errShutdown) {
 				httpError(w, http.StatusServiceUnavailable, err.Error())
+				return
+			}
+			if errors.Is(err, errQueueFull) {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, err.Error())
 				return
 			}
 			resp := map[string]string{"error": "bad_request", "message": err.Error()}
@@ -136,6 +153,10 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 		kind = "not_found"
 	case http.StatusConflict:
 		kind = "not_ready"
+	case http.StatusTooManyRequests:
+		kind = "overloaded"
+	case http.StatusRequestEntityTooLarge:
+		kind = "too_large"
 	case http.StatusServiceUnavailable:
 		kind = "shutting_down"
 	default:

@@ -1,0 +1,101 @@
+package main
+
+// Checkpoint integrity framing and the -chaos fault injector.
+//
+// Checkpoint files on disk are not raw WRUNSNAP blobs: the daemon frames
+// them with a magic and a CRC-32 of the payload, so *any* corruption — a
+// torn write from a crash, a flipped bit from a bad disk, a truncation
+// from a full one — is detected before the runner codec ever sees the
+// bytes, and recovery falls back to a fresh run instead of resuming from
+// (and serving results derived from) silently-corrupt state. The runner
+// codec validates structure; the frame validates the bytes themselves.
+//
+// The -chaos flag arms a deterministic, seed-derived injector on that
+// same write path: checkpoint writes randomly fail as if the disk were
+// full, tear (a prefix of the blob hits the disk), flip a byte, or
+// vanish entirely. It exists for the chaos e2e harness, which SIGKILLs a
+// chaotic daemon mid-run and requires the restart to produce results
+// byte-identical to an uninterrupted run — every injected corruption
+// must be caught by the frame and degrade to a fresh run, never crash
+// the daemon and never leak into served results.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"wormhole/internal/rng"
+)
+
+// ckptMagic frames every checkpoint file: magic, CRC-32 (IEEE) of the
+// payload, payload.
+const ckptMagic = "WHCKPT01"
+
+var errCorruptCheckpoint = errors.New("wormholed: corrupt checkpoint")
+
+// sealCheckpoint wraps a WRUNSNAP blob in the integrity frame.
+func sealCheckpoint(blob []byte) []byte {
+	out := make([]byte, 0, len(ckptMagic)+4+len(blob))
+	out = append(out, ckptMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(blob))
+	return append(out, blob...)
+}
+
+// openCheckpoint verifies the frame and returns the payload.
+func openCheckpoint(raw []byte) ([]byte, error) {
+	if len(raw) < len(ckptMagic)+4 || string(raw[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad frame", errCorruptCheckpoint)
+	}
+	want := binary.LittleEndian.Uint32(raw[len(ckptMagic):])
+	payload := raw[len(ckptMagic)+4:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorruptCheckpoint)
+	}
+	return payload, nil
+}
+
+// chaosInjector deterministically mangles checkpoint writes. One
+// injector serves all workers, so the draw sequence (and therefore the
+// injected fault pattern) is fixed by the seed and the order of
+// checkpoint attempts.
+type chaosInjector struct {
+	mu sync.Mutex
+	r  *rng.Source
+}
+
+func newChaosInjector(seed uint64) *chaosInjector {
+	return &chaosInjector{r: rng.New(seed)}
+}
+
+// mangleWrite decides the fate of one checkpoint write. It returns the
+// (possibly corrupted) bytes to write, nil bytes to drop the write, or
+// an error to simulate a full disk.
+func (c *chaosInjector) mangleWrite(path string, blob []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.r.Intn(5) {
+	case 0: // disk full
+		fmt.Fprintf(os.Stderr, "wormholed: chaos: ENOSPC on %s\n", path)
+		return nil, fmt.Errorf("chaos: %w", errDiskFull)
+	case 1: // torn write: a prefix reaches the disk
+		cut := c.r.Intn(len(blob) + 1)
+		fmt.Fprintf(os.Stderr, "wormholed: chaos: torn write (%d/%d bytes) on %s\n", cut, len(blob), path)
+		return blob[:cut], nil
+	case 2: // bit flip
+		mangled := append([]byte(nil), blob...)
+		pos := c.r.Intn(len(mangled))
+		mangled[pos] ^= 1 << c.r.Intn(8)
+		fmt.Fprintf(os.Stderr, "wormholed: chaos: bit flip at %d on %s\n", pos, path)
+		return mangled, nil
+	case 3: // write lost entirely
+		fmt.Fprintf(os.Stderr, "wormholed: chaos: dropped write on %s\n", path)
+		return nil, nil
+	default: // clean
+		return blob, nil
+	}
+}
+
+var errDiskFull = errors.New("no space left on device")

@@ -1,0 +1,296 @@
+package main
+
+// In-process tests for the robustness surface this package grew with
+// the fault plane: the checkpoint integrity frame, the deterministic
+// chaos injector, the -max-queued admission cap, the request body cap,
+// and faulted sweep jobs rendering identically to direct runs.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wormhole/internal/traffic"
+)
+
+// TestCheckpointFrame: the CRC frame round-trips, and every corruption
+// class the chaos plane produces — truncation anywhere, a flip of any
+// single byte, garbage — is rejected before the runner codec runs.
+func TestCheckpointFrame(t *testing.T) {
+	payload := []byte("WRUNSNAP-stand-in payload bytes, long enough to cut at many points")
+	sealed := sealCheckpoint(payload)
+
+	got, err := openCheckpoint(sealed)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("roundtrip: %v (%q)", err, got)
+	}
+	for cut := 0; cut < len(sealed); cut++ {
+		if _, err := openCheckpoint(sealed[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for pos := 0; pos < len(sealed); pos++ {
+		mut := append([]byte(nil), sealed...)
+		mut[pos] ^= 0x20
+		if _, err := openCheckpoint(mut); err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+	}
+	if _, err := openCheckpoint([]byte("not a checkpoint at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestChaosInjectorDeterministic: same seed, same write sequence, same
+// injected faults — the chaos plane is replayable like everything else.
+func TestChaosInjectorDeterministic(t *testing.T) {
+	blob := bytes.Repeat([]byte{0xAB}, 400)
+	trace := func(seed uint64) []string {
+		inj := newChaosInjector(seed)
+		var out []string
+		for i := 0; i < 64; i++ {
+			mangled, err := inj.mangleWrite("x", blob)
+			switch {
+			case err != nil:
+				out = append(out, "enospc")
+			case mangled == nil:
+				out = append(out, "drop")
+			case bytes.Equal(mangled, blob):
+				out = append(out, "clean")
+			default:
+				out = append(out, fmt.Sprintf("mangle-%d-%x", len(mangled), mangled[:min(4, len(mangled))]))
+			}
+		}
+		return out
+	}
+	a, b := trace(7), trace(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// The injector actually injects: a long trace is not all clean.
+	all := strings.Join(a, ",")
+	for _, kind := range []string{"enospc", "drop", "clean", "mangle"} {
+		if !strings.Contains(all, kind) {
+			t.Errorf("64 draws never produced %q: %s", kind, all)
+		}
+	}
+}
+
+// TestAdmissionCap: submissions over -max-queued get 429 with
+// Retry-After, and nothing is persisted for the rejected job.
+func TestAdmissionCap(t *testing.T) {
+	dir := t.TempDir()
+	m, err := newManager(dir, 1, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	srv := newTestHTTP(t, m)
+
+	long := testSweepSpec()
+	long.Rates = []float64{0.05}
+	long.Measure = 200_000_000 // occupies the lone worker until cancel
+
+	submit := func() *http.Response {
+		return postJSON(t, srv+"/api/v1/jobs", JobSpec{Type: "sweep", Sweep: long})
+	}
+	first := decodeStatus(t, submit())           // picked up by the worker
+	waitStateURL(t, srv, first.ID, stateRunning) // queue is empty again
+	second := decodeStatus(t, submit())          // sits in the queue
+
+	resp := submit()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var body map[string]string
+	json.NewDecoder(resp.Body).Decode(&body) //nolint:errcheck
+	if body["error"] != "overloaded" {
+		t.Fatalf("error kind %q, want overloaded", body["error"])
+	}
+
+	// Unblock the pool so Shutdown doesn't wait on a 200M-step run.
+	m.Cancel(first.ID)
+	m.Cancel(second.ID)
+}
+
+// TestJobBodyCap: a submission over maxJobBody is a 413, not an
+// unbounded read.
+func TestJobBodyCap(t *testing.T) {
+	m, err := newManager(t.TempDir(), 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	srv := newTestHTTP(t, m)
+
+	// Syntactically valid JSON, so the decoder keeps reading until the
+	// byte cap trips rather than bailing on the first token.
+	huge := append([]byte(`{"type":"`), bytes.Repeat([]byte("x"), maxJobBody+1024)...)
+	huge = append(huge, []byte(`"}`)...)
+	resp, err := http.Post(srv+"/api/v1/jobs", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestFaultedSweepMatchesDirectRun: a sweep job with a fault schedule
+// and retry policy renders byte-identically to direct traffic.Run calls
+// with the same config — the service layer adds nothing and loses
+// nothing around the fault plane.
+func TestFaultedSweepMatchesDirectRun(t *testing.T) {
+	m, err := newManager(t.TempDir(), 2, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	srv := newTestHTTP(t, m)
+
+	spec := testSweepSpec()
+	spec.Faults = "lane:0@10-60 edge:3@20-80 lane:5@40-90"
+	spec.RetryMaxAttempts = 3
+	spec.RetryBackoff = 8
+	spec.RetryBackoffCap = 64
+
+	st := decodeStatus(t, postJSON(t, srv+"/api/v1/jobs", JobSpec{Type: "sweep", Sweep: spec}))
+	waitStateURL(t, srv, st.ID, stateDone)
+	got := fetchURL(t, srv+"/api/v1/jobs/"+st.ID+"/result", http.StatusOK)
+
+	net, err := spec.network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []pointResult
+	for _, rate := range spec.Rates {
+		cfg, err := spec.config(net, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := traffic.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, pointResult{Rate: rate, Result: res})
+	}
+	if want := renderSweepCSV(points); string(got) != want {
+		t.Fatalf("faulted sweep CSV diverged from direct runs\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestBadFaultGrammarRejected: an unparseable schedule is a 400 at
+// submission, not a worker-side failure.
+func TestBadFaultGrammarRejected(t *testing.T) {
+	m, err := newManager(t.TempDir(), 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	srv := newTestHTTP(t, m)
+
+	spec := testSweepSpec()
+	spec.Faults = "lane3@nonsense"
+	resp := postJSON(t, srv+"/api/v1/jobs", JobSpec{Type: "sweep", Sweep: spec})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad fault grammar = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestChaoticManagerStillCompletes: with the injector mangling every
+// checkpoint write, jobs still finish and still render byte-identically
+// to direct runs — chaos can cost checkpoints, never correctness.
+func TestChaoticManagerStillCompletes(t *testing.T) {
+	m, err := newManager(t.TempDir(), 1, 50, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	srv := newTestHTTP(t, m)
+
+	spec := testSweepSpec()
+	st := decodeStatus(t, postJSON(t, srv+"/api/v1/jobs", JobSpec{Type: "sweep", Sweep: spec}))
+	waitStateURL(t, srv, st.ID, stateDone)
+	got := fetchURL(t, srv+"/api/v1/jobs/"+st.ID+"/result", http.StatusOK)
+
+	net, err := spec.network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []pointResult
+	for _, rate := range spec.Rates {
+		cfg, err := spec.config(net, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := traffic.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, pointResult{Rate: rate, Result: res})
+	}
+	if want := renderSweepCSV(points); string(got) != want {
+		t.Fatalf("chaotic sweep CSV diverged from direct runs\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// --- helpers bridging to daemon_test.go's style ------------------------------
+
+func newTestHTTP(t *testing.T, m *manager) string {
+	t.Helper()
+	srv := httptest.NewServer(newAPI(m))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func waitStateURL(t *testing.T, base, id string, want jobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/api/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeStatus(t, resp)
+		switch st.State {
+		case want:
+			return st
+		case stateFailed:
+			if want != stateFailed {
+				t.Fatalf("job %s failed: %s", id, st.Error)
+			}
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobStatus{}
+}
+
+func fetchURL(t *testing.T, url string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, wantCode, buf.String())
+	}
+	return buf.Bytes()
+}

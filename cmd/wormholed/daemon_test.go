@@ -39,7 +39,7 @@ func testSweepSpec() *SweepSpec {
 
 func startTestServer(t *testing.T, stateDir string, ckptEvery int) (*httptest.Server, *manager) {
 	t.Helper()
-	m, err := newManager(stateDir, 2, ckptEvery)
+	m, err := newManager(stateDir, 2, ckptEvery, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

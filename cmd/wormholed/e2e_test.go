@@ -39,17 +39,21 @@ func buildBinary(t *testing.T, dir, pkg, name string) string {
 
 // startDaemon launches the daemon binary and waits for its resolved
 // address. The returned process is running; callers kill or signal it.
-func startDaemon(t *testing.T, bin, stateDir string) (*exec.Cmd, string) {
+// extraArgs go last, so they can override the defaults (flag repetition
+// keeps the final value).
+func startDaemon(t *testing.T, bin, stateDir string, extraArgs ...string) (*exec.Cmd, string) {
 	t.Helper()
 	addrFile := filepath.Join(stateDir, "addr")
 	os.Remove(addrFile)
-	cmd := exec.Command(bin,
+	args := []string{
 		"-http", "127.0.0.1:0",
 		"-addr-file", addrFile,
 		"-state", stateDir,
 		"-workers", "1",
 		"-checkpoint-interval", "500000",
-	)
+	}
+	args = append(args, extraArgs...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@
 //
 //	wormholed -state DIR [-http :8080] [-workers N]
 //	          [-checkpoint-interval STEPS] [-addr-file FILE]
+//	          [-max-queued N] [-chaos SEED]
 //
 // Every job persists under -state and every live simulation checkpoints
 // itself every -checkpoint-interval flit steps (vcsim's versioned
@@ -47,6 +48,8 @@ func run() int {
 		workers   = flag.Int("workers", 2, "concurrent job workers")
 		ckptEvery = flag.Int("checkpoint-interval", 1_000_000, "checkpoint live runs every N flit steps (0 = only on graceful shutdown; a snapshot costs O(messages injected so far), so very small intervals dominate long runs)")
 		addrFile  = flag.String("addr-file", "", "write the resolved listen address to this file once bound")
+		maxQueued = flag.Int("max-queued", 1024, "admission cap: submissions beyond this many queued jobs get 429 + Retry-After")
+		chaosSeed = flag.Uint64("chaos", 0, "testing hook: deterministically injure checkpoint writes (disk-full, torn writes, bit flips) from this seed; 0 = off")
 	)
 	flag.Parse()
 	if *stateDir == "" {
@@ -54,7 +57,7 @@ func run() int {
 		return 2
 	}
 
-	m, err := newManager(*stateDir, *workers, *ckptEvery)
+	m, err := newManager(*stateDir, *workers, *ckptEvery, *maxQueued, *chaosSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wormholed:", err)
 		return 1
@@ -71,7 +74,15 @@ func run() int {
 			return 1
 		}
 	}
-	srv := &http.Server{Handler: newAPI(m)}
+	// All handlers answer from memory or small files, so tight timeouts
+	// cost nothing and a stalled client can't pin a connection.
+	srv := &http.Server{
+		Handler:           newAPI(m),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "wormholed: serving on http://%s (state %s)\n", ln.Addr(), *stateDir)

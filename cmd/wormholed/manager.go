@@ -19,6 +19,7 @@ package main
 // kill -9s the daemon mid-sweep and diffs.
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"wormhole/internal/core"
+	"wormhole/internal/fault"
 	"wormhole/internal/stats"
 	"wormhole/internal/telemetry"
 	"wormhole/internal/traffic"
@@ -53,6 +55,9 @@ const (
 var (
 	errShutdown = errors.New("wormholed: shutting down")
 	errCanceled = errors.New("wormholed: job canceled")
+	// errQueueFull rejects submissions over the -max-queued admission
+	// cap; the API layer renders it as 429 with Retry-After.
+	errQueueFull = errors.New("wormholed: job queue is full")
 )
 
 // SweepSpec declares an open-loop rate sweep: one traffic run per entry
@@ -85,6 +90,15 @@ type SweepSpec struct {
 	MaxBacklog int    `json:"max_backlog,omitempty"`
 	Seed       uint64 `json:"seed,omitempty"`
 	Shards     int    `json:"shards,omitempty"`
+
+	// Faults is a fault schedule in the internal/fault grammar
+	// ("lane:EDGE@START-END edge:EDGE@START-END ...") applied to every
+	// sweep point; the retry fields map onto vcsim.RetryPolicy for
+	// messages whose injection edge is dead.
+	Faults           string `json:"faults,omitempty"`
+	RetryMaxAttempts int    `json:"retry_max_attempts,omitempty"`
+	RetryBackoff     int    `json:"retry_backoff,omitempty"`
+	RetryBackoffCap  int    `json:"retry_backoff_cap,omitempty"`
 }
 
 func (s *SweepSpec) network() (*traffic.Network, error) {
@@ -165,6 +179,12 @@ func (s *SweepSpec) config(net *traffic.Network, rate float64) (traffic.Config, 
 	if err != nil {
 		return traffic.Config{}, err
 	}
+	var sched fault.Schedule
+	if s.Faults != "" {
+		if sched, err = fault.Parse(s.Faults); err != nil {
+			return traffic.Config{}, err
+		}
+	}
 	return traffic.Config{
 		Net:                 net,
 		VirtualChannels:     s.VirtualChannels,
@@ -187,6 +207,12 @@ func (s *SweepSpec) config(net *traffic.Network, rate float64) (traffic.Config, 
 		MaxBacklog:          s.MaxBacklog,
 		Seed:                s.Seed,
 		Shards:              s.Shards,
+		Faults:              sched,
+		Retry: vcsim.RetryPolicy{
+			MaxAttempts: s.RetryMaxAttempts,
+			Backoff:     s.RetryBackoff,
+			BackoffCap:  s.RetryBackoffCap,
+		},
 	}, nil
 }
 
@@ -304,7 +330,8 @@ type manager struct {
 	dir       string // STATE/jobs
 	ckptEvery int    // checkpoint a live sweep runner every N steps
 	queue     chan *job
-	stop      chan struct{} // closed on graceful shutdown
+	stop      chan struct{}  // closed on graceful shutdown
+	chaos     *chaosInjector // nil unless -chaos armed the write path
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -315,23 +342,38 @@ type manager struct {
 	start time.Time
 }
 
-func newManager(stateDir string, workers, ckptEvery int) (*manager, error) {
+func newManager(stateDir string, workers, ckptEvery, maxQueued int, chaosSeed uint64) (*manager, error) {
 	if workers < 1 {
 		workers = 1
+	}
+	if maxQueued < 1 {
+		maxQueued = 1024
 	}
 	m := &manager{
 		dir:       filepath.Join(stateDir, "jobs"),
 		ckptEvery: ckptEvery,
-		queue:     make(chan *job, 1024),
 		stop:      make(chan struct{}),
 		jobs:      map[string]*job{},
 		start:     time.Now(),
 	}
+	if chaosSeed != 0 {
+		m.chaos = newChaosInjector(chaosSeed)
+	}
 	if err := os.MkdirAll(m.dir, 0o755); err != nil {
 		return nil, err
 	}
-	if err := m.recover(); err != nil {
+	requeue, err := m.recover()
+	if err != nil {
 		return nil, err
+	}
+	// Recovered jobs must all fit regardless of the admission cap: the
+	// cap bounds new submissions, not what a restart owes its tenants.
+	if maxQueued < len(requeue) {
+		maxQueued = len(requeue)
+	}
+	m.queue = make(chan *job, maxQueued)
+	for _, j := range requeue {
+		m.queue <- j
 	}
 	for w := 0; w < workers; w++ {
 		m.wg.Add(1)
@@ -342,11 +384,11 @@ func newManager(stateDir string, workers, ckptEvery int) (*manager, error) {
 
 // recover scans the state directory and reloads every persisted job.
 // Jobs that were queued or running when the previous process died are
-// re-queued; their checkpoints make the re-run a resume.
-func (m *manager) recover() error {
+// returned for re-queueing; their checkpoints make the re-run a resume.
+func (m *manager) recover() ([]*job, error) {
 	entries, err := os.ReadDir(m.dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
@@ -355,6 +397,7 @@ func (m *manager) recover() error {
 		}
 	}
 	sort.Strings(names)
+	var requeue []*job
 	for _, name := range names {
 		blob, err := os.ReadFile(filepath.Join(m.dir, name, "job.json"))
 		if err != nil {
@@ -372,16 +415,21 @@ func (m *manager) recover() error {
 		}
 		if st.State == stateQueued || st.State == stateRunning {
 			m.setState(j, stateQueued, "")
-			m.queue <- j
+			requeue = append(requeue, j)
 		}
 	}
-	return nil
+	return requeue, nil
 }
 
-// Submit validates a spec, persists the new job, and queues it.
+// Submit validates a spec, persists the new job, and queues it. A full
+// queue rejects the submission up front (admission control, not
+// backpressure: nothing is persisted for a rejected job).
 func (m *manager) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.validate(); err != nil {
 		return JobStatus{}, err
+	}
+	if len(m.queue) >= cap(m.queue) {
+		return JobStatus{}, errQueueFull
 	}
 	m.mu.Lock()
 	id := fmt.Sprintf("j%06d", m.nextID)
@@ -607,7 +655,7 @@ func (m *manager) runPoint(j *job, net *traffic.Network, spec *SweepSpec, k int,
 		default:
 		}
 		if m.ckptEvery > 0 && step > 0 && step%m.ckptEvery == 0 {
-			if err := checkpointRunner(r, snapPath); err != nil {
+			if err := m.checkpointRunner(r, snapPath); err != nil {
 				fmt.Fprintln(os.Stderr, "wormholed: checkpoint:", err)
 			}
 		}
@@ -615,12 +663,18 @@ func (m *manager) runPoint(j *job, net *traffic.Network, spec *SweepSpec, k int,
 	}
 
 	resume := false
-	if blob, err := os.ReadFile(snapPath); err == nil {
-		r, err = traffic.RestoreRunner(cfg, strings.NewReader(string(blob)))
+	if raw, err := os.ReadFile(snapPath); err == nil {
+		// The integrity frame catches torn writes, truncations, and bit
+		// flips before the runner codec sees the bytes; either failure
+		// falls back to a fresh run rather than resuming corrupt state.
+		blob, err := openCheckpoint(raw)
+		if err == nil {
+			r, err = traffic.RestoreRunner(cfg, bytes.NewReader(blob))
+		}
 		if err != nil {
-			// A corrupt or mismatched checkpoint falls back to a fresh run.
 			fmt.Fprintln(os.Stderr, "wormholed: restore:", err)
 			os.Remove(snapPath)
+			r = nil
 		} else {
 			resume = true
 		}
@@ -640,7 +694,7 @@ func (m *manager) runPoint(j *job, net *traffic.Network, spec *SweepSpec, k int,
 	}
 	if errors.Is(err, errShutdown) || errors.Is(err, errCanceled) {
 		// Paused with state intact: take the final checkpoint now.
-		if cerr := checkpointRunner(r, snapPath); cerr != nil {
+		if cerr := m.checkpointRunner(r, snapPath); cerr != nil {
 			fmt.Fprintln(os.Stderr, "wormholed: checkpoint:", cerr)
 		}
 		return pointResult{}, err
@@ -657,13 +711,25 @@ func (m *manager) runPoint(j *job, net *traffic.Network, spec *SweepSpec, k int,
 	}, nil
 }
 
-// checkpointRunner snapshots a live runner to path, atomically.
-func checkpointRunner(r *traffic.Runner, path string) error {
-	var buf strings.Builder
+// checkpointRunner snapshots a live runner to path, atomically, inside
+// the CRC integrity frame. With -chaos armed, the write may be failed,
+// torn, flipped, or dropped — the restore path must absorb all of it.
+func (m *manager) checkpointRunner(r *traffic.Runner, path string) error {
+	var buf bytes.Buffer
 	if err := r.Snapshot(&buf); err != nil {
 		return err
 	}
-	return atomicWrite(path, []byte(buf.String()))
+	blob := sealCheckpoint(buf.Bytes())
+	if m.chaos != nil {
+		var err error
+		if blob, err = m.chaos.mangleWrite(path, blob); err != nil {
+			return err
+		}
+		if blob == nil {
+			return nil // write silently lost
+		}
+	}
+	return atomicWrite(path, blob)
 }
 
 func (m *manager) pointSnapPath(id string, k int) string {
@@ -701,13 +767,14 @@ func (m *manager) savePoint(id string, k int, pr pointResult) {
 // to an uninterrupted one.
 func renderSweepCSV(points []pointResult) string {
 	var b strings.Builder
-	b.WriteString("rate,offered,accepted,mean_lat,p50,p95,p99,max_lat,steps,backlog,saturated,early_stop,truncated,deadlocked\n")
+	b.WriteString("rate,offered,accepted,mean_lat,p50,p95,p99,max_lat,steps,backlog,aborted,saturated,early_stop,truncated,deadlocked,fault_deadlocked\n")
 	for _, p := range points {
 		r := p.Result
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%s,%s,%d,%d,%d,%t,%t,%t,%t\n",
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%s,%s,%d,%d,%d,%d,%t,%t,%t,%t,%t\n",
 			g(p.Rate), g(r.Offered), g(r.Accepted), g(r.MeanLatency),
 			g(r.P50), g(r.P95), g(r.P99), r.MaxLatency,
-			r.Steps, r.Backlog, r.Saturated, r.EarlyStop, r.Truncated, r.Deadlocked)
+			r.Steps, r.Backlog, r.Aborted, r.Saturated, r.EarlyStop, r.Truncated,
+			r.Deadlocked, r.FaultDeadlocked)
 	}
 	return b.String()
 }

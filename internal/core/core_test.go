@@ -74,7 +74,7 @@ func TestRouteGreedyAndScheduled(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "A5", "F1", "F2", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	want := []string{"A1", "A2", "A3", "A4", "A5", "F1", "F2", "T1", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(got), len(want))

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestT16QuickShapes sanity-checks the degradation study at CI scale:
+// every grid point injects traffic, the fault-free baseline is healthy
+// (no outages, no aborts, unsaturated), and faulted points actually see
+// outages — otherwise the sweep is measuring nothing.
+func TestT16QuickShapes(t *testing.T) {
+	rows := T16Degradation(quickCfg)
+	p := t16Scale(quickCfg)
+	if want := len(p.bs) * len(p.faultRates); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.N != 64 {
+			t.Errorf("quick row ran n=%d, want 64", r.N)
+		}
+		if r.Messages == 0 {
+			t.Errorf("B=%d rate=%g: no messages injected", r.B, r.FaultRate)
+		}
+		switch {
+		case r.FaultRate == 0:
+			if r.Outages != 0 {
+				t.Errorf("B=%d: fault-free row reports %d outages", r.B, r.Outages)
+			}
+			if r.Aborted != 0 {
+				t.Errorf("B=%d: fault-free row aborted %d messages", r.B, r.Aborted)
+			}
+			if r.Saturated {
+				t.Errorf("B=%d: fault-free baseline saturated; offered load is miscalibrated", r.B)
+			}
+		default:
+			if r.Outages == 0 {
+				t.Errorf("B=%d rate=%g: schedule afflicted no edges", r.B, r.FaultRate)
+			}
+		}
+	}
+}
+
+// TestT16GracefulDegradation is the acceptance property at full scale:
+//
+//   - per B, accepted throughput is monotonically non-increasing in the
+//     fault rate (the outage sets are nested across rates, so a genuine
+//     increase would be a simulator bug, not noise);
+//   - degradation is strictly gentler at B=8 than at B=1 — the retained
+//     fraction accepted(max rate)/accepted(0) is higher with 8 lanes,
+//     because a killed lane takes out the whole link at B=1 but only an
+//     eighth of it at B=8.
+func TestT16GracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale sweep")
+	}
+	cfg := Config{Seed: quickCfg.Seed}
+	rows := T16Degradation(cfg)
+	p := t16Scale(cfg)
+
+	accepted := make(map[int]map[float64]float64, len(p.bs))
+	for _, r := range rows {
+		if accepted[r.B] == nil {
+			accepted[r.B] = make(map[float64]float64, len(p.faultRates))
+		}
+		accepted[r.B][r.FaultRate] = r.Accepted
+	}
+
+	for _, b := range p.bs {
+		curve := accepted[b]
+		if curve[0] <= 0 {
+			t.Fatalf("B=%d: fault-free accepted throughput is %g", b, curve[0])
+		}
+		for i := 1; i < len(p.faultRates); i++ {
+			lo, hi := p.faultRates[i-1], p.faultRates[i]
+			if curve[hi] > curve[lo] {
+				t.Errorf("B=%d: accepted throughput rose with the fault rate: %g@%g > %g@%g",
+					b, curve[hi], hi, curve[lo], lo)
+			}
+		}
+	}
+
+	maxRate := p.faultRates[len(p.faultRates)-1]
+	retained := func(b int) float64 { return accepted[b][maxRate] / accepted[b][0] }
+	if r1, r8 := retained(1), retained(8); r8 <= r1 {
+		t.Errorf("degradation not gentler with more lanes: B=8 retains %.4f of baseline, B=1 retains %.4f", r8, r1)
+	}
+}

@@ -18,8 +18,9 @@ import (
 
 // metricsCodecVersion is bumped whenever the encoding below changes
 // incompatibly. Appending counter slots does NOT bump it: the slot
-// count is encoded explicitly.
-const metricsCodecVersion = 1
+// count is encoded explicitly. v2 added the per-edge fault-time
+// accumulator as a fifth edge array.
+const metricsCodecVersion = 2
 
 // ErrMetricsCodec is wrapped by every decode failure in
 // (*Metrics).UnmarshalBinary.
@@ -30,7 +31,7 @@ var ErrMetricsCodec = errors.New("telemetry: bad metrics encoding")
 // It never fails; the error return satisfies encoding.BinaryMarshaler.
 func (m *Metrics) MarshalBinary() ([]byte, error) {
 	n := len(m.edgeStall)
-	buf := make([]byte, 0, 8+8*(int(NumCounters)+jumpBuckets+8)+32*n)
+	buf := make([]byte, 0, 8+8*(int(NumCounters)+jumpBuckets+8)+40*n)
 	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
 	i64 := func(v int64) { u64(uint64(v)) }
 
@@ -52,7 +53,7 @@ func (m *Metrics) MarshalBinary() ([]byte, error) {
 	i64(m.arenaCapacity)
 	i64(m.horizon)
 	u64(uint64(n))
-	for _, s := range [][]int64{m.edgeStall, m.occInt, m.lastOcc, m.lastT} {
+	for _, s := range [][]int64{m.edgeStall, m.occInt, m.lastOcc, m.lastT, m.edgeFault} {
 		for _, v := range s {
 			i64(v)
 		}
@@ -121,9 +122,9 @@ func (m *Metrics) UnmarshalBinary(data []byte) error {
 	if !ok || ne > uint64(len(data)/8) {
 		return fail("edge count")
 	}
-	m.edgeStall, m.occInt, m.lastOcc, m.lastT = nil, nil, nil, nil
+	m.edgeStall, m.occInt, m.lastOcc, m.lastT, m.edgeFault = nil, nil, nil, nil, nil
 	m.EnsureEdges(int(ne))
-	for _, s := range [][]int64{m.edgeStall, m.occInt, m.lastOcc, m.lastT} {
+	for _, s := range [][]int64{m.edgeStall, m.occInt, m.lastOcc, m.lastT, m.edgeFault} {
 		if !i64s(s) {
 			return fail("edge accumulators")
 		}

@@ -47,6 +47,11 @@ const (
 	CtrFastForwards
 	CtrShardedSteps
 	CtrShardFallback
+	CtrFaultKills
+	CtrFaultRevives
+	CtrFaultAborts
+	CtrFaultRetries
+	CtrStallFault
 	NumCounters // sentinel: number of counter slots
 )
 
@@ -67,6 +72,11 @@ var counterNames = [NumCounters]string{
 	"fast_forwards",
 	"sharded_steps",
 	"shard_fallback_steps",
+	"fault_kills",
+	"fault_revives",
+	"fault_aborts",
+	"fault_retries",
+	"stall_fault",
 }
 
 // Name returns the stable snapshot name of the counter slot.
@@ -109,6 +119,7 @@ type Metrics struct {
 	occInt    []int64
 	lastOcc   []int64 // occupancy at the last fold point of each edge
 	lastT     []int64 // time of the last fold point of each edge
+	edgeFault []int64 // total steps each edge spent with a fault active
 	horizon   int64   // latest time passed to EdgeOccupancy/Finish
 }
 
@@ -132,6 +143,7 @@ func (m *Metrics) EnsureEdges(numEdges int) {
 	m.occInt = grow(m.occInt)
 	m.lastOcc = grow(m.lastOcc)
 	m.lastT = grow(m.lastT)
+	m.edgeFault = grow(m.edgeFault)
 }
 
 // Inc adds one to a counter slot.
@@ -181,6 +193,17 @@ func (m *Metrics) EdgeOccupancy(e int32, occ, now int64) {
 	m.lastT[e] = now
 	if now > m.horizon {
 		m.horizon = now
+	}
+}
+
+// EdgeFault attributes span steps of fault time (lanes or the whole edge
+// dead) to edge e. The simulator calls it when an edge returns to full
+// health and once at result time for still-open outages.
+//
+//wormvet:hotpath
+func (m *Metrics) EdgeFault(e int32, span int64) {
+	if int(e) < len(m.edgeFault) && e >= 0 {
+		m.edgeFault[e] += span
 	}
 }
 
@@ -264,10 +287,12 @@ type Snapshot struct {
 	} `json:"arena"`
 	Jumps   []JumpBucket `json:"jumps,omitempty"`
 	Horizon int64        `json:"horizon"`
-	// EdgeStalls and EdgeOcc are indexed by edge ID. EdgeOcc is the mean
-	// occupancy of each edge over [0, Horizon].
+	// EdgeStalls, EdgeOcc and EdgeFault are indexed by edge ID. EdgeOcc is
+	// the mean occupancy of each edge over [0, Horizon]; EdgeFault is the
+	// total steps each edge spent with a fault active.
 	EdgeStalls []int64   `json:"edge_stalls,omitempty"`
 	EdgeOcc    []float64 `json:"edge_occ,omitempty"`
+	EdgeFault  []int64   `json:"edge_fault,omitempty"`
 	// Windows carries the traffic runner's per-window time series when the
 	// run was windowed; empty otherwise.
 	Windows []WindowStats `json:"windows,omitempty"`
@@ -341,6 +366,12 @@ func (m *Metrics) Snapshot() Snapshot {
 				s.EdgeOcc[e] = float64(folded) / float64(m.horizon)
 			}
 		}
+		for _, v := range m.edgeFault {
+			if v != 0 {
+				s.EdgeFault = append([]int64(nil), m.edgeFault...)
+				break
+			}
+		}
 	}
 	return s
 }
@@ -383,6 +414,7 @@ func (m *Metrics) Merge(other *Metrics) {
 		// Fold the other registry's integral to its own horizon so the sum
 		// stays meaningful; lastOcc/lastT remain m's own.
 		m.occInt[e] += other.occInt[e] + other.lastOcc[e]*(other.horizon-other.lastT[e])
+		m.edgeFault[e] += other.edgeFault[e]
 	}
 }
 
@@ -405,6 +437,7 @@ func (m *Metrics) DrainInto(dst *Metrics) {
 		m.occInt[e] = 0
 		m.lastOcc[e] = 0
 		m.lastT[e] = 0
+		m.edgeFault[e] = 0
 	}
 }
 

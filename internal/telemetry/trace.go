@@ -20,11 +20,12 @@ const (
 	EvDeliver
 	EvDrop
 	EvCredit
+	EvFault
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
-	"", "inject", "advance", "park", "wake", "deliver", "drop", "credit",
+	"", "inject", "advance", "park", "wake", "deliver", "drop", "credit", "fault",
 }
 
 // String returns the stable name of the event kind.
@@ -44,6 +45,7 @@ func (k EventKind) String() string {
 //   - deliver: Msg = message ID, Arg = latency (deliver - inject)
 //   - drop:    Msg = message ID, Arg = frontier at drop
 //   - credit:  Msg = edge ID,    Arg = occupancy after release folding
+//   - fault:   Msg = edge ID,    Arg = fault event kind (fault.Kind)
 type Event struct {
 	Time int32
 	Msg  int32
@@ -193,6 +195,12 @@ func (t *Trace) Drop(time int, msg, frontier int32) { t.add(time, EvDrop, msg, f
 //
 //wormvet:hotpath
 func (t *Trace) Credit(time int, edge, occ int32) { t.add(time, EvCredit, edge, occ) }
+
+// Fault records a fault-schedule event (kill/revive, see fault.Kind)
+// taking effect on an edge.
+//
+//wormvet:hotpath
+func (t *Trace) Fault(time int, edge, kind int32) { t.add(time, EvFault, edge, kind) }
 
 // Events returns the buffered events oldest-first. Events already spilled
 // (or overwritten) are not included.

@@ -24,13 +24,16 @@ import (
 	"io"
 	"math"
 
+	"wormhole/internal/fault"
 	"wormhole/internal/telemetry"
 	"wormhole/internal/vcsim"
 )
 
+// runnerSnapVersion v2 added the fault schedule and retry policy to the
+// config digest (and rides on the embedded vcsim snapshot's v2 state).
 const (
 	runnerSnapMagic   = "WRUNSNAP"
-	runnerSnapVersion = 1
+	runnerSnapVersion = 2
 )
 
 // ErrRunnerSnapshot is wrapped by every RestoreRunner failure that is
@@ -168,7 +171,35 @@ func (c *Config) digest() []struct {
 		{"Seed", c.Seed},
 		{"NaiveScan", b(c.NaiveScan)},
 		{"Window", uint64(c.Window)},
+		// Fixed-length fault entries (a count and a content hash rather
+		// than the variable-length schedule itself) keep the digest the
+		// same length for every Config, so reader and writer never walk
+		// out of step.
+		{"FaultEvents", uint64(len(c.Faults))},
+		{"FaultHash", faultHash(c.Faults)},
+		{"RetryMax", uint64(c.Retry.MaxAttempts)},
+		{"RetryBase", uint64(c.Retry.Backoff)},
+		{"RetryCap", uint64(c.Retry.BackoffCap)},
 	}
+}
+
+// faultHash is a 64-bit FNV-1a over the schedule's events, giving the
+// digest a fixed-width stand-in for the schedule's contents. (The
+// embedded simulator snapshot verifies the events themselves.)
+func faultHash(s fault.Schedule) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	for _, ev := range s {
+		mix(uint64(ev.Step))
+		mix(uint64(ev.Edge))
+		mix(uint64(ev.Kind))
+	}
+	return h
 }
 
 // Snapshot serializes the in-progress run to w. It is an error to call

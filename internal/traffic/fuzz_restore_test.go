@@ -1,0 +1,106 @@
+package traffic
+
+// FuzzRestoreRunner feeds RestoreRunner adversarially mutated runner
+// snapshots — truncations, bit-flips, and length inflations of a real
+// WRUNSNAP blob taken mid-run with a fault schedule attached, so both
+// the runner framing and the embedded WORMSNAP stream (including its v2
+// fault block) are under attack. The contract under corruption:
+//
+//   - never panic;
+//   - fail only with typed errors: ErrRunnerSnapshot for runner-level
+//     framing, or the vcsim snapshot errors for the embedded stream;
+//   - when a mutation decodes anyway, Resume must terminate (the run
+//     phases and the simulator horizon bound it) without panicking.
+//
+// CI runs this as a short -fuzztime smoke; `go test` replays the seed
+// corpus.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"wormhole/internal/fault"
+	"wormhole/internal/vcsim"
+)
+
+func FuzzRestoreRunner(f *testing.F) {
+	cfg := runnerOracleCfg(OnOff, Hotspot, 0)
+	cfg.Faults = fault.Generate(fault.GenConfig{
+		Seed: 23, NumEdges: cfg.Net.G.NumEdges(), Horizon: 120, Rate: 0.3, MeanOutage: 40, Lanes: 1,
+	})
+	cfg.Retry = vcsim.RetryPolicy{MaxAttempts: 3, Backoff: 8, BackoffCap: 64}
+
+	var blob bytes.Buffer
+	snapCfg := cfg
+	var victim *Runner
+	snapCfg.OnStep = func(step int) error {
+		if step >= 60 && blob.Len() == 0 {
+			if err := victim.Snapshot(&blob); err != nil {
+				f.Fatal(err)
+			}
+			return errPause
+		}
+		return nil
+	}
+	victim, err := NewRunner(snapCfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer victim.Close()
+	if _, err := victim.Run(); !errors.Is(err, errPause) {
+		f.Fatalf("run did not pause: %v", err)
+	}
+	valid := blob.Bytes()
+
+	// Seed corpus: one of each mutation class, plus the identity.
+	f.Add(uint8(0), uint32(0), uint8(0))                 // untouched
+	f.Add(uint8(1), uint32(len(valid)/2), uint8(0))      // truncate mid-blob
+	f.Add(uint8(1), uint32(0), uint8(0))                 // empty input
+	f.Add(uint8(2), uint32(9), uint8(0x01))              // corrupt version
+	f.Add(uint8(2), uint32(len(valid)/4), uint8(0x80))   // corrupt digest/counters
+	f.Add(uint8(2), uint32(2*len(valid)/3), uint8(0x08)) // corrupt embedded sim
+	f.Add(uint8(2), uint32(len(valid)-5), uint8(0xFF))   // corrupt trailer region
+	f.Add(uint8(3), uint32(len(valid)/2), uint8(33))     // inflate mid-blob
+	f.Add(uint8(3), uint32(len(valid)), uint8(255))      // append garbage
+	f.Add(uint8(1), uint32(9*len(valid)/10), uint8(0))   // truncate in sim state
+
+	f.Fuzz(func(t *testing.T, mode uint8, pos uint32, val uint8) {
+		mut := append([]byte(nil), valid...)
+		p := int(pos)
+		switch mode % 4 {
+		case 1: // truncate
+			if p > len(mut) {
+				p = len(mut)
+			}
+			mut = mut[:p]
+		case 2: // bit/byte flip
+			if len(mut) > 0 {
+				mut[p%len(mut)] ^= val | 1
+			}
+		case 3: // length-inflate: splice extra bytes in
+			if p > len(mut) {
+				p = len(mut)
+			}
+			filler := bytes.Repeat([]byte{val}, 1+int(val)%9)
+			mut = append(mut[:p:p], append(filler, valid[p:]...)...)
+		}
+
+		r, err := RestoreRunner(cfg, bytes.NewReader(mut))
+		if err != nil {
+			if !errors.Is(err, ErrRunnerSnapshot) &&
+				!errors.Is(err, vcsim.ErrSnapshotFormat) &&
+				!errors.Is(err, vcsim.ErrSnapshotCorrupt) &&
+				!errors.Is(err, vcsim.ErrSnapshotConfig) {
+				t.Fatalf("untyped restore error %T: %v", err, err)
+			}
+			return
+		}
+		// The mutation decoded — a counter or RNG cursor flipped in a
+		// non-validated field. The resumed run must still terminate
+		// (phases and the simulator horizon bound it); an error result
+		// is fine, a panic or a hang is not.
+		_, _ = r.Resume()
+		r.Close()
+	})
+}

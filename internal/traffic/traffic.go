@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 
+	"wormhole/internal/fault"
 	"wormhole/internal/message"
 	"wormhole/internal/rng"
 	"wormhole/internal/telemetry"
@@ -95,6 +96,16 @@ type Config struct {
 	// the naive scan just re-attempts every blocked worm every step, so
 	// saturated runs cost far more wall clock.
 	NaiveScan bool
+
+	// Faults attaches a deterministic kill/revive schedule to the
+	// underlying simulator (vcsim.Config.Faults). Runs with a schedule
+	// are byte-identical across engines and Shards settings; accepted
+	// throughput and latency then measure graceful degradation.
+	Faults fault.Schedule
+	// Retry is the fault retry policy for messages whose first edge is
+	// dead before injection (vcsim.Config.Retry). Meaningful only with
+	// Faults; the zero value disables retries.
+	Retry vcsim.RetryPolicy
 
 	// Shards ≥ 2 steps the underlying simulator on that many goroutines
 	// (vcsim.Config.Shards). Results are byte-identical to the
@@ -238,11 +249,13 @@ type Result struct {
 	Steps       int // flit step at which the run stopped
 	LastRelease int // release time of the last injected message
 	Backlog     int // messages still in flight when the run stopped
+	Aborted     int // messages abandoned by the fault-retry policy
 
-	Saturated  bool // accepted fell ≥ 5% short of offered (or worse, below)
-	EarlyStop  bool // MaxBacklog tripped before the windows completed
-	Truncated  bool // drain budget exhausted with messages in flight
-	Deadlocked bool // the network deadlocked (possible on toruses at low B)
+	Saturated       bool // accepted fell ≥ 5% short of offered (or worse, below)
+	EarlyStop       bool // MaxBacklog tripped before the windows completed
+	Truncated       bool // drain budget exhausted with messages in flight
+	Deadlocked      bool // the network deadlocked (possible on toruses at low B)
+	FaultDeadlocked bool // the deadlock formed with dead resources present
 }
 
 // Runner executes open-loop runs of one fixed Config, reusing every
@@ -337,6 +350,8 @@ func newRunnerShell(cfg Config) (*Runner, vcsim.Config, error) {
 		MaxSteps:            r.horizon + cfg.Drain,
 		OnComplete:          onComplete,
 		NaiveScan:           cfg.NaiveScan,
+		Faults:              cfg.Faults,
+		Retry:               cfg.Retry,
 		Shards:              cfg.Shards,
 		Metrics:             cfg.Metrics,
 		Trace:               cfg.Trace,
@@ -483,10 +498,13 @@ func (r *Runner) finish() Result {
 		}
 	}
 
+	sim.FoldFaultTime() // close open outage spans in the fault-time heatmap
 	res := r.res
 	res.Injected = sim.Injected()
 	res.Steps = sim.Now()
 	res.Backlog = sim.Active()
+	res.Aborted = sim.Aborted()
+	res.FaultDeadlocked = sim.FaultDeadlocked()
 	res.Truncated = sim.Truncated()
 	res.TrackedDone = r.trackedDone
 	res.DeliveredMeasure = r.deliveredMeasure

@@ -46,6 +46,7 @@ import (
 	"io"
 	"slices"
 
+	"wormhole/internal/fault"
 	"wormhole/internal/graph"
 	"wormhole/internal/message"
 )
@@ -54,7 +55,9 @@ import (
 // rejects snapshots written by a different version: the format encodes
 // engine internals whose meaning is pinned to the engine revision, so
 // cross-version restores would be silently wrong, not merely lossy.
-const SnapshotVersion = 1
+// v2 added the fault plane: the schedule and retry policy in the config
+// section, per-worm retry counts, and the outage state block.
+const SnapshotVersion = 2
 
 // snapMagic opens every snapshot; snapTrailer closes it, so a
 // truncated stream is detected even when every interior field parses.
@@ -292,6 +295,19 @@ func (si *Sim) Snapshot(w io.Writer) error {
 	sw.i64(int64(si.cfg.MaxSteps))
 	sw.i64(int64(si.maxSteps))
 
+	// Fault schedule and (normalized) retry policy: schedule-relevant,
+	// so the restore side verifies them against its Config like every
+	// other field above.
+	sw.i32(int32(si.retryMax)) //wormvet:allow horizon -- validateFaults bounds MaxAttempts ≥ 0; practical values are tiny
+	sw.i32(si.retryBase)
+	sw.i32(si.retryCap)
+	sw.u32(uint32(len(si.faults)))
+	for _, ev := range si.faults {
+		sw.i64(int64(ev.Step))
+		sw.u32(uint32(ev.Edge))
+		sw.u8(uint8(ev.Kind))
+	}
+
 	// Worm records, in ID order. Completed worms ride along with empty
 	// path/prog — their stats must survive for Result and the dense ID
 	// index.
@@ -317,6 +333,7 @@ func (si *Sim) Snapshot(w io.Writer) error {
 		sw.i32(w.lastInj)
 		sw.bool(w.stretched)
 		sw.i32(w.blockedOn)
+		sw.i32(w.retries)
 		sw.i32s(w.path)
 		sw.i32s(w.prog)
 	}
@@ -335,22 +352,22 @@ func (si *Sim) Snapshot(w io.Writer) error {
 
 	// Wait heaps, sparsely: most edges have no waiters. The raw array
 	// layout is serialized — heap shape determines future pop order.
-	if !si.naive {
-		writeHeaps := func(qs [][]uint64) {
-			nonEmpty := 0
-			for _, q := range qs {
-				if len(q) > 0 {
-					nonEmpty++
-				}
-			}
-			sw.u32(uint32(nonEmpty))
-			for e, q := range qs {
-				if len(q) > 0 {
-					sw.u32(uint32(e))
-					sw.keys(q)
-				}
+	writeHeaps := func(qs [][]uint64) {
+		nonEmpty := 0
+		for _, q := range qs {
+			if len(q) > 0 {
+				nonEmpty++
 			}
 		}
+		sw.u32(uint32(nonEmpty))
+		for e, q := range qs {
+			if len(q) > 0 {
+				sw.u32(uint32(e))
+				sw.keys(q)
+			}
+		}
+	}
+	if !si.naive {
 		writeHeaps(si.waitQ)
 		if si.waitQFlit != nil {
 			writeHeaps(si.waitQFlit)
@@ -361,6 +378,23 @@ func (si *Sim) Snapshot(w io.Writer) error {
 			sw.bits(si.bodySeen)
 		}
 		sw.bool(si.mixedFinal)
+	}
+
+	// Fault-plane run state: the schedule cursor, dead/killed resources,
+	// the open-outage timestamps and the dead-edge wait heaps. The
+	// derived tallies (deadEdges, killedTotal, lastRevive) are recomputed
+	// on restore. Presence is symmetric: the restore side verified the
+	// schedule above, so both ends agree on whether this block exists.
+	if si.faults != nil {
+		sw.u32(uint32(si.faultIdx))
+		sw.bits(si.deadEdge)
+		sw.i32s(si.killedLanes)
+		sw.i32s(si.faultSince)
+		if si.faultQ != nil {
+			writeHeaps(si.faultQ)
+		}
+		sw.i64(int64(si.aborted))
+		sw.bool(si.faultDead)
 	}
 
 	if si.shuffler != nil {
@@ -407,7 +441,7 @@ func (si *Sim) Snapshot(w io.Writer) error {
 // (Shards, CheckInvariants) — and must match the snapshot on every
 // schedule-relevant field: VirtualChannels, LaneDepth, SharedPool,
 // RestrictedBandwidth, DropOnDelay, Arbitration, Seed, MaxSteps,
-// NaiveScan, ParkStreak. The restored Sim continues the run
+// NaiveScan, ParkStreak, Faults, Retry. The restored Sim continues the run
 // byte-identically to the original. When cfg.Metrics is non-nil its
 // contents are replaced with the snapshot's registry state, so resumed
 // runs report cumulative totals.
@@ -416,6 +450,9 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 		return nil, fmt.Errorf("%w: VirtualChannels %d < 1", ErrBadConfig, cfg.VirtualChannels)
 	}
 	if err := validateArch(cfg); err != nil {
+		return nil, err
+	}
+	if err := validateFaults(g.NumEdges(), cfg); err != nil {
 		return nil, err
 	}
 	r := &snapReader{r: bufio.NewReader(rd)}
@@ -441,6 +478,17 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 	seed := r.u64()
 	cfgMaxSteps := r.i64()
 	maxSteps := r.i64()
+	retryMax := r.i32()
+	retryBase := r.i32()
+	retryCap := r.i32()
+	var faults fault.Schedule
+	for n := r.length(MaxHorizon, "fault event"); n > 0 && r.err == nil; n-- {
+		faults = append(faults, fault.Event{
+			Step: int(r.i64()),
+			Edge: int(r.u32()),
+			Kind: fault.Kind(r.u8()),
+		})
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -454,6 +502,21 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 	}
 	mismatch := func(field string, snap, want any) error {
 		return fmt.Errorf("%w: %s: snapshot %v, config %v", ErrSnapshotConfig, field, snap, want)
+	}
+	// Normalize the caller's retry policy exactly as emptySim does: the
+	// fields are zero when no schedule is attached, defaulted otherwise.
+	wantRetryMax, wantRetryBase, wantRetryCap := 0, int32(0), int32(0)
+	if len(cfg.Faults) > 0 {
+		wantRetryMax = cfg.Retry.MaxAttempts
+		base, bcap := cfg.Retry.Backoff, cfg.Retry.BackoffCap
+		if base <= 0 {
+			base = 16
+		}
+		if bcap <= 0 {
+			bcap = 1024
+		}
+		wantRetryBase = int32(base) //wormvet:allow horizon -- validateFaults bounds Backoff ≤ MaxHorizon
+		wantRetryCap = int32(bcap)  //wormvet:allow horizon -- validateFaults bounds BackoffCap ≤ MaxHorizon
 	}
 	switch {
 	case numEdges != g.NumEdges():
@@ -478,6 +541,14 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 		return nil, mismatch("Seed", seed, cfg.Seed)
 	case cfgMaxSteps != int64(cfg.MaxSteps):
 		return nil, mismatch("MaxSteps", cfgMaxSteps, cfg.MaxSteps)
+	case !slices.Equal(faults, cfg.Faults):
+		return nil, mismatch("Faults", fmt.Sprintf("%d events", len(faults)), fmt.Sprintf("%d events", len(cfg.Faults)))
+	case int(retryMax) != wantRetryMax:
+		return nil, mismatch("Retry.MaxAttempts", retryMax, wantRetryMax)
+	case retryBase != wantRetryBase:
+		return nil, mismatch("Retry.Backoff", retryBase, wantRetryBase)
+	case retryCap != wantRetryCap:
+		return nil, mismatch("Retry.BackoffCap", retryCap, wantRetryCap)
 	}
 
 	si := emptySim(numEdges, cfg)
@@ -485,7 +556,17 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 	si.recycle = recycle
 
 	si.now = int(r.u64())
+	// Clock sanity: a corrupt horizon or a clock outside [0, horizon]
+	// would make the restored simulator spin (or idle-step for 2^63
+	// steps) instead of terminating at its horizon.
+	if r.err == nil && (maxSteps <= 0 || maxSteps > MaxHorizon) {
+		r.fail("horizon %d out of range (0, %d]", maxSteps, MaxHorizon)
+	}
+	if r.err == nil && (si.now < 0 || si.now > si.maxSteps) {
+		r.fail("clock %d out of range [0, %d]", si.now, si.maxSteps)
+	}
 	numWorms := r.length(MaxHorizon, "worm")
+	var sawDelivered, sawDropped, sawAborted int
 	for id := 0; id < numWorms && r.err == nil; id++ {
 		w, _ := si.addWorm()
 		w.id = int32(id) //wormvet:allow horizon -- bounded by the MaxHorizon length check above
@@ -507,14 +588,21 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 		w.lastInj = r.i32()
 		w.stretched = r.bool()
 		w.blockedOn = r.i32()
+		w.retries = r.i32()
 		if keyID(w.key) != id {
 			r.fail("worm %d: key %#x does not reference it", id, w.key)
 		}
-		if w.status < StatusWaiting || w.status > StatusDropped {
+		if w.status < StatusWaiting || w.status > StatusAborted {
 			r.fail("worm %d: status %d", id, w.status)
 		}
 		if w.d < 0 || w.l < 0 {
 			r.fail("worm %d: path length %d / message length %d", id, w.d, w.l)
+		}
+		if w.frontier < 0 || (w.d >= 0 && w.l >= 0 && w.frontier > w.d+w.l) {
+			r.fail("worm %d: frontier %d out of range [0,%d]", id, w.frontier, w.d+w.l)
+		}
+		if w.retries < 0 {
+			r.fail("worm %d: negative retry count %d", id, w.retries)
 		}
 		if p := r.i32Slice(r.length(MaxHorizon, "path")); len(p) > 0 {
 			if int32(len(p)) != w.d { //wormvet:allow horizon -- bounded by the MaxHorizon length check
@@ -537,19 +625,70 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 			w.prog = si.arena.alloc(len(pr))
 			copy(w.prog, pr)
 		}
+		// An in-flight worm walks its path (and, deep mode, its prog
+		// array) on the next step; only finished worms have them freed.
+		if inFlight := w.status == StatusWaiting || w.status == StatusActive; inFlight && r.err == nil {
+			if w.d > 0 && w.path == nil {
+				r.fail("worm %d: in flight with no path", id)
+			}
+			if si.deepMode && w.l > 0 && w.prog == nil {
+				r.fail("worm %d: in flight with no prog", id)
+			}
+		}
+		switch w.status {
+		case StatusDelivered:
+			sawDelivered++
+		case StatusDropped:
+			sawDropped++
+		case StatusAborted:
+			sawAborted++
+		}
 	}
 
-	checkKeys := func(keys []uint64, what string) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Membership lists must reference live worms, each at most once per
+	// structure class: a finished worm (path and prog freed) re-entered
+	// into a scheduling structure would be stepped and walk freed
+	// storage, and a duplicated reference outlives its worm's completion
+	// and does the same one delivery later. The two classes are checked
+	// separately because under ArbRandom a parked worm legitimately
+	// appears in both the active order (skipped via parkedAt) and its
+	// wait heap.
+	seenList := make([]bool, numWorms)
+	seenHeap := make([]bool, numWorms)
+	checkKeys := func(keys []uint64, what string, heap bool) {
+		seen := seenList
+		if heap {
+			seen = seenHeap
+		}
 		for _, k := range keys {
-			if keyID(k) >= numWorms {
-				r.fail("%s key %#x references worm %d of %d", what, k, keyID(k), numWorms)
+			id := keyID(k)
+			if id >= numWorms {
+				r.fail("%s key %#x references worm %d of %d", what, k, id, numWorms)
+				return
 			}
+			w := si.worm(id)
+			if w.status != StatusWaiting && w.status != StatusActive {
+				r.fail("%s key %#x references a finished worm (status %d)", what, k, w.status)
+				return
+			}
+			if heap && w.parkedAt < 0 {
+				r.fail("%s key %#x references worm %d, which is not parked", what, k, id)
+				return
+			}
+			if seen[id] {
+				r.fail("%s key %#x references worm %d twice", what, k, id)
+				return
+			}
+			seen[id] = true
 		}
 	}
 	si.pending = r.keySlice(r.length(numWorms, "pending"))
-	checkKeys(si.pending, "pending")
+	checkKeys(si.pending, "pending", false)
 	si.active = r.keySlice(r.length(numWorms, "active"))
-	checkKeys(si.active, "active")
+	checkKeys(si.active, "active", false)
 	if r.bool() {
 		// The naive scan's lazily materialized ID-ordered view. Under
 		// ArbByID keys are bare worm indices, so a sorted copy of the
@@ -563,24 +702,24 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 		r.i32sInto(skipLen(r, si.flitFree, "flitFree"))
 	}
 
-	if !si.naive {
-		readHeaps := func(qs [][]uint64, what string) {
-			prev := -1
-			for n := r.length(numEdges, what); n > 0; n-- {
-				e := int(r.u32())
-				if e <= prev || e >= numEdges {
-					r.fail("%s edge %d out of order or range", what, e)
-					return
-				}
-				prev = e
-				q := r.keySlice(r.length(numWorms, what))
-				checkKeys(q, what)
-				if r.err != nil {
-					return
-				}
-				qs[e] = q
+	readHeaps := func(qs [][]uint64, what string) {
+		prev := -1
+		for n := r.length(numEdges, what); n > 0; n-- {
+			e := int(r.u32())
+			if e <= prev || e >= numEdges {
+				r.fail("%s edge %d out of order or range", what, e)
+				return
 			}
+			prev = e
+			q := r.keySlice(r.length(numWorms, what))
+			checkKeys(q, what, true)
+			if r.err != nil {
+				return
+			}
+			qs[e] = q
 		}
+	}
+	if !si.naive {
 		readHeaps(si.waitQ, "waitQ")
 		if si.waitQFlit != nil {
 			readHeaps(si.waitQFlit, "waitQFlit")
@@ -593,6 +732,34 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 		si.mixedFinal = r.bool()
 	}
 
+	// Fault-plane run state (present iff a schedule is attached, which
+	// the config section verified the caller agrees on). The derived
+	// tallies are recomputed from the serialized arrays.
+	if si.faults != nil {
+		si.faultIdx = int(r.u32())
+		if si.faultIdx > len(si.faults) {
+			r.fail("fault cursor %d past schedule length %d", si.faultIdx, len(si.faults))
+		}
+		r.bitsInto(si.deadEdge)
+		r.i32sInto(skipLen(r, si.killedLanes, "killedLanes"))
+		r.i32sInto(skipLen(r, si.faultSince, "faultSince"))
+		if si.faultQ != nil {
+			readHeaps(si.faultQ, "faultQ")
+		}
+		si.aborted = int(r.i64())
+		si.faultDead = r.bool()
+		for e := range si.deadEdge {
+			if si.deadEdge[e] {
+				si.deadEdges++
+			}
+			k := si.killedLanes[e]
+			if k < 0 || k > si.bI32 {
+				r.fail("edge %d: killed lanes %d out of range [0,%d]", e, k, si.bI32)
+			}
+			si.killedTotal += int(k)
+		}
+	}
+
 	if si.shuffler != nil {
 		si.shuffler.Reseed(r.u64())
 	}
@@ -602,6 +769,13 @@ func RestoreSim(g *graph.Graph, cfg Config, rd io.Reader) (*Sim, error) {
 	si.maxOccupied = int(r.i64())
 	si.delivered = int(r.i64())
 	si.dropped = int(r.i64())
+	// Cross-check the terminal counters against the per-worm statuses: a
+	// flipped counter (or status) would skew Active() and either strand
+	// the drain loop or end a run early.
+	if r.err == nil && (si.delivered != sawDelivered || si.dropped != sawDropped || si.aborted != sawAborted) {
+		r.fail("terminal counters %d/%d/%d disagree with worm statuses %d/%d/%d",
+			si.delivered, si.dropped, si.aborted, sawDelivered, sawDropped, sawAborted)
+	}
 	si.deadlocked = r.bool()
 	si.truncated = r.bool()
 	if n := r.length(numWorms, "blockedIDs"); n > 0 {

@@ -109,13 +109,15 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 	}
 	if b := w.blockedOn; b >= 0 {
 		// Cached fully-blocked verdict (see worm.blockedOn): while the
-		// blocking credit stays exhausted, nothing else about the verdict
-		// can change — every other flit is FIFO- or own-lane-blocked,
-		// states only the worm's own movement resolves — so the whole
-		// rescan collapses to this resume-condition probe.
-		e := b &^ parkFlitBit
-		if b&parkFlitBit != 0 {
-			if si.flitFree[e] <= 0 {
+		// blocking credit stays exhausted (or the blocking edge stays
+		// dead), nothing else about the verdict can change — every other
+		// flit is FIFO- or own-lane-blocked, states only the worm's own
+		// movement resolves — so the whole rescan collapses to this
+		// resume-condition probe.
+		e := b &^ (parkFlitBit | parkFaultBit)
+		switch {
+		case b&parkFaultBit != 0:
+			if si.deadEdge[e] {
 				// A cached re-fail is a proven park-eligible verdict: the
 				// block already outlived a step and wakes are precise, so
 				// skip the rest of the probation (pure mechanism — park
@@ -123,20 +125,34 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 				// suite).
 				w.streak = si.parkStreak - 1
 				if m := si.met; m != nil {
+					m.EdgeStall(telemetry.CtrStallFault, e)
+				}
+				return false, b
+			}
+		case b&parkFlitBit != 0:
+			if si.flitFree[e] <= 0 {
+				w.streak = si.parkStreak - 1
+				if m := si.met; m != nil {
 					m.EdgeStall(telemetry.CtrStallSharedPool, e)
 				}
 				return false, b
 			}
-		} else if si.laneFree[e] <= 0 || (si.shared && si.flitFree[e] <= 0) {
-			w.streak = si.parkStreak - 1
-			if m := si.met; m != nil {
-				m.EdgeStall(telemetry.CtrStallLaneCredit, e)
+		default:
+			if si.laneFree[e] <= 0 || (si.shared && si.flitFree[e] <= 0) {
+				w.streak = si.parkStreak - 1
+				if m := si.met; m != nil {
+					m.EdgeStall(telemetry.CtrStallLaneCredit, e)
+				}
+				return false, b
 			}
-			return false, b
 		}
 		w.blockedOn = -1
 	}
-	if w.stretched && si.tryAdvanceStretched(w) {
+	// A dead edge anywhere in the network disables the stretched fast
+	// path: its all-advance commit cannot express a refused reservation.
+	// Lane kills alone keep it — they act purely through the credit
+	// counters the fast path already checks.
+	if w.stretched && si.deadEdges == 0 && si.tryAdvanceStretched(w) {
 		return si.finishDeepMove(w)
 	}
 	var (
@@ -188,7 +204,17 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 			e := path[c]
 			shift := prevMoved && prevOld == c+1
 			fits := true
-			if c <= bodyCap && !shift {
+			if dead := si.deadEdge; dead != nil && dead[e] &&
+				((c > bodyCap && j == 0) || (c <= bodyCap && !shift && groupProg != c+1)) {
+				// New reservation on a dead edge — a header's final-edge
+				// crossing or a lane acquisition — is refused. Established
+				// flits (shift-throughs, own-lane joins, post-header
+				// final-edge drains) keep flowing: the link's pipeline
+				// drains, it just accepts nothing new.
+				fits = false
+				foreign = e | parkFaultBit
+			}
+			if fits && c <= bodyCap && !shift {
 				if groupProg == c+1 {
 					// Joining the lane the predecessor group occupies.
 					if si.shared {
@@ -307,10 +333,13 @@ func (si *Sim) tryAdvanceDeep(w *worm) (bool, int32) {
 	if !moved {
 		if parkable && parkEdge >= 0 {
 			if m := si.met; m != nil {
-				if parkEdge&parkFlitBit != 0 {
+				switch {
+				case parkEdge&parkFaultBit != 0:
+					m.EdgeStall(telemetry.CtrStallFault, parkEdge&^parkFaultBit)
+				case parkEdge&parkFlitBit != 0:
 					m.EdgeStall(telemetry.CtrStallSharedPool, parkEdge&^parkFlitBit)
-				} else {
-					m.EdgeStall(telemetry.CtrStallLaneCredit, parkEdge&^parkFlitBit)
+				default:
+					m.EdgeStall(telemetry.CtrStallLaneCredit, parkEdge)
 				}
 			}
 			w.blockedOn = parkEdge
@@ -554,7 +583,7 @@ func (si *Sim) checkInvariantsDeep() {
 	laneOcc := make([]int32, len(si.laneFree))
 	for i := 0; i < si.numWorms; i++ {
 		w := si.worm(i)
-		if w.status == StatusDropped || w.status == StatusDelivered {
+		if w.status == StatusDropped || w.status == StatusDelivered || w.status == StatusAborted {
 			continue
 		}
 		prev := w.d

@@ -207,7 +207,7 @@ func (si *Sim) ensureShards() {
 func (si *Sim) shardable() bool {
 	return si.shards > 1 && !si.deepMode && !si.mixedFinal &&
 		si.cap == si.b && si.cfg.Arbitration != ArbRandom &&
-		si.trc == nil && si.cfg.Observer == nil &&
+		si.trc == nil && si.cfg.Observer == nil && si.faults == nil &&
 		len(si.active) >= si.shardMin*si.shards
 }
 
@@ -514,6 +514,12 @@ func (si *Sim) ShardFallbackReason() string {
 		return "trace sink attached"
 	case si.cfg.Observer != nil:
 		return "observer sink attached"
+	case si.faults != nil:
+		// Kill/revive events mutate credit state mid-run and the retry
+		// path reorders the pending queue; the contest-edge argument does
+		// not cover either, so fault runs stay sequential (and remain
+		// byte-identical across Shards settings by construction).
+		return "fault schedule attached"
 	case si.mixedFinal:
 		return "mixed final/body edge roles"
 	}

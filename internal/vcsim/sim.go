@@ -62,6 +62,9 @@ func NewSim(g *graph.Graph, cfg Config) (*Sim, error) {
 	if err := validateArch(cfg); err != nil {
 		return nil, err
 	}
+	if err := validateFaults(g.NumEdges(), cfg); err != nil {
+		return nil, err
+	}
 	if cfg.MaxSteps <= 0 {
 		return nil, ErrNoHorizon
 	}
@@ -226,7 +229,8 @@ func (si *Sim) Now() int { return si.now }
 // Active returns the number of injected messages that have not yet
 // completed: worms in flight plus worms waiting on their release time.
 // After a deadlock it counts the frozen worms, which never complete.
-func (si *Sim) Active() int { return si.numWorms - si.delivered - si.dropped }
+// Messages abandoned by the fault-retry policy no longer count.
+func (si *Sim) Active() int { return si.numWorms - si.delivered - si.dropped - si.aborted }
 
 // Injected returns the total number of messages injected so far.
 func (si *Sim) Injected() int { return si.numWorms }

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 
+	"wormhole/internal/fault"
 	"wormhole/internal/message"
 	"wormhole/internal/rng"
 	"wormhole/internal/telemetry"
@@ -142,6 +143,33 @@ type Config struct {
 	// the first sharded step; Sim.Close releases them (a finalizer
 	// covers abandoned Sims). 0 and 1 mean sequential.
 	Shards int
+	// Faults attaches a deterministic fault schedule (see internal/fault):
+	// scripted kill/revive events against lanes and whole edges, applied at
+	// exact flit steps. Nil keeps the fault-free hot path bit for bit. A
+	// fault plane forces the sequential stepper (ShardFallbackReason
+	// reports it); results remain byte-identical across shard counts and
+	// across snapshot/restore cuts, including cuts inside an outage.
+	Faults fault.Schedule
+	// Retry is the source-side re-injection policy for fault-blocked
+	// messages: a worm whose header is still at its source router (nothing
+	// injected yet) and whose next edge is dead aborts the attempt and
+	// re-enters the pending queue after a capped exponential backoff in
+	// simulated time. The zero value disables retries — such worms park on
+	// the fault wait queue like any other blocked worm.
+	Retry RetryPolicy
+}
+
+// RetryPolicy caps and paces source-side re-injection of fault-blocked
+// messages (see Config.Retry).
+type RetryPolicy struct {
+	// MaxAttempts is the number of re-injections allowed per message
+	// before it is abandoned with StatusAborted. 0 disables retries.
+	MaxAttempts int
+	// Backoff is the base delay in flit steps before the first
+	// re-injection; each subsequent retry doubles it. 0 means 16.
+	Backoff int
+	// BackoffCap bounds the doubled delay. 0 means 1024.
+	BackoffCap int
 }
 
 // MaxHorizon is the largest supported MaxSteps / release time: event
@@ -176,6 +204,10 @@ const (
 	StatusDelivered
 	// StatusDropped means drop-on-delay discarded the worm.
 	StatusDropped
+	// StatusAborted means the fault-retry policy gave up on the message:
+	// its source-side re-injections all found the first dead edge still
+	// dead and MaxAttempts ran out.
+	StatusAborted
 )
 
 func (s Status) String() string {
@@ -188,6 +220,8 @@ func (s Status) String() string {
 		return "delivered"
 	case StatusDropped:
 		return "dropped"
+	case StatusAborted:
+		return "aborted"
 	}
 	return fmt.Sprintf("status(%d)", int8(s))
 }
@@ -195,11 +229,12 @@ func (s Status) String() string {
 // MessageStats records the fate of one message.
 type MessageStats struct {
 	Status      Status
-	Release     int // configured release time
+	Release     int // configured (or last retried) release time
 	InjectTime  int // flit step at which the header first crossed an edge; -1 if never
 	DeliverTime int // flit step at which the last flit arrived; -1 if not delivered
-	DropTime    int // flit step of the drop; -1 if not dropped
+	DropTime    int // flit step of the drop or fault abort; -1 otherwise
 	Stalls      int // steps spent eligible but unable to advance
+	Retries     int // fault-policy re-injections performed
 }
 
 // Latency returns delivery time minus release, or -1 if undelivered.
@@ -212,16 +247,23 @@ func (m MessageStats) Latency() int {
 
 // Result summarizes a run.
 type Result struct {
-	Steps       int  // flit step at which the last event occurred
-	Delivered   int  // messages fully delivered
-	Dropped     int  // messages discarded by drop-on-delay
-	Deadlocked  bool // true if a blocked configuration could never advance
-	Truncated   bool // true if MaxSteps was exceeded
-	TotalStalls int
-	FlitHops    int64 // total flit-edge crossings (work performed)
-	MaxOccupied int   // max buffer slots observed in use on any edge
-	PerMessage  []MessageStats
-	BlockedIDs  []message.ID // messages blocked at deadlock detection
+	Steps     int // flit step at which the last event occurred
+	Delivered int // messages fully delivered
+	Dropped   int // messages discarded by drop-on-delay
+	// Aborted counts messages abandoned by the fault-retry policy after
+	// exhausting their re-injection attempts against a dead edge.
+	Aborted    int
+	Deadlocked bool // true if a blocked configuration could never advance
+	// FaultDeadlocked distinguishes deadlocks declared while fault-killed
+	// resources were still dead: the freeze is (at least partly) an
+	// artifact of the outage, not of the schedule's channel dependencies.
+	FaultDeadlocked bool
+	Truncated       bool // true if MaxSteps was exceeded
+	TotalStalls     int
+	FlitHops        int64 // total flit-edge crossings (work performed)
+	MaxOccupied     int   // max buffer slots observed in use on any edge
+	PerMessage      []MessageStats
+	BlockedIDs      []message.ID // messages blocked at deadlock detection
 }
 
 // AllDelivered reports whether every message was delivered.
@@ -332,6 +374,10 @@ type worm struct {
 	// invariant — so probation re-attempts re-fail on a two-load check
 	// instead of rescanning every flit (see tryAdvanceDeep).
 	blockedOn int32
+	// retries counts fault-policy re-injections performed (see
+	// Config.Retry); it only moves for worms whose first edge died while
+	// their header was still at the source.
+	retries int32
 }
 
 // messageStats assembles the public MessageStats view of a worm.
@@ -345,6 +391,7 @@ func (w *worm) messageStats() MessageStats {
 		DeliverTime: int(w.deliverTime),
 		DropTime:    int(w.dropTime),
 		Stalls:      int(w.stalls),
+		Retries:     int(w.retries),
 	}
 }
 
@@ -674,6 +721,32 @@ type Sim struct {
 	processFn    func(int)
 	shardSteps   int64
 
+	// Fault plane (Config.Faults; everything below is nil/zero — and the
+	// per-step cost one predictable branch — when no schedule is
+	// attached). Events are consumed in schedule order through faultIdx:
+	// normally at the top of applyStepEnd (events with Step ≤ now+1, so a
+	// revive folds exactly like a credit release and wakes waiters), and
+	// directly at the top of step() to catch up after a StepTo/Drain jump
+	// (safe: jumps only happen with nothing in flight). deadEdge marks
+	// dead edges; killedLanes counts kill debt per edge (laneFree may go
+	// negative while occupants drain); faultQ parks worms blocked on a
+	// dead edge (revival wakes the whole queue); faultSince tracks each
+	// edge's open outage start for the telemetry fault-time heatmap.
+	faults      fault.Schedule
+	faultIdx    int
+	lastRevive  int // largest revive step in the schedule; -1 when none
+	deadEdge    []bool
+	killedLanes []int32
+	faultSince  []int32
+	faultQ      [][]uint64
+	deadEdges   int // count of currently dead edges
+	killedTotal int // count of currently killed lanes, all edges
+	retryMax    int // normalized Config.Retry
+	retryBase   int32
+	retryCap    int32
+	aborted     int
+	faultDead   bool // deadlock declared with dead resources present
+
 	totalStalls int
 	flitHops    int64
 	maxOccupied int
@@ -764,6 +837,30 @@ func emptySim(numEdges int, cfg Config) *Sim {
 			si.bodySeen = make([]bool, numEdges)
 		}
 	}
+	si.lastRevive = -1
+	if len(cfg.Faults) > 0 {
+		si.faults = cfg.Faults
+		si.lastRevive = cfg.Faults.LastRevive()
+		si.deadEdge = make([]bool, numEdges)
+		si.killedLanes = make([]int32, numEdges)
+		si.faultSince = make([]int32, numEdges)
+		for e := range si.faultSince {
+			si.faultSince[e] = -1
+		}
+		if !si.naive {
+			si.faultQ = make([][]uint64, numEdges)
+		}
+		si.retryMax = cfg.Retry.MaxAttempts
+		base, bcap := cfg.Retry.Backoff, cfg.Retry.BackoffCap
+		if base <= 0 {
+			base = 16
+		}
+		if bcap <= 0 {
+			bcap = 1024
+		}
+		si.retryBase = int32(base) //wormvet:allow horizon -- validateArch bounds Backoff ≤ MaxHorizon
+		si.retryCap = int32(bcap)  //wormvet:allow horizon -- validateArch bounds BackoffCap ≤ MaxHorizon
+	}
 	return si
 }
 
@@ -804,6 +901,23 @@ func (si *Sim) Reset() {
 		}
 	}
 	si.mixedFinal = false
+	if si.faults != nil {
+		si.faultIdx = 0
+		for e := range si.deadEdge {
+			si.deadEdge[e] = false
+			si.killedLanes[e] = 0
+			si.faultSince[e] = -1
+		}
+		if si.faultQ != nil {
+			for e := range si.faultQ {
+				si.faultQ[e] = si.faultQ[e][:0]
+			}
+		}
+		si.deadEdges = 0
+		si.killedTotal = 0
+		si.aborted = 0
+		si.faultDead = false
+	}
 	si.numWorms = 0
 	si.arena.reset()
 	si.pending = si.pending[:0]
@@ -848,10 +962,11 @@ func (si *Sim) pendLen() int { return len(si.pending) - si.pendHead }
 func (si *Sim) pendFirst() uint64 { return si.pending[si.pendHead] }
 
 // pendPush inserts release key k into the pending window, keeping it
-// sorted. The new key's id is always the largest yet, so it lands before
-// the first strictly larger entry (same-release entries have smaller
-// ids). Amortized allocation-free: when the backing array is exhausted
-// the live window is compacted to the front first.
+// sorted; k lands before the first strictly larger entry (keys are
+// unique — the id half discriminates same-release entries, including
+// the old ids fault retries re-insert). Amortized allocation-free: when
+// the backing array is exhausted the live window is compacted to the
+// front first.
 func (si *Sim) pendPush(k uint64) {
 	if len(si.pending) == cap(si.pending) && si.pendHead > 0 {
 		n := copy(si.pending, si.pending[si.pendHead:])
@@ -960,6 +1075,9 @@ func validateBatch(s *message.Set, release []int, cfg Config) error {
 		return fmt.Errorf("%w: VirtualChannels %d < 1", ErrBadConfig, cfg.VirtualChannels)
 	}
 	if err := validateArch(cfg); err != nil {
+		return err
+	}
+	if err := validateFaults(s.G.NumEdges(), cfg); err != nil {
 		return err
 	}
 	if release != nil && len(release) != s.Len() {
@@ -1151,6 +1269,11 @@ func (si *Sim) enqueue(idx int) {
 //
 //wormvet:hotpath
 func (si *Sim) step() {
+	if si.faults != nil && si.faultIdx < len(si.faults) && si.faults[si.faultIdx].Step <= si.now {
+		// A StepTo/Drain jump skipped scheduled fault events; apply them
+		// directly before any advance attempt sees this step's state.
+		si.applyFaults(si.now, true)
+	}
 	if m := si.met; m != nil {
 		m.Inc(telemetry.CtrSteps)
 	}
@@ -1193,12 +1316,14 @@ func (si *Sim) stepNaive() {
 
 	moved := false
 	droppedAny := false
+	faultActed := false
 	anyEligible := len(order) > 0
 	blocked := si.blockedScratch[:0]
 
 	for _, k := range order {
 		w := si.wormK(k)
-		if ok, _ := si.tryMove(w); ok {
+		ok, failEdge := si.tryMove(w)
+		if ok {
 			moved = true
 			continue
 		}
@@ -1210,6 +1335,11 @@ func (si *Sim) stepNaive() {
 		}
 		w.stalls++
 		si.totalStalls++
+		if si.faultRetriable(w, failEdge) {
+			si.faultRetry(w) //wormvet:allow hotalloc -- fault-retry path: per-retry cost accepted under an outage
+			faultActed = true
+			continue
+		}
 		blocked = append(blocked, message.ID(w.id))
 	}
 	si.blockedScratch = blocked
@@ -1222,9 +1352,10 @@ func (si *Sim) stepNaive() {
 		si.checkInvariants() //wormvet:allow hotalloc -- debug-gated by Config.CheckInvariants
 	}
 
-	if !moved && !droppedAny && anyEligible {
+	if !moved && !droppedAny && !faultActed && anyEligible && !si.deadlockDeferred() {
 		// Every eligible worm is slot-blocked and slots free only when
-		// worms move; future releases cannot free slots. Frozen forever.
+		// worms move; future releases cannot free slots, and no scheduled
+		// revival remains that could. Frozen forever.
 		si.deadlocked = true
 		si.blockedIDs = append([]message.ID(nil), blocked...) //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
 		si.finishAsDeadlocked()                               //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
@@ -1289,6 +1420,16 @@ func (si *Sim) tryAdvance(w *worm) (bool, int32) {
 		return true, -1
 	}
 	path := w.path
+	// Fault plane: a dead edge grants no new reservations — the header
+	// may not extend onto it. Flits behind the header are established
+	// reservations and keep draining through the bandwidth loop below.
+	if dead := si.deadEdge; dead != nil && w.frontier < w.d && dead[path[w.frontier]] {
+		e := path[w.frontier]
+		if m := si.met; m != nil {
+			m.EdgeStall(telemetry.CtrStallFault, e)
+		}
+		return false, e | parkFaultBit
+	}
 	// Buffer constraint: crossing edge path[frontier] requires a free slot
 	// unless it is the final edge (delivery buffer is external).
 	needSlot := int32(-1)
@@ -1477,6 +1618,11 @@ func (si *Sim) applyStepEnd() {
 	if m != nil {
 		m.StepGauges(len(si.dirty), si.parked)
 	}
+	if si.faults != nil {
+		// Fold fault events first: kills debit credits before waiters are
+		// counted, revives ride the relLane fold below like any release.
+		si.applyFaults(si.now+1, false)
+	}
 	for _, e := range si.dirty {
 		si.dirtyFlag[e] = 0
 		si.laneFree[e] += si.relLane[e]
@@ -1489,6 +1635,7 @@ func (si *Sim) applyStepEnd() {
 		} else {
 			occ = si.bI32 - si.laneFree[e]
 		}
+		occ -= si.killedDebt(e)
 		if int(occ) > si.maxOccupied {
 			si.maxOccupied = int(occ)
 		}
@@ -1519,6 +1666,7 @@ func (si *Sim) applyStepEnd() {
 		} else {
 			occ = si.bI32 - si.laneFree[e]
 		}
+		occ -= si.killedDebt(e)
 		if int(occ) > si.maxOccupied {
 			si.maxOccupied = int(occ)
 		}
@@ -1546,8 +1694,14 @@ func (si *Sim) reap() {
 func (si *Sim) reapList(list []uint64) []uint64 {
 	keep := list[:0]
 	for _, k := range list {
-		st := si.wormK(k).status
-		if st == StatusDelivered || st == StatusDropped {
+		w := si.wormK(k)
+		st := w.status
+		if st == StatusDelivered || st == StatusDropped || st == StatusAborted {
+			continue
+		}
+		// A fault-retried worm went back to pending with a future
+		// release; it re-enters the active structures on admission.
+		if st == StatusWaiting && int(w.release) > si.now {
 			continue
 		}
 		keep = append(keep, k)
@@ -1557,6 +1711,11 @@ func (si *Sim) reapList(list []uint64) []uint64 {
 
 // finishAsDeadlocked empties the worm lists so run() terminates.
 func (si *Sim) finishAsDeadlocked() {
+	if si.deadEdges > 0 || si.killedTotal > 0 {
+		// Dead resources are still present: the freeze is (at least
+		// partly) fault-induced, not purely a channel-dependency cycle.
+		si.faultDead = true
+	}
 	si.active = si.active[:0]
 	si.pending = si.pending[:0]
 	si.pendHead = 0
@@ -1567,12 +1726,24 @@ func (si *Sim) finishAsDeadlocked() {
 // pre-arena engine kept as slotsUsed. Invariant checks and tests use it.
 //
 //wormvet:hotpath
-func (si *Sim) lanesInUse(e int) int32 { return si.bI32 - si.laneFree[e] }
+func (si *Sim) lanesInUse(e int) int32 {
+	n := si.bI32 - si.laneFree[e]
+	if si.killedLanes != nil {
+		n -= si.killedLanes[e]
+	}
+	return n
+}
 
 // flitsInUse returns edge e's persistent flit occupancy (deep mode).
 //
 //wormvet:hotpath
-func (si *Sim) flitsInUse(e int) int32 { return si.poolCap - si.flitFree[e] }
+func (si *Sim) flitsInUse(e int) int32 {
+	n := si.poolCap - si.flitFree[e]
+	if si.killedLanes != nil {
+		n -= si.killedLanes[e] * si.depth
+	}
+	return n
+}
 
 // checkInvariants asserts model invariants; it panics on violation so test
 // failures pinpoint the first bad step.
@@ -1587,7 +1758,7 @@ func (si *Sim) checkInvariants() {
 	occ := make([]int32, len(si.laneFree))
 	for i := 0; i < si.numWorms; i++ {
 		w := si.worm(i)
-		if w.status == StatusDropped || w.status == StatusDelivered {
+		if w.status == StatusDropped || w.status == StatusDelivered || w.status == StatusAborted {
 			continue
 		}
 		if lo, hi, ok := w.span(); ok {
@@ -1629,16 +1800,19 @@ func (si *Sim) Result() Result {
 		}
 		m.Arena(used, total)
 	}
+	si.FoldFaultTime()
 	res := Result{
-		Delivered:   si.delivered,
-		Dropped:     si.dropped,
-		Deadlocked:  si.deadlocked,
-		Truncated:   si.truncated,
-		TotalStalls: si.totalStalls,
-		FlitHops:    si.flitHops,
-		MaxOccupied: si.maxOccupied,
-		PerMessage:  make([]MessageStats, si.numWorms),
-		BlockedIDs:  si.blockedIDs,
+		Delivered:       si.delivered,
+		Dropped:         si.dropped,
+		Aborted:         si.aborted,
+		Deadlocked:      si.deadlocked,
+		FaultDeadlocked: si.faultDead,
+		Truncated:       si.truncated,
+		TotalStalls:     si.totalStalls,
+		FlitHops:        si.flitHops,
+		MaxOccupied:     si.maxOccupied,
+		PerMessage:      make([]MessageStats, si.numWorms),
+		BlockedIDs:      si.blockedIDs,
 	}
 	last := 0
 	for i := 0; i < si.numWorms; i++ {

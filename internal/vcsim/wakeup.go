@@ -80,6 +80,7 @@ func (si *Sim) stepWakeup() {
 
 	moved := false
 	droppedAny := false
+	faultActed := false
 	// Parked worms are eligible-but-blocked: they count for deadlock
 	// detection exactly as their futile attempts did in the naive scan.
 	anyEligible := len(order) > 0 || si.parked > 0
@@ -103,6 +104,16 @@ func (si *Sim) stepWakeup() {
 			case si.cfg.DropOnDelay:
 				si.drop(w) //wormvet:allow hotalloc -- drop path: per-drop cost is accepted in drop-on-delay runs
 				droppedAny = true
+				needCompact = true
+			case si.faultRetriable(w, slotEdge):
+				// Dead first edge, header still at the source: one stall
+				// for the failed attempt (as the naive scan charges), then
+				// back to the pending queue — or aborted — immediately, no
+				// probation.
+				w.stalls++
+				si.totalStalls++
+				si.faultRetry(w) //wormvet:allow hotalloc -- fault-retry path: per-retry cost accepted under an outage
+				faultActed = true
 				needCompact = true
 			case slotEdge >= 0 && w.streak >= si.parkStreak-1:
 				w.streak = 0
@@ -137,6 +148,15 @@ func (si *Sim) stepWakeup() {
 			case si.cfg.DropOnDelay:
 				si.drop(w) //wormvet:allow hotalloc -- drop path: per-drop cost is accepted in drop-on-delay runs
 				droppedAny = true
+			case si.faultRetriable(w, slotEdge):
+				// Dead first edge, header still at the source: one stall
+				// for the failed attempt (as the naive scan charges), then
+				// back to the pending queue — or aborted — immediately, no
+				// probation. Not kept: the worm left the active list.
+				w.stalls++
+				si.totalStalls++
+				si.faultRetry(w) //wormvet:allow hotalloc -- fault-retry path: per-retry cost accepted under an outage
+				faultActed = true
 			case slotEdge >= 0 && w.streak >= si.parkStreak-1:
 				w.streak = 0
 				si.park(w, k, slotEdge)
@@ -159,11 +179,13 @@ func (si *Sim) stepWakeup() {
 		si.checkInvariants() //wormvet:allow hotalloc -- debug-gated by Config.CheckInvariants
 	}
 
-	if !moved && !droppedAny && anyEligible {
+	if !moved && !droppedAny && !faultActed && anyEligible && !si.deadlockDeferred() {
 		// Every eligible worm is slot-blocked and slots free only when
 		// worms move; future releases cannot free slots. Frozen forever.
 		// (No wake can have fired this step: wakes need slot events, and
-		// slot events need an advance or a drop.)
+		// slot events need an advance, a drop, or a scheduled revival —
+		// ruled out here by deadlockDeferred. A fault retry or abort also
+		// changed the configuration, so it too defers the verdict.)
 		si.deadlocked = true
 		si.stampDeadlock(order) //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
 		si.finishAsDeadlocked() //wormvet:allow hotalloc -- deadlock teardown: terminal, runs at most once
@@ -191,9 +213,14 @@ func (si *Sim) park(w *worm, k uint64, e int32) {
 	if tr := si.trc; tr != nil {
 		tr.Park(si.now+1, w.id, e)
 	}
-	if e&parkFlitBit != 0 {
+	switch {
+	case e&parkFaultBit != 0:
+		// Dead-edge wait: only the edge's revival changes the verdict, so
+		// the worm sits out all slot traffic on the fault queue.
+		si.heapPush(&si.faultQ[e&^parkFaultBit], k)
+	case e&parkFlitBit != 0:
 		si.heapPush(&si.waitQFlit[e&^parkFlitBit], k)
-	} else {
+	default:
 		si.heapPush(&si.waitQ[e], k)
 	}
 	si.parked++
@@ -202,9 +229,12 @@ func (si *Sim) park(w *worm, k uint64, e int32) {
 // clearParkQueue empties the queue worm w is parked on (deadlock
 // teardown).
 func (si *Sim) clearParkQueue(w *worm) {
-	if e := w.waitEdge; e&parkFlitBit != 0 {
+	switch e := w.waitEdge; {
+	case e&parkFaultBit != 0:
+		si.faultQ[e&^parkFaultBit] = si.faultQ[e&^parkFaultBit][:0]
+	case e&parkFlitBit != 0:
 		si.waitQFlit[e&^parkFlitBit] = si.waitQFlit[e&^parkFlitBit][:0]
-	} else {
+	default:
 		si.waitQ[e] = si.waitQ[e][:0]
 	}
 }
@@ -417,7 +447,11 @@ func (si *Sim) stampParked(k uint64, through int32) {
 		m.Inc(telemetry.CtrWakes)
 		cause := telemetry.CtrStallLaneCredit
 		e := w.waitEdge
-		if e&parkFlitBit != 0 {
+		switch {
+		case e&parkFaultBit != 0:
+			cause = telemetry.CtrStallFault
+			e &^= parkFaultBit
+		case e&parkFlitBit != 0:
 			cause = telemetry.CtrStallSharedPool
 			e &^= parkFlitBit
 		}

@@ -211,7 +211,7 @@ func TestScheduleFacade(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
-	if len(wormhole.Experiments()) != 22 {
+	if len(wormhole.Experiments()) != 23 {
 		t.Errorf("%d experiments", len(wormhole.Experiments()))
 	}
 	tables, err := wormhole.RunExperiment("F1", wormhole.ExperimentConfig{Seed: 1, Quick: true})
